@@ -1,0 +1,253 @@
+//! Minimal JSON-lines emission for classified flows — hand-rolled (the
+//! workspace deliberately avoids a JSON dependency; the structures are
+//! small and flat).
+//!
+//! One line per flow, stable field order, suitable for `jq`, BigQuery
+//! loads, or the paper's own aggregation pipelines.
+
+use crate::fmt::pct_f;
+use tamper_capture::FlowRecord;
+use tamper_core::{
+    max_rst_ipid_delta, max_rst_ttl_delta, AppProtocol, Classification, FlowAnalysis,
+};
+
+/// Escape a string per RFC 8259.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental single-line JSON object writer.
+///
+/// ```
+/// use tamper_analysis::JsonObject;
+/// let line = JsonObject::new().str("k", "v\"x").uint("n", 3).finish();
+/// assert_eq!(line, "{\"k\":\"v\\\"x\",\"n\":3}");
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.sep();
+        self.body
+            .push_str(&format!("\"{}\":\"{}\"", escape_json(key), escape_json(value)));
+        self
+    }
+
+    /// Add an optional string field (`null` when absent).
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> JsonObject {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> JsonObject {
+        self.sep();
+        self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self
+    }
+
+    /// Add an unsigned field.
+    pub fn uint(mut self, key: &str, value: u64) -> JsonObject {
+        self.sep();
+        self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self
+    }
+
+    /// Add a float field (NaN/∞ become `null`; negative zero is
+    /// normalized).
+    pub fn float(mut self, key: &str, value: f64) -> JsonObject {
+        self.sep();
+        let value = if value == 0.0 { 0.0 } else { value };
+        if value.is_finite() {
+            self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        } else {
+            self.body.push_str(&format!("\"{}\":null", escape_json(key)));
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.sep();
+        self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self
+    }
+
+    /// Add an explicit null.
+    pub fn null(mut self, key: &str) -> JsonObject {
+        self.sep();
+        self.body.push_str(&format!("\"{}\":null", escape_json(key)));
+        self
+    }
+
+    /// Finish: the `{...}` line.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Serialize one classified flow as a JSON line.
+pub fn flow_to_jsonl(flow: &FlowRecord, analysis: &FlowAnalysis) -> String {
+    let (verdict, signature) = match analysis.classification {
+        Classification::Tampered(sig) => ("tampered", Some(sig.label())),
+        Classification::PossiblyTamperedOther => ("possibly_tampered", None),
+        Classification::NotTampered => ("not_tampered", None),
+    };
+    let protocol = match analysis.trigger.protocol {
+        AppProtocol::Tls => "tls",
+        AppProtocol::Http => "http",
+        AppProtocol::Other => "other",
+    };
+    let mut obj = JsonObject::new()
+        .str("client_ip", &flow.client_ip.to_string())
+        .str("server_ip", &flow.server_ip.to_string())
+        .uint("src_port", u64::from(flow.src_port))
+        .uint("dst_port", u64::from(flow.dst_port))
+        .uint("packets", flow.packets.len() as u64)
+        .bool("truncated", flow.truncated)
+        .str("verdict", verdict)
+        .opt_str("signature", signature)
+        .opt_str(
+            "stage",
+            analysis.stage.map(|s| s.label()),
+        )
+        .str("protocol", protocol)
+        .opt_str("trigger_domain", analysis.trigger.domain.as_deref())
+        .uint("rst_count", analysis.rst_count as u64)
+        .uint("rst_ack_count", analysis.rst_ack_count as u64);
+    obj = match max_rst_ipid_delta(flow) {
+        Some(d) => obj.uint("max_rst_ipid_delta", u64::from(d)),
+        None => obj.null("max_rst_ipid_delta"),
+    };
+    obj = match max_rst_ttl_delta(flow) {
+        Some(d) => obj.int("max_rst_ttl_delta", i64::from(d)),
+        None => obj.null("max_rst_ttl_delta"),
+    };
+    obj.finish()
+}
+
+/// A compact JSON summary of a collector run (headline statistics).
+pub fn summary_to_json(col: &crate::Collector) -> String {
+    JsonObject::new()
+        .uint("total_flows", col.total)
+        .uint("possibly_tampered", col.possibly_tampered)
+        .str(
+            "possibly_tampered_pct",
+            &pct_f(col.possibly_tampered as f64 / col.total.max(1) as f64),
+        )
+        .float("recall", col.truth.recall())
+        .float("precision", col.truth.precision())
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_capture::PacketRecord;
+    use tamper_core::{classify, ClassifierConfig};
+    use tamper_wire::TcpFlags;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\nb");
+        assert_eq!(escape_json("tab\there"), "tab\\there");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("unicode ∅ ok"), "unicode ∅ ok");
+    }
+
+    #[test]
+    fn object_builder_layout() {
+        let line = JsonObject::new()
+            .str("a", "x")
+            .int("b", -3)
+            .uint("c", 7)
+            .bool("d", true)
+            .null("e")
+            .float("f", 0.5)
+            .float("g", f64::NAN)
+            .finish();
+        assert_eq!(
+            line,
+            "{\"a\":\"x\",\"b\":-3,\"c\":7,\"d\":true,\"e\":null,\"f\":0.5,\"g\":null}"
+        );
+    }
+
+    #[test]
+    fn flow_line_round_trips_key_fields() {
+        let flow = FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(203, 0, 113, 4)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            src_port: 40000,
+            dst_port: 443,
+            packets: vec![
+                PacketRecord {
+                    ts_sec: 0,
+                    flags: TcpFlags::SYN,
+                    seq: 1,
+                    ack: 0,
+                    ip_id: Some(5),
+                    ttl: 52,
+                    window: 65535,
+                    payload_len: 0,
+                    payload: Bytes::new(),
+                    has_tcp_options: true,
+                },
+                PacketRecord {
+                    ts_sec: 0,
+                    flags: TcpFlags::RST,
+                    seq: 2,
+                    ack: 0,
+                    ip_id: Some(40_000),
+                    ttl: 101,
+                    window: 0,
+                    payload_len: 0,
+                    payload: Bytes::new(),
+                    has_tcp_options: false,
+                },
+            ],
+            observation_end_sec: 40,
+            truncated: false,
+        };
+        let a = classify(&flow, &ClassifierConfig::default());
+        let line = flow_to_jsonl(&flow, &a);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"verdict\":\"tampered\""));
+        assert!(line.contains("⟨SYN → RST⟩"));
+        assert!(line.contains("\"max_rst_ipid_delta\":39995"));
+        assert!(line.contains("\"max_rst_ttl_delta\":49"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # tamper-analysis
+//!
+//! Aggregation and reporting: a single-pass streaming [`Collector`] keyed
+//! the way the paper aggregates (country, AS, signature, hour, category,
+//! domain, IP version, protocol), plus one generator per paper artifact
+//! (Table 1–3, Figures 1–10, the §4 validation numbers) in [`report`].
+
+pub mod collector;
+pub mod fmt;
+pub mod jsonl;
+pub mod paper;
+pub mod report;
+pub mod stats;
+
+pub use collector::{
+    class_code_label, postpsh_class_code, Collector, DomainCell, TruthStats, CLASS_NOT_TAMPERED,
+    CLASS_OTHER, N_CLASSES, RESERVOIR_CAP,
+};
+pub use fmt::{pct, pct_f, Table};
+pub use jsonl::{escape_json, flow_to_jsonl, summary_to_json, JsonObject};
+pub use paper::{comparison_table, comparisons, Comparison};
+pub use stats::{ols_slope, slope_through_origin, Cdf};
+pub use tamper_worldgen::TestList;

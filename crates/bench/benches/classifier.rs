@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the hot paths: classification throughput on
+//! captured flows, order reconstruction, wire parse/emit, session
+//! simulation, and the collection pipeline.
+
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
+use tamper_bench::pregenerate;
+use tamper_capture::{collect, CollectorConfig};
+use tamper_core::{classify, reordered, ClassifierConfig};
+use tamper_netsim::{
+    derive_rng, run_session, ClientConfig, Path, ServerConfig, SessionParams, SimDuration,
+    SimTime,
+};
+use tamper_wire::{Packet, PacketBuilder, TcpFlags, TcpHeader};
+
+fn bench(c: &mut Criterion) {
+    let flows = pregenerate(4_000);
+    let cfg = ClassifierConfig::default();
+
+    let mut g = c.benchmark_group("classifier");
+    g.throughput(Throughput::Elements(flows.len() as u64));
+    g.bench_function("classify_flows", |b| {
+        b.iter(|| {
+            flows
+                .iter()
+                .filter(|lf| classify(&lf.flow, &cfg).is_possibly_tampered())
+                .count()
+        })
+    });
+    g.bench_function("reorder_flows", |b| {
+        b.iter(|| {
+            flows
+                .iter()
+                .map(|lf| reordered(&lf.flow.packets).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("wire");
+    let pkt = PacketBuilder::new(
+        "203.0.113.5".parse().unwrap(),
+        "198.51.100.1".parse().unwrap(),
+        40_000,
+        443,
+    )
+    .flags(TcpFlags::PSH_ACK)
+    .seq(1000)
+    .ack(2000)
+    .options(TcpHeader::standard_syn_options())
+    .payload(bytes::Bytes::from(vec![0x16u8; 300]))
+    .build();
+    let frame = pkt.emit();
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("emit", |b| b.iter(|| pkt.emit()));
+    g.bench_function("parse", |b| b.iter(|| Packet::parse(&frame).unwrap()));
+    g.finish();
+
+    let mut g = c.benchmark_group("session");
+    let client_ip = "203.0.113.5".parse().unwrap();
+    let server_ip = "198.51.100.1".parse().unwrap();
+    g.bench_function("simulate_clean_session", |b| {
+        let mut i = 0u64;
+        b.iter_batched(
+            || {
+                i += 1;
+                (
+                    ClientConfig::default_tls(client_ip, server_ip, "site.example.com"),
+                    ServerConfig::default_edge(server_ip, 443),
+                    derive_rng(9, i),
+                )
+            },
+            |(ccfg, scfg, mut rng)| {
+                let mut path = Path::direct(SimDuration::from_millis(40), 12);
+                run_session(SessionParams::new(ccfg, scfg, SimTime::ZERO), &mut path, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("collect_trace", |b| {
+        let ccfg = ClientConfig::default_tls(client_ip, server_ip, "site.example.com");
+        let scfg = ServerConfig::default_edge(server_ip, 443);
+        let mut rng = derive_rng(9, 77);
+        let mut path = Path::direct(SimDuration::from_millis(40), 12);
+        let trace = run_session(SessionParams::new(ccfg, scfg, SimTime::ZERO), &mut path, &mut rng);
+        let ccfg2 = CollectorConfig::default();
+        b.iter_batched(
+            || derive_rng(10, 1),
+            |mut crng| collect(&trace, &ccfg2, &mut crng),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion::criterion_main!(benches);

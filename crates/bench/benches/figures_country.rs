@@ -1,0 +1,36 @@
+//! Benchmarks + artifact emission for Figure 1 (signature country
+//! composition), Figure 4 (per-country signature distribution), and
+//! Figure 5 (per-AS match proportions).
+
+use criterion::{criterion_group, Criterion};
+use tamper_analysis::report;
+use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESSIONS};
+
+fn emit_artifacts() {
+    let sim = standard_world(EMIT_SESSIONS);
+    let col = run_pipeline(&sim);
+    emit("Figure 1", &report::fig1(&col, &sim, 6));
+    emit("Figure 4", &report::fig4(&col, &sim, 80));
+    emit("Figure 5", &report::fig5(&col, &sim, 300));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_country");
+    g.sample_size(10);
+    let sim = standard_world(BENCH_SESSIONS);
+    let col = run_pipeline(&sim);
+    g.bench_function("fig1_render", |b| b.iter(|| report::fig1(&col, &sim, 6)));
+    g.bench_function("fig4_render", |b| b.iter(|| report::fig4(&col, &sim, 20)));
+    g.bench_function("fig5_render", |b| b.iter(|| report::fig5(&col, &sim, 50)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    emit_artifacts();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,56 @@
+//! Benchmarks + artifact emission for Figures 2 and 3 (IP-ID / TTL
+//! injection-evidence CDFs) and the §4.2 validation numbers, plus
+//! micro-benchmarks of the evidence extractors themselves.
+
+use criterion::{criterion_group, Criterion};
+use tamper_analysis::report;
+use tamper_bench::{emit, pregenerate, run_pipeline, standard_world, EMIT_SESSIONS};
+use tamper_core::{max_rst_ipid_delta, max_rst_ttl_delta, scanner_marks};
+
+fn emit_artifacts() {
+    let sim = standard_world(EMIT_SESSIONS);
+    let col = run_pipeline(&sim);
+    emit("Figure 2", &report::fig2(&col));
+    emit("Figure 3", &report::fig3(&col));
+    emit("Validation (§4.1–4.3)", &report::validation(&col));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_evidence");
+    let flows = pregenerate(2_000);
+    g.bench_function("ipid_delta_extraction", |b| {
+        b.iter(|| {
+            flows
+                .iter()
+                .filter_map(|lf| max_rst_ipid_delta(&lf.flow))
+                .count()
+        })
+    });
+    g.bench_function("ttl_delta_extraction", |b| {
+        b.iter(|| {
+            flows
+                .iter()
+                .filter_map(|lf| max_rst_ttl_delta(&lf.flow))
+                .count()
+        })
+    });
+    g.bench_function("scanner_marks", |b| {
+        b.iter(|| {
+            flows
+                .iter()
+                .filter(|lf| scanner_marks(&lf.flow).high_ttl)
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    emit_artifacts();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

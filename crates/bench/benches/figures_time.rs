@@ -1,0 +1,42 @@
+//! Benchmarks + artifact emission for the longitudinal and protocol
+//! figures: Figure 6 (hourly Post-ACK/Post-PSH series per country),
+//! Figure 7(a)/(b) (IPv4-vs-IPv6 and TLS-vs-HTTP), and Figure 9
+//! (per-signature hourly series, Appendix A).
+
+use criterion::{criterion_group, Criterion};
+use tamper_analysis::report;
+use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESSIONS};
+
+fn emit_artifacts() {
+    let sim = standard_world(EMIT_SESSIONS);
+    let col = run_pipeline(&sim);
+    emit("Figure 6", &report::fig6(&col, &sim, &report::FIG6_COUNTRIES));
+    emit("Figure 7(a)", &report::fig7a(&col, &sim, 150));
+    emit("Figure 7(b)", &report::fig7b(&col, &sim, 150));
+    emit("Figure 9 (Appendix A)", &report::fig9(&col));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_time");
+    g.sample_size(10);
+    let sim = standard_world(BENCH_SESSIONS);
+    let col = run_pipeline(&sim);
+    g.bench_function("fig6_render", |b| {
+        b.iter(|| report::fig6(&col, &sim, &report::FIG6_COUNTRIES))
+    });
+    g.bench_function("fig7_render", |b| {
+        b.iter(|| (report::fig7a(&col, &sim, 50), report::fig7b(&col, &sim, 50)))
+    });
+    g.bench_function("fig9_render", |b| b.iter(|| report::fig9(&col)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    emit_artifacts();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,34 @@
+//! Benchmark + artifact emission for Figure 8: the Iran September-2022
+//! case study, run as its own 17-day scenario world.
+
+use criterion::{criterion_group, Criterion};
+use tamper_analysis::report;
+use tamper_bench::{emit, iran_world, run_pipeline};
+
+fn emit_artifact() {
+    let sim = iran_world(40_000);
+    let col = run_pipeline(&sim);
+    emit("Figure 8 (Iran, Sept 2022)", &report::fig8(&col));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iran");
+    g.sample_size(10);
+    let sim = iran_world(3_000);
+    g.bench_function("iran_scenario_pipeline", |b| {
+        b.iter(|| run_pipeline(&sim))
+    });
+    let col = run_pipeline(&sim);
+    g.bench_function("fig8_render", |b| b.iter(|| report::fig8(&col)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    emit_artifact();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,34 @@
+//! Benchmark + artifact emission for Figure 10 (Appendix B): signature
+//! consistency across repeated (IP, domain) pairs.
+
+use criterion::{criterion_group, Criterion};
+use tamper_analysis::report;
+use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESSIONS};
+
+fn emit_artifact() {
+    let sim = standard_world(EMIT_SESSIONS);
+    let col = run_pipeline(&sim);
+    emit("Figure 10 (Appendix B)", &report::fig10(&col));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlap");
+    g.sample_size(10);
+    let sim = standard_world(BENCH_SESSIONS);
+    let col = run_pipeline(&sim);
+    g.bench_function("fig10_render", |b| b.iter(|| report::fig10(&col)));
+    g.bench_function("fig10_diagonal_mass", |b| {
+        b.iter(|| report::fig10_diagonal_mass(&col))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    emit_artifact();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,49 @@
+//! Benchmarks + artifact emission for Table 1 (signature taxonomy and
+//! §4.1 statistics), Table 2 (content categories), and Table 3 (test-list
+//! coverage).
+
+use criterion::{criterion_group, Criterion};
+use tamper_analysis::report;
+use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESSIONS};
+use tamper_worldgen::generate_lists;
+
+fn emit_artifacts() {
+    let sim = standard_world(EMIT_SESSIONS);
+    let col = run_pipeline(&sim);
+    emit("Table 1 (+ §4.1 statistics)", &report::table1(&col));
+    emit("Table 2", &report::table2(&col, &sim, 3));
+    let lists = generate_lists(&sim);
+    emit("Table 3", &report::table3(&col, &sim, &lists, 3));
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    let sim = standard_world(BENCH_SESSIONS);
+    g.bench_function("table1_full_pipeline", |b| {
+        b.iter(|| {
+            let col = run_pipeline(&sim);
+            report::table1(&col)
+        })
+    });
+
+    let col = run_pipeline(&sim);
+    let lists = generate_lists(&sim);
+    g.bench_function("table2_render", |b| b.iter(|| report::table2(&col, &sim, 3)));
+    g.bench_function("table3_render", |b| {
+        b.iter(|| report::table3(&col, &sim, &lists, 3))
+    });
+    g.bench_function("testlist_generation", |b| b.iter(|| generate_lists(&sim)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    emit_artifacts();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # tamper-capture
+//!
+//! The server-side collection pipeline, reproducing the constraints of the
+//! paper's deployment (§3.2): a deterministic 1-in-N connection sampler,
+//! inbound-only logging, 10-packet truncation, one-second timestamp
+//! quantization, and out-of-order logging — plus a classic libpcap
+//! writer/reader so captures interoperate with standard tooling.
+
+pub mod offline;
+pub mod pcap;
+pub mod pipeline;
+pub mod record;
+pub mod sampler;
+
+pub use offline::{flows_from_pcap, flows_from_records, FlowKey, IngestStats, OfflineConfig};
+pub use pcap::{write_session_trace, PcapError, PcapReader, PcapRecord, PcapWriter};
+pub use pipeline::{collect, CollectorConfig};
+pub use record::{FlowRecord, PacketRecord};
+pub use sampler::Sampler;

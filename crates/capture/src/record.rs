@@ -1,0 +1,167 @@
+//! Flow records: the collector's output and the classifier's only input.
+//!
+//! A [`FlowRecord`] mirrors what the paper's pipeline stores per sampled
+//! connection: up to ten **inbound** packets with full headers and
+//! payloads, timestamped at one-second granularity, possibly logged out of
+//! order. Nothing else about the connection is available downstream.
+
+use bytes::Bytes;
+use std::net::IpAddr;
+use tamper_wire::{Packet, TcpFlags};
+
+/// One logged inbound packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Arrival timestamp quantized to whole seconds (the paper's logging
+    /// granularity).
+    pub ts_sec: u64,
+    /// TCP flag byte.
+    pub flags: TcpFlags,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// IPv4 identification, `None` on IPv6.
+    pub ip_id: Option<u16>,
+    /// TTL / hop limit as received.
+    pub ttl: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Payload bytes (the paper logs full payloads; triggers are extracted
+    /// from them).
+    pub payload: Bytes,
+    /// True if the TCP header carried any options (scanner heuristic).
+    pub has_tcp_options: bool,
+}
+
+impl PacketRecord {
+    /// Build a record from a received packet and its quantized timestamp.
+    pub fn from_packet(ts_sec: u64, pkt: &Packet) -> PacketRecord {
+        PacketRecord {
+            ts_sec,
+            flags: pkt.tcp.flags,
+            seq: pkt.tcp.seq,
+            ack: pkt.tcp.ack,
+            ip_id: pkt.ip.ip_id(),
+            ttl: pkt.ip.ttl(),
+            window: pkt.tcp.window,
+            payload_len: pkt.payload.len() as u32,
+            payload: pkt.payload.clone(),
+            has_tcp_options: !pkt.tcp.options.is_empty(),
+        }
+    }
+
+    /// True for data-bearing packets.
+    pub fn has_payload(&self) -> bool {
+        self.payload_len > 0
+    }
+}
+
+/// One sampled connection as the collector recorded it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Client (source) address.
+    pub client_ip: IpAddr,
+    /// Server (destination) address.
+    pub server_ip: IpAddr,
+    /// Client source port.
+    pub src_port: u16,
+    /// Server port: 80 (HTTP) or 443 (HTTPS) in this study.
+    pub dst_port: u16,
+    /// Up to ten inbound packets, in log order (not necessarily arrival
+    /// order).
+    pub packets: Vec<PacketRecord>,
+    /// When the collector closed the flow (seconds); tail inactivity is
+    /// judged against this.
+    pub observation_end_sec: u64,
+    /// True if more than the retained packets arrived (truncation marker).
+    pub truncated: bool,
+}
+
+impl FlowRecord {
+    /// True for IPv4 flows.
+    pub fn is_ipv4(&self) -> bool {
+        self.client_ip.is_ipv4()
+    }
+
+    /// Seconds from the first logged packet to the observation end.
+    pub fn tail_gap_after_last_packet(&self) -> u64 {
+        self.packets
+            .iter()
+            .map(|p| p.ts_sec)
+            .max()
+            .map(|last| self.observation_end_sec.saturating_sub(last))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use tamper_wire::PacketBuilder;
+
+    fn packet() -> Packet {
+        PacketBuilder::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            1234,
+            443,
+        )
+        .flags(TcpFlags::PSH_ACK)
+        .seq(7)
+        .ack(9)
+        .ip_id(77)
+        .ttl(52)
+        .payload(Bytes::from_static(b"data"))
+        .build()
+    }
+
+    #[test]
+    fn record_captures_header_fields() {
+        let r = PacketRecord::from_packet(1673481600, &packet());
+        assert_eq!(r.ts_sec, 1673481600);
+        assert_eq!(r.flags, TcpFlags::PSH_ACK);
+        assert_eq!(r.seq, 7);
+        assert_eq!(r.ack, 9);
+        assert_eq!(r.ip_id, Some(77));
+        assert_eq!(r.ttl, 52);
+        assert_eq!(r.payload_len, 4);
+        assert!(r.has_payload());
+        assert!(!r.has_tcp_options);
+    }
+
+    #[test]
+    fn tail_gap_measured_from_last_packet() {
+        let flow = FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            src_port: 1,
+            dst_port: 443,
+            packets: vec![
+                PacketRecord::from_packet(100, &packet()),
+                PacketRecord::from_packet(103, &packet()),
+            ],
+            observation_end_sec: 130,
+            truncated: false,
+        };
+        assert_eq!(flow.tail_gap_after_last_packet(), 27);
+        assert!(flow.is_ipv4());
+    }
+
+    #[test]
+    fn empty_flow_has_zero_tail_gap() {
+        let flow = FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            src_port: 1,
+            dst_port: 443,
+            packets: vec![],
+            observation_end_sec: 130,
+            truncated: false,
+        };
+        assert_eq!(flow.tail_gap_after_last_packet(), 0);
+    }
+}

@@ -1,0 +1,662 @@
+//! The classifier: from a constrained [`FlowRecord`] to a
+//! [`Classification`] — possibly-tampered detection plus matching against
+//! the 19 tampering signatures (paper §4.1).
+//!
+//! Definitions implemented here, straight from the paper:
+//!
+//! - a flow is **possibly tampered** if it contains a RST, or exhibits a
+//!   ≥3-second inactivity gap without a FIN handshake (flows truncated at
+//!   the 10-packet limit while still active are *not* flagged by their
+//!   artificial tail gap);
+//! - the **stage** is where the evidence lands: after a single SYN, after
+//!   the handshake ACK, after the first data packet, or after multiple
+//!   data packets;
+//! - the **signature** within a stage is decided by the multiset of
+//!   tear-down packets (bare RST vs RST+ACK, their count, and — for
+//!   multi-RST bursts — the relationship between their ack numbers).
+
+use crate::reorder::reordered;
+use crate::signature::{Classification, Signature, Stage};
+use crate::trigger::{self, TriggerInfo};
+use tamper_capture::{FlowRecord, PacketRecord};
+
+/// Classifier tuning knobs (paper defaults; ablations override).
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifierConfig {
+    /// Inactivity threshold in seconds (paper: 3).
+    pub inactivity_secs: u64,
+    /// When false, the single-vs-multiple RST splits are merged (ablation
+    /// A4, motivated by the paper's Appendix B finding that the split has
+    /// limited utility).
+    pub split_rst_counts: bool,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> ClassifierConfig {
+        ClassifierConfig {
+            inactivity_secs: 3,
+            split_rst_counts: true,
+        }
+    }
+}
+
+/// Full analysis of one flow.
+#[derive(Debug, Clone)]
+pub struct FlowAnalysis {
+    /// The verdict.
+    pub classification: Classification,
+    /// Stage of the termination evidence, when determinable.
+    pub stage: Option<Stage>,
+    /// Bare RSTs observed.
+    pub rst_count: usize,
+    /// RST+ACKs observed.
+    pub rst_ack_count: usize,
+    /// Trigger domain / protocol extracted from payloads.
+    pub trigger: TriggerInfo,
+}
+
+impl FlowAnalysis {
+    /// Shorthand for the matched signature.
+    pub fn signature(&self) -> Option<Signature> {
+        self.classification.signature()
+    }
+
+    /// Shorthand for possibly-tampered status.
+    pub fn is_possibly_tampered(&self) -> bool {
+        self.classification.is_possibly_tampered()
+    }
+}
+
+struct Features<'a> {
+    ordered: Vec<&'a PacketRecord>,
+    syn_count: usize,
+    has_fin: bool,
+    fin_index: Option<usize>,
+    first_rst_index: Option<usize>,
+    /// (is_pure_rst, ack) of every RST-flagged packet, in order.
+    rsts: Vec<(bool, u32)>,
+    /// Indices of unique data-bearing packets (payload > 0, not SYN),
+    /// deduplicated by sequence number so retransmissions don't shift the
+    /// stage.
+    data_indices: Vec<usize>,
+    /// Indices of pure ACKs (no payload, no SYN/FIN/RST).
+    pure_ack_indices: Vec<usize>,
+    max_gap: u64,
+    tail_gap: u64,
+}
+
+fn features<'a>(flow: &'a FlowRecord) -> Features<'a> {
+    let ordered = reordered(&flow.packets);
+    let mut syn_count = 0;
+    let mut has_fin = false;
+    let mut fin_index = None;
+    let mut first_rst_index = None;
+    let mut rsts = Vec::new();
+    let mut data_indices = Vec::new();
+    let mut seen_data_seqs = Vec::new();
+    let mut pure_ack_indices = Vec::new();
+
+    for (i, p) in ordered.iter().enumerate() {
+        let f = p.flags;
+        if f.has_syn() {
+            syn_count += 1;
+        } else if f.has_rst() {
+            if first_rst_index.is_none() {
+                first_rst_index = Some(i);
+            }
+            rsts.push((f.is_pure_rst(), p.ack));
+        } else if f.has_fin() {
+            has_fin = true;
+            if fin_index.is_none() {
+                fin_index = Some(i);
+            }
+        } else if p.has_payload() {
+            if !seen_data_seqs.contains(&p.seq) {
+                seen_data_seqs.push(p.seq);
+                data_indices.push(i);
+            }
+        } else if f.has_ack() {
+            pure_ack_indices.push(i);
+        }
+    }
+
+    let mut max_gap = 0;
+    for w in ordered.windows(2) {
+        max_gap = max_gap.max(w[1].ts_sec.saturating_sub(w[0].ts_sec));
+    }
+    let tail_gap = if flow.truncated {
+        // The record stopped because the 10-packet limit hit, not because
+        // the flow went quiet; the tail says nothing.
+        0
+    } else {
+        flow.tail_gap_after_last_packet()
+    };
+
+    Features {
+        ordered,
+        syn_count,
+        has_fin,
+        fin_index,
+        first_rst_index,
+        rsts,
+        data_indices,
+        pure_ack_indices,
+        max_gap,
+        tail_gap,
+    }
+}
+
+/// Pick the signature for a RST-terminated flow at a given stage.
+fn rst_signature(stage: Stage, rsts: &[(bool, u32)]) -> Option<Signature> {
+    let pure: Vec<u32> = rsts.iter().filter(|(p, _)| *p).map(|(_, a)| *a).collect();
+    let n_pure = pure.len();
+    let n_ra = rsts.len() - n_pure;
+    match stage {
+        Stage::PostSyn => match (n_pure, n_ra) {
+            (0, 0) => None,
+            (_, 0) => Some(Signature::SynRst),
+            (0, _) => Some(Signature::SynRstAck),
+            _ => Some(Signature::SynRstBoth),
+        },
+        Stage::PostAck => match (n_pure, n_ra) {
+            (1, 0) => Some(Signature::AckRst),
+            (n, 0) if n > 1 => Some(Signature::AckRstRst),
+            (0, 1) => Some(Signature::AckRstAck),
+            (0, n) if n > 1 => Some(Signature::AckRstAckRstAck),
+            // Mixed RST + RST+ACK post-handshake is not in Table 1.
+            _ => None,
+        },
+        Stage::PostPsh => {
+            if n_pure >= 1 && n_ra >= 1 {
+                Some(Signature::PshRstRstAck)
+            } else if n_ra >= 2 {
+                Some(Signature::PshRstAckRstAck)
+            } else if n_ra == 1 {
+                Some(Signature::PshRstAck)
+            } else if n_pure == 1 {
+                Some(Signature::PshRst)
+            } else if n_pure >= 2 {
+                let first = pure[0];
+                if pure.iter().all(|a| *a == first) {
+                    Some(Signature::PshRstEq)
+                } else if pure.contains(&0) {
+                    Some(Signature::PshRstZero)
+                } else {
+                    Some(Signature::PshRstNeq)
+                }
+            } else {
+                None
+            }
+        }
+        Stage::PostData => {
+            if rsts.is_empty() {
+                None
+            } else if rsts[0].0 {
+                Some(Signature::DataRst)
+            } else {
+                Some(Signature::DataRstAck)
+            }
+        }
+    }
+}
+
+/// The A4 ablation: collapse single/multi RST splits into the singular
+/// form.
+fn merge_rst_counts(sig: Signature) -> Signature {
+    use Signature::*;
+    match sig {
+        AckRstRst => AckRst,
+        AckRstAckRstAck => AckRstAck,
+        PshRstEq | PshRstNeq | PshRstZero => PshRst,
+        PshRstAckRstAck => PshRstAck,
+        s => s,
+    }
+}
+
+/// Classify one flow record.
+///
+/// ```
+/// use tamper_capture::{FlowRecord, PacketRecord};
+/// use tamper_core::{classify, ClassifierConfig, Signature};
+/// use tamper_wire::TcpFlags;
+///
+/// let rec = |flags: TcpFlags, seq: u32| PacketRecord {
+///     ts_sec: 100, flags, seq, ack: 0, ip_id: Some(1), ttl: 52,
+///     window: 65535, payload_len: 0, payload: bytes::Bytes::new(),
+///     has_tcp_options: true,
+/// };
+/// let flow = FlowRecord {
+///     client_ip: "203.0.113.1".parse().unwrap(),
+///     server_ip: "198.51.100.1".parse().unwrap(),
+///     src_port: 40000, dst_port: 443,
+///     packets: vec![rec(TcpFlags::SYN, 100), rec(TcpFlags::RST, 101)],
+///     observation_end_sec: 130, truncated: false,
+/// };
+/// let analysis = classify(&flow, &ClassifierConfig::default());
+/// assert_eq!(analysis.signature(), Some(Signature::SynRst));
+/// ```
+pub fn classify(flow: &FlowRecord, cfg: &ClassifierConfig) -> FlowAnalysis {
+    let trigger = trigger::extract(flow);
+    let f = features(flow);
+    let rst_count = f.rsts.iter().filter(|(p, _)| *p).count();
+    let rst_ack_count = f.rsts.len() - rst_count;
+
+    let has_rst = !f.rsts.is_empty();
+    let silent = !f.has_fin
+        && (f.max_gap >= cfg.inactivity_secs || f.tail_gap >= cfg.inactivity_secs);
+    let possibly_tampered = has_rst || silent;
+
+    if !possibly_tampered || f.ordered.is_empty() {
+        return FlowAnalysis {
+            classification: Classification::NotTampered,
+            stage: None,
+            rst_count,
+            rst_ack_count,
+            trigger,
+        };
+    }
+
+    // Determine the stage boundary: the first RST for injection evidence,
+    // or the end of the recorded packets for silence evidence.
+    let boundary = f.first_rst_index.unwrap_or(f.ordered.len());
+    let data_before = f.data_indices.iter().filter(|&&i| i < boundary).count();
+    let acks_before = f.pure_ack_indices.iter().filter(|&&i| i < boundary).count();
+    let fin_before_rst = match (f.fin_index, f.first_rst_index) {
+        (Some(fi), Some(ri)) => fi < ri,
+        (Some(_), None) => true,
+        _ => false,
+    };
+
+    // The *sequence type* (stage) is assigned even when no signature will
+    // match — the paper reports per-stage shares of possibly-tampered
+    // traffic and, within each stage, the fraction its signatures cover
+    // (99.5% / 98.7% / 97.9% / 69.2%).
+    let stage = if data_before >= 2 {
+        Some(Stage::PostData)
+    } else if data_before == 1 {
+        Some(Stage::PostPsh)
+    } else if fin_before_rst {
+        // FIN with no data at all: an odd teardown; unclassifiable.
+        None
+    } else if acks_before == 0 {
+        Some(Stage::PostSyn)
+    } else if acks_before == 1 && f.syn_count == 1 {
+        Some(Stage::PostAck)
+    } else {
+        // e.g. "a connection terminated after a SYN and two ACKs": the
+        // paper's 2.3% residue.
+        None
+    };
+
+    let signature = stage.and_then(|st| {
+        if fin_before_rst {
+            // Teardown was already under way when the RST arrived (e.g. a
+            // client closing with unread data): counted in its stage but
+            // matching no signature.
+            return None;
+        }
+        if has_rst {
+            if st == Stage::PostSyn && f.syn_count != 1 {
+                // Post-SYN signatures require "a single SYN".
+                return None;
+            }
+            rst_signature(st, &f.rsts)
+        } else {
+            // Silence evidence.
+            match st {
+                Stage::PostSyn if f.syn_count == 1 => Some(Signature::SynNone),
+                Stage::PostSyn => None, // multiple SYNs then silence
+                Stage::PostAck => Some(Signature::AckNone),
+                // "No packets received after PSH+ACK packets" covers both
+                // single and multiple data packets.
+                Stage::PostPsh | Stage::PostData => Some(Signature::PshNone),
+            }
+        }
+    });
+
+    let signature = if cfg.split_rst_counts {
+        signature
+    } else {
+        signature.map(merge_rst_counts)
+    };
+
+    FlowAnalysis {
+        classification: match signature {
+            Some(sig) => Classification::Tampered(sig),
+            None => Classification::PossiblyTamperedOther,
+        },
+        stage,
+        rst_count,
+        rst_ack_count,
+        trigger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_wire::TcpFlags;
+
+    fn rec(ts: u64, flags: TcpFlags, seq: u32, ack: u32, payload_len: u32) -> PacketRecord {
+        PacketRecord {
+            ts_sec: ts,
+            flags,
+            seq,
+            ack,
+            ip_id: Some(1),
+            ttl: 52,
+            window: 65535,
+            payload_len,
+            payload: Bytes::from(vec![b'q'; payload_len as usize]),
+            has_tcp_options: true,
+        }
+    }
+
+    fn flow(packets: Vec<PacketRecord>, end: u64) -> FlowRecord {
+        FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            src_port: 40000,
+            dst_port: 443,
+            packets,
+            observation_end_sec: end,
+            truncated: false,
+        }
+    }
+
+    fn classify_default(f: &FlowRecord) -> FlowAnalysis {
+        classify(f, &ClassifierConfig::default())
+    }
+
+    const SYN: TcpFlags = TcpFlags::SYN;
+    const ACK: TcpFlags = TcpFlags::ACK;
+    const PSH: TcpFlags = TcpFlags::PSH_ACK;
+    const RST: TcpFlags = TcpFlags::RST;
+    const RA: TcpFlags = TcpFlags::RST_ACK;
+    const FIN: TcpFlags = TcpFlags::FIN_ACK;
+
+    #[test]
+    fn graceful_flow_not_tampered() {
+        let f = flow(
+            vec![
+                rec(0, SYN, 100, 0, 0),
+                rec(0, ACK, 101, 501, 0),
+                rec(0, PSH, 101, 501, 300),
+                rec(1, ACK, 401, 2000, 0),
+                rec(1, FIN, 401, 2000, 0),
+            ],
+            30,
+        );
+        let a = classify_default(&f);
+        assert_eq!(a.classification, Classification::NotTampered);
+        assert!(!a.is_possibly_tampered());
+    }
+
+    #[test]
+    fn syn_silence() {
+        let f = flow(vec![rec(0, SYN, 100, 0, 0)], 30);
+        let a = classify_default(&f);
+        assert_eq!(a.signature(), Some(Signature::SynNone));
+        assert_eq!(a.stage, Some(Stage::PostSyn));
+    }
+
+    #[test]
+    fn syn_rst_variants() {
+        let base = |extra: Vec<PacketRecord>| {
+            let mut v = vec![rec(0, SYN, 100, 0, 0)];
+            v.extend(extra);
+            flow(v, 30)
+        };
+        let a = classify_default(&base(vec![rec(0, RST, 101, 0, 0)]));
+        assert_eq!(a.signature(), Some(Signature::SynRst));
+        let a = classify_default(&base(vec![rec(0, RA, 0, 101, 0)]));
+        assert_eq!(a.signature(), Some(Signature::SynRstAck));
+        let a = classify_default(&base(vec![
+            rec(0, RST, 101, 0, 0),
+            rec(0, RA, 0, 101, 0),
+        ]));
+        assert_eq!(a.signature(), Some(Signature::SynRstBoth));
+    }
+
+    #[test]
+    fn post_ack_variants() {
+        let base = |extra: Vec<PacketRecord>| {
+            let mut v = vec![rec(0, SYN, 100, 0, 0), rec(0, ACK, 101, 501, 0)];
+            v.extend(extra);
+            flow(v, 30)
+        };
+        assert_eq!(
+            classify_default(&base(vec![])).signature(),
+            Some(Signature::AckNone)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RST, 101, 0, 0)])).signature(),
+            Some(Signature::AckRst)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RST, 101, 0, 0), rec(0, RST, 101, 0, 0)]))
+                .signature(),
+            Some(Signature::AckRstRst)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RA, 101, 501, 0)])).signature(),
+            Some(Signature::AckRstAck)
+        );
+        assert_eq!(
+            classify_default(&base(vec![
+                rec(0, RA, 101, 501, 0),
+                rec(0, RA, 101, 501, 0)
+            ]))
+            .signature(),
+            Some(Signature::AckRstAckRstAck)
+        );
+        // Mixed forms post-ACK are not a Table 1 signature.
+        let a = classify_default(&base(vec![rec(0, RST, 101, 0, 0), rec(0, RA, 101, 501, 0)]));
+        assert_eq!(a.classification, Classification::PossiblyTamperedOther);
+    }
+
+    fn psh_prefix() -> Vec<PacketRecord> {
+        vec![
+            rec(0, SYN, 100, 0, 0),
+            rec(0, ACK, 101, 501, 0),
+            rec(0, PSH, 101, 501, 250),
+        ]
+    }
+
+    #[test]
+    fn post_psh_variants() {
+        let base = |extra: Vec<PacketRecord>| {
+            let mut v = psh_prefix();
+            v.extend(extra);
+            flow(v, 30)
+        };
+        assert_eq!(
+            classify_default(&base(vec![])).signature(),
+            Some(Signature::PshNone)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RST, 351, 700, 0)])).signature(),
+            Some(Signature::PshRst)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RA, 351, 700, 0)])).signature(),
+            Some(Signature::PshRstAck)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RST, 351, 700, 0), rec(0, RA, 351, 700, 0)]))
+                .signature(),
+            Some(Signature::PshRstRstAck)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(0, RA, 351, 700, 0), rec(0, RA, 351, 700, 0)]))
+                .signature(),
+            Some(Signature::PshRstAckRstAck)
+        );
+        // Multi bare RST with equal acks.
+        assert_eq!(
+            classify_default(&base(vec![
+                rec(0, RST, 351, 700, 0),
+                rec(0, RST, 351, 700, 0)
+            ]))
+            .signature(),
+            Some(Signature::PshRstEq)
+        );
+        // Differing acks, none zero.
+        assert_eq!(
+            classify_default(&base(vec![
+                rec(0, RST, 351, 700, 0),
+                rec(0, RST, 351, 2160, 0)
+            ]))
+            .signature(),
+            Some(Signature::PshRstNeq)
+        );
+        // One zero ack.
+        assert_eq!(
+            classify_default(&base(vec![
+                rec(0, RST, 351, 700, 0),
+                rec(0, RST, 351, 0, 0)
+            ]))
+            .signature(),
+            Some(Signature::PshRstZero)
+        );
+    }
+
+    #[test]
+    fn post_data_variants() {
+        let base = |extra: Vec<PacketRecord>| {
+            let mut v = psh_prefix();
+            v.push(rec(1, PSH, 351, 900, 120)); // second data packet
+            v.extend(extra);
+            flow(v, 30)
+        };
+        assert_eq!(
+            classify_default(&base(vec![rec(1, RST, 471, 0, 0)])).signature(),
+            Some(Signature::DataRst)
+        );
+        assert_eq!(
+            classify_default(&base(vec![rec(1, RA, 471, 900, 0)])).signature(),
+            Some(Signature::DataRstAck)
+        );
+        // Silence after multiple data packets folds into ⟨PSH+ACK → ∅⟩.
+        assert_eq!(
+            classify_default(&base(vec![])).signature(),
+            Some(Signature::PshNone)
+        );
+    }
+
+    #[test]
+    fn fin_before_rst_is_other() {
+        let mut v = psh_prefix();
+        v.push(rec(1, FIN, 351, 900, 0));
+        v.push(rec(1, RST, 352, 0, 0));
+        let a = classify_default(&flow(v, 30));
+        assert_eq!(a.classification, Classification::PossiblyTamperedOther);
+    }
+
+    #[test]
+    fn two_acks_without_data_is_other() {
+        let f = flow(
+            vec![
+                rec(0, SYN, 100, 0, 0),
+                rec(0, ACK, 101, 501, 0),
+                rec(1, ACK, 101, 501, 0),
+            ],
+            30,
+        );
+        let a = classify_default(&f);
+        assert_eq!(a.classification, Classification::PossiblyTamperedOther);
+    }
+
+    #[test]
+    fn multiple_syns_then_silence_is_other() {
+        let f = flow(
+            vec![rec(0, SYN, 100, 0, 0), rec(1, SYN, 100, 0, 0)],
+            30,
+        );
+        let a = classify_default(&f);
+        assert_eq!(a.classification, Classification::PossiblyTamperedOther);
+    }
+
+    #[test]
+    fn truncated_active_flow_is_not_tampered() {
+        // Ten packets of a healthy long download; no FIN recorded because
+        // the record was truncated, and a huge artificial tail gap.
+        let mut v = psh_prefix();
+        for i in 0..7 {
+            v.push(rec(1, ACK, 351, 1000 + i * 1200, 0));
+        }
+        let mut f = flow(v, 30);
+        f.truncated = true;
+        let a = classify_default(&f);
+        assert_eq!(a.classification, Classification::NotTampered);
+    }
+
+    #[test]
+    fn mid_flow_gap_without_fin_is_possibly_tampered() {
+        let mut v = psh_prefix();
+        v.push(rec(8, ACK, 351, 1000, 0)); // 8-second gap after the PSH
+        let a = classify_default(&flow(v, 9));
+        assert!(a.is_possibly_tampered());
+    }
+
+    #[test]
+    fn inactivity_threshold_is_configurable() {
+        let mut v = psh_prefix();
+        v.push(rec(2, ACK, 351, 1000, 0)); // 2-second gap, then nothing; end at 4
+        let f = flow(v, 4);
+        let strict = classify(
+            &f,
+            &ClassifierConfig {
+                inactivity_secs: 1,
+                split_rst_counts: true,
+            },
+        );
+        assert!(strict.is_possibly_tampered());
+        let lax = classify(
+            &f,
+            &ClassifierConfig {
+                inactivity_secs: 3,
+                split_rst_counts: true,
+            },
+        );
+        assert!(!lax.is_possibly_tampered());
+    }
+
+    #[test]
+    fn merged_rst_counts_ablation() {
+        let mut v = psh_prefix();
+        v.push(rec(0, RST, 351, 700, 0));
+        v.push(rec(0, RST, 351, 2160, 0));
+        let f = flow(v, 30);
+        let merged = classify(
+            &f,
+            &ClassifierConfig {
+                inactivity_secs: 3,
+                split_rst_counts: false,
+            },
+        );
+        assert_eq!(merged.signature(), Some(Signature::PshRst));
+    }
+
+    #[test]
+    fn rst_counts_reported() {
+        let mut v = psh_prefix();
+        v.push(rec(0, RST, 351, 700, 0));
+        v.push(rec(0, RA, 351, 700, 0));
+        let a = classify_default(&flow(v, 30));
+        assert_eq!(a.rst_count, 1);
+        assert_eq!(a.rst_ack_count, 1);
+    }
+
+    #[test]
+    fn retransmitted_data_does_not_shift_stage() {
+        // Same data packet logged twice (same seq): still Post-PSH.
+        let mut v = psh_prefix();
+        v.push(rec(1, PSH, 101, 501, 250)); // retransmission, same seq
+        v.push(rec(1, RST, 351, 700, 0));
+        let a = classify_default(&flow(v, 30));
+        assert_eq!(a.signature(), Some(Signature::PshRst));
+    }
+}

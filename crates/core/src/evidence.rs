@@ -1,0 +1,265 @@
+//! Injection evidence (paper §4.2–4.3): header-field discontinuities that
+//! betray a forged packet, and scanner fingerprints that explain benign
+//! matches.
+//!
+//! Clients produce IP-ID and TTL values that move slowly (deltas of 0 or 1
+//! between consecutive packets of a flow); a middlebox forging a RST uses
+//! its own stack, so the forged packet's IP-ID and TTL usually jump.
+
+use crate::reorder::reordered;
+use tamper_capture::FlowRecord;
+
+/// The ZMap scanner's famous fixed IP-ID.
+pub const ZMAP_IP_ID: u16 = 54321;
+/// TTLs at or above this are "high" per the scanner heuristics of
+/// Hiesgen et al. (paper §4.2).
+pub const HIGH_TTL: u8 = 200;
+
+/// Absolute difference between two IP-IDs (no wrap folding: the paper
+/// plots plain absolute change, with the x-axis running to 65535).
+fn ipid_delta(a: u16, b: u16) -> u32 {
+    (i32::from(a) - i32::from(b)).unsigned_abs()
+}
+
+/// Maximum absolute IP-ID change between each RST-flagged packet and the
+/// nearest preceding non-RST packet. `None` if the flow has no RSTs, no
+/// IPv4 IP-IDs, or no preceding packet.
+pub fn max_rst_ipid_delta(flow: &FlowRecord) -> Option<u32> {
+    let ordered = reordered(&flow.packets);
+    let mut last_non_rst: Option<u16> = None;
+    let mut max: Option<u32> = None;
+    for p in ordered {
+        if p.flags.has_rst() {
+            if let (Some(prev), Some(cur)) = (last_non_rst, p.ip_id) {
+                let d = ipid_delta(cur, prev);
+                max = Some(max.map_or(d, |m: u32| m.max(d)));
+            }
+        } else if let Some(id) = p.ip_id {
+            last_non_rst = Some(id);
+        }
+    }
+    max
+}
+
+/// Maximum absolute IP-ID change between consecutive packets — the
+/// baseline ("Not Tampering") statistic.
+pub fn max_consecutive_ipid_delta(flow: &FlowRecord) -> Option<u32> {
+    let ordered = reordered(&flow.packets);
+    let ids: Vec<u16> = ordered.iter().filter_map(|p| p.ip_id).collect();
+    ids.windows(2).map(|w| ipid_delta(w[1], w[0])).max()
+}
+
+/// Minimum absolute IP-ID change between consecutive packets — used for
+/// the paper's sanity check that ≥93% of connections have a minimum delta
+/// of 0 or 1.
+pub fn min_consecutive_ipid_delta(flow: &FlowRecord) -> Option<u32> {
+    let ordered = reordered(&flow.packets);
+    let ids: Vec<u16> = ordered.iter().filter_map(|p| p.ip_id).collect();
+    ids.windows(2).map(|w| ipid_delta(w[1], w[0])).min()
+}
+
+/// Signed TTL change between each RST packet and the nearest preceding
+/// non-RST packet; returns the change with the largest magnitude
+/// (Figure 3 plots signed changes in −255..255).
+pub fn max_rst_ttl_delta(flow: &FlowRecord) -> Option<i16> {
+    let ordered = reordered(&flow.packets);
+    let mut last_non_rst: Option<u8> = None;
+    let mut max: Option<i16> = None;
+    for p in ordered {
+        if p.flags.has_rst() {
+            if let Some(prev) = last_non_rst {
+                let d = i16::from(p.ttl) - i16::from(prev);
+                max = Some(match max {
+                    Some(m) if m.abs() >= d.abs() => m,
+                    _ => d,
+                });
+            }
+        } else {
+            last_non_rst = Some(p.ttl);
+        }
+    }
+    max
+}
+
+/// Signed TTL change of largest magnitude between consecutive packets —
+/// baseline statistic.
+pub fn max_consecutive_ttl_delta(flow: &FlowRecord) -> Option<i16> {
+    let ordered = reordered(&flow.packets);
+    let mut max: Option<i16> = None;
+    for w in ordered.windows(2) {
+        let d = i16::from(w[1].ttl) - i16::from(w[0].ttl);
+        max = Some(match max {
+            Some(m) if m.abs() >= d.abs() => m,
+            _ => d,
+        });
+    }
+    max
+}
+
+/// The three scanner properties of Hiesgen et al. evaluated in §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannerMarks {
+    /// Every packet lacked TCP options.
+    pub no_tcp_options: bool,
+    /// Some packet carried a TTL ≥ 200.
+    pub high_ttl: bool,
+    /// All IPv4 packets shared one fixed, nonzero IP-ID.
+    pub fixed_nonzero_ipid: bool,
+}
+
+/// Evaluate the scanner heuristics on a flow.
+pub fn scanner_marks(flow: &FlowRecord) -> ScannerMarks {
+    let no_tcp_options = flow.packets.iter().all(|p| !p.has_tcp_options);
+    let high_ttl = flow.packets.iter().any(|p| p.ttl >= HIGH_TTL);
+    let ids: Vec<u16> = flow.packets.iter().filter_map(|p| p.ip_id).collect();
+    let fixed_nonzero_ipid =
+        !ids.is_empty() && ids[0] != 0 && ids.iter().all(|&i| i == ids[0]);
+    ScannerMarks {
+        no_tcp_options,
+        high_ttl,
+        fixed_nonzero_ipid,
+    }
+}
+
+/// True if the flow's initial SYN carries the ZMap fingerprint: IP-ID
+/// 54321 with an option-less TCP header (§4.2).
+pub fn is_zmap_fingerprint(flow: &FlowRecord) -> bool {
+    flow.packets
+        .iter()
+        .find(|p| p.flags.has_syn())
+        .is_some_and(|syn| syn.ip_id == Some(ZMAP_IP_ID) && !syn.has_tcp_options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_capture::PacketRecord;
+    use tamper_wire::TcpFlags;
+
+    fn rec(
+        ts: u64,
+        flags: TcpFlags,
+        seq: u32,
+        ip_id: Option<u16>,
+        ttl: u8,
+        opts: bool,
+    ) -> PacketRecord {
+        PacketRecord {
+            ts_sec: ts,
+            flags,
+            seq,
+            ack: 0,
+            ip_id,
+            ttl,
+            window: 65535,
+            payload_len: 0,
+            payload: Bytes::new(),
+            has_tcp_options: opts,
+        }
+    }
+
+    fn flow(packets: Vec<PacketRecord>) -> FlowRecord {
+        FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            src_port: 1,
+            dst_port: 443,
+            packets,
+            observation_end_sec: 60,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn injected_rst_shows_large_ipid_jump() {
+        let f = flow(vec![
+            rec(0, TcpFlags::SYN, 100, Some(1000), 52, true),
+            rec(0, TcpFlags::ACK, 101, Some(1001), 52, true),
+            rec(0, TcpFlags::RST, 101, Some(48000), 101, false),
+        ]);
+        assert_eq!(max_rst_ipid_delta(&f), Some(46999));
+        assert_eq!(max_rst_ttl_delta(&f), Some(49));
+    }
+
+    #[test]
+    fn client_rst_shows_small_deltas() {
+        let f = flow(vec![
+            rec(0, TcpFlags::SYN, 100, Some(7), 52, true),
+            rec(0, TcpFlags::ACK, 101, Some(8), 52, true),
+            rec(0, TcpFlags::RST, 101, Some(9), 52, true),
+        ]);
+        assert_eq!(max_rst_ipid_delta(&f), Some(1));
+        assert_eq!(max_rst_ttl_delta(&f), Some(0));
+    }
+
+    #[test]
+    fn baseline_deltas() {
+        let f = flow(vec![
+            rec(0, TcpFlags::SYN, 100, Some(10), 52, true),
+            rec(0, TcpFlags::ACK, 101, Some(11), 52, true),
+            rec(1, TcpFlags::ACK, 101, Some(13), 52, true),
+        ]);
+        assert_eq!(max_consecutive_ipid_delta(&f), Some(2));
+        assert_eq!(min_consecutive_ipid_delta(&f), Some(1));
+        assert_eq!(max_consecutive_ttl_delta(&f), Some(0));
+    }
+
+    #[test]
+    fn no_rst_no_rst_delta() {
+        let f = flow(vec![rec(0, TcpFlags::SYN, 100, Some(10), 52, true)]);
+        assert_eq!(max_rst_ipid_delta(&f), None);
+        assert_eq!(max_rst_ttl_delta(&f), None);
+        assert_eq!(max_consecutive_ipid_delta(&f), None);
+    }
+
+    #[test]
+    fn ipv6_flow_has_no_ipid_evidence() {
+        let f = flow(vec![
+            rec(0, TcpFlags::SYN, 100, None, 52, true),
+            rec(0, TcpFlags::RST, 101, None, 101, true),
+        ]);
+        assert_eq!(max_rst_ipid_delta(&f), None);
+        // TTL evidence still works on IPv6 (hop limit).
+        assert_eq!(max_rst_ttl_delta(&f), Some(49));
+    }
+
+    #[test]
+    fn negative_ttl_delta_kept_signed() {
+        let f = flow(vec![
+            rec(0, TcpFlags::SYN, 100, Some(1), 120, true),
+            rec(0, TcpFlags::RST, 101, Some(2), 40, true),
+        ]);
+        assert_eq!(max_rst_ttl_delta(&f), Some(-80));
+    }
+
+    #[test]
+    fn zmap_fingerprint_detection() {
+        let z = flow(vec![
+            rec(0, TcpFlags::SYN, 1, Some(ZMAP_IP_ID), 255, false),
+            rec(0, TcpFlags::RST, 2, Some(ZMAP_IP_ID), 255, false),
+        ]);
+        assert!(is_zmap_fingerprint(&z));
+        let marks = scanner_marks(&z);
+        assert!(marks.no_tcp_options);
+        assert!(marks.high_ttl);
+        assert!(marks.fixed_nonzero_ipid);
+
+        let normal = flow(vec![rec(0, TcpFlags::SYN, 1, Some(100), 52, true)]);
+        assert!(!is_zmap_fingerprint(&normal));
+        let m = scanner_marks(&normal);
+        assert!(!m.no_tcp_options);
+        assert!(!m.high_ttl);
+        assert!(m.fixed_nonzero_ipid); // single packet: trivially fixed
+    }
+
+    #[test]
+    fn zero_ipid_not_flagged_as_fixed() {
+        let f = flow(vec![
+            rec(0, TcpFlags::SYN, 1, Some(0), 52, true),
+            rec(0, TcpFlags::ACK, 2, Some(0), 52, true),
+        ]);
+        assert!(!scanner_marks(&f).fixed_nonzero_ipid);
+    }
+}

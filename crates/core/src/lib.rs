@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # tamper-core
+//!
+//! The paper's primary contribution as a library: passive detection of
+//! connection tampering from server-side flow records.
+//!
+//! Pipeline: a [`FlowRecord`](tamper_capture::FlowRecord) (≤10 inbound
+//! packets, 1-second timestamps, possibly out of order) is
+//! [reordered](reorder), tested for **possibly-tampered** status (RST
+//! present, or a ≥3 s inactivity gap without a FIN), matched against the
+//! 19 [tampering signatures](signature::Signature) of Table 1, and
+//! annotated with the [`trigger`] (SNI / Host) and
+//! [injection evidence](evidence) (IP-ID / TTL discontinuities, scanner
+//! fingerprints).
+//!
+//! The classifier sees exactly what the paper's pipeline saw — it never
+//! touches simulation ground truth, which lives only in `tamper-netsim`
+//! traces and is used by tests to measure precision/recall.
+
+pub mod classify;
+pub mod evidence;
+pub mod explain;
+pub mod reorder;
+pub mod signature;
+pub mod trigger;
+
+pub use classify::{classify, ClassifierConfig, FlowAnalysis};
+pub use explain::explain;
+pub use evidence::{
+    is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta,
+    max_rst_ipid_delta, max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks,
+    ScannerMarks, HIGH_TTL, ZMAP_IP_ID,
+};
+pub use reorder::{reconstruct_order, reordered};
+pub use signature::{Classification, Signature, Stage};
+pub use trigger::{extract as extract_trigger, user_agent, AppProtocol, TriggerInfo};

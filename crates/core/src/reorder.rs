@@ -1,0 +1,163 @@
+//! Order reconstruction for logged flows.
+//!
+//! The collection pipeline timestamps at one-second granularity and may
+//! log packets out of order within a second (paper §3.2). As the paper
+//! notes, order "can typically be reconstructed with packet headers and
+//! sequence numbers": a SYN precedes the handshake ACK, data packets are
+//! ordered by sequence number, and tear-down packets follow the data that
+//! triggered them.
+
+use tamper_capture::PacketRecord;
+
+/// Coarse within-bucket rank of a packet.
+///
+/// Pure ACKs share the data rank: a client's ACK stream interleaves with
+/// its data at the *same* sequence cursor (`snd_nxt`), so ordering both by
+/// sequence number — empty payloads first on ties, since the handshake
+/// ACK precedes the request it shares a sequence number with — recovers
+/// the true order, which matters for the IP-ID/TTL evidence.
+fn rank(p: &PacketRecord) -> u8 {
+    let f = p.flags;
+    if f.has_syn() {
+        0
+    } else if f.has_rst() {
+        4
+    } else {
+        // Data, pure ACKs, and FINs all ride the client's sequence
+        // cursor; ordering them together by sequence number recovers the
+        // true order (the post-FIN final ACK has a *higher* sequence than
+        // the FIN, so it lands after it naturally).
+        2
+    }
+}
+
+/// Return indices into `packets` in reconstructed arrival order.
+///
+/// Within each equal-timestamp bucket, packets sort by
+/// (rank, relative sequence number, relative ack, log index). Sequence
+/// numbers are taken relative to the flow's initial sequence number so
+/// wrap-around does not scramble ordering.
+pub fn reconstruct_order(packets: &[PacketRecord]) -> Vec<usize> {
+    // The ISN is the sequence number of the (lowest-ranked) SYN if one was
+    // logged, else the minimum data sequence seen.
+    let isn = packets
+        .iter()
+        .find(|p| p.flags.has_syn())
+        .map(|p| p.seq)
+        .or_else(|| packets.iter().map(|p| p.seq).min())
+        .unwrap_or(0);
+
+    let mut idx: Vec<usize> = (0..packets.len()).collect();
+    idx.sort_by_key(|&i| {
+        let p = &packets[i];
+        (
+            p.ts_sec,
+            rank(p),
+            p.seq.wrapping_sub(isn),
+            p.has_payload(), // the handshake ACK precedes its request
+            p.ack,
+            p.flags.has_fin(), // the final data ACK precedes the FIN
+            i,
+        )
+    });
+    idx
+}
+
+/// Convenience: the packets themselves in reconstructed order.
+pub fn reordered(packets: &[PacketRecord]) -> Vec<&PacketRecord> {
+    reconstruct_order(packets)
+        .into_iter()
+        .map(|i| &packets[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tamper_wire::TcpFlags;
+
+    fn rec(ts: u64, flags: TcpFlags, seq: u32, payload_len: u32) -> PacketRecord {
+        PacketRecord {
+            ts_sec: ts,
+            flags,
+            seq,
+            ack: 0,
+            ip_id: Some(0),
+            ttl: 60,
+            window: 65535,
+            payload_len,
+            payload: Bytes::from(vec![b'x'; payload_len as usize]),
+            has_tcp_options: true,
+        }
+    }
+
+    #[test]
+    fn syn_sorts_before_ack_before_data_before_rst() {
+        let packets = vec![
+            rec(5, TcpFlags::RST, 600, 0),
+            rec(5, TcpFlags::PSH_ACK, 101, 500),
+            rec(5, TcpFlags::ACK, 101, 0),
+            rec(5, TcpFlags::SYN, 100, 0),
+        ];
+        let order = reconstruct_order(&packets);
+        let flags: Vec<_> = order.iter().map(|&i| packets[i].flags).collect();
+        assert_eq!(
+            flags,
+            vec![
+                TcpFlags::SYN,
+                TcpFlags::ACK,
+                TcpFlags::PSH_ACK,
+                TcpFlags::RST
+            ]
+        );
+    }
+
+    #[test]
+    fn timestamps_dominate_rank() {
+        let packets = vec![
+            rec(10, TcpFlags::RST, 700, 0),
+            rec(11, TcpFlags::SYN, 100, 0), // later second: stays later
+        ];
+        let order = reconstruct_order(&packets);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn data_ordered_by_relative_seq_with_wraparound() {
+        let isn = u32::MAX - 10;
+        let packets = vec![
+            rec(3, TcpFlags::PSH_ACK, isn.wrapping_add(600), 100), // second data pkt
+            rec(3, TcpFlags::PSH_ACK, isn.wrapping_add(1), 599),   // first data pkt (wraps)
+            rec(3, TcpFlags::SYN, isn, 0),
+        ];
+        let order = reconstruct_order(&packets);
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn stable_for_identical_keys() {
+        let packets = vec![
+            rec(1, TcpFlags::RST, 500, 0),
+            rec(1, TcpFlags::RST, 500, 0),
+        ];
+        let order = reconstruct_order(&packets);
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn reordered_returns_refs_in_order() {
+        let packets = vec![
+            rec(2, TcpFlags::PSH_ACK, 101, 10),
+            rec(2, TcpFlags::SYN, 100, 0),
+        ];
+        let r = reordered(&packets);
+        assert!(r[0].flags.has_syn());
+        assert!(r[1].has_payload());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(reconstruct_order(&[]).is_empty());
+    }
+}

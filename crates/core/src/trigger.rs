@@ -1,0 +1,149 @@
+//! Trigger extraction: for middleboxes that do not drop the offending
+//! packet, the flow record contains the very bytes that triggered
+//! tampering — the TLS SNI or HTTP Host. This is what lets the passive
+//! pipeline report affected domains without any a-priori test list
+//! (paper §3.4).
+
+use tamper_capture::FlowRecord;
+use tamper_wire::{http, tls};
+
+/// Application protocol of a flow, as inferred from its first data packet
+/// (falling back to the destination port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppProtocol {
+    /// TLS (ClientHello observed, or port 443).
+    Tls,
+    /// Cleartext HTTP (request observed, or port 80).
+    Http,
+    /// Anything else.
+    Other,
+}
+
+/// What could be extracted from a flow's payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriggerInfo {
+    /// The domain the client asked for, if visible (SNI or Host).
+    pub domain: Option<String>,
+    /// Protocol classification.
+    pub protocol: AppProtocol,
+}
+
+/// Extract trigger information from a flow record.
+pub fn extract(flow: &FlowRecord) -> TriggerInfo {
+    // First data-bearing packet (including data riding a SYN).
+    let first_data = flow.packets.iter().find(|p| p.has_payload());
+    if let Some(p) = first_data {
+        if tls::is_client_hello(&p.payload) {
+            return TriggerInfo {
+                domain: tls::parse_sni(&p.payload).ok().flatten(),
+                protocol: AppProtocol::Tls,
+            };
+        }
+        if http::is_http_request(&p.payload) {
+            let host = http::parse_request(&p.payload).and_then(|r| r.host);
+            return TriggerInfo {
+                domain: host,
+                protocol: AppProtocol::Http,
+            };
+        }
+    }
+    let protocol = match flow.dst_port {
+        443 => AppProtocol::Tls,
+        80 => AppProtocol::Http,
+        _ => AppProtocol::Other,
+    };
+    TriggerInfo {
+        domain: None,
+        protocol,
+    }
+}
+
+/// The User-Agent of the first HTTP request in the flow, if any — the
+/// paper observes that Post-Data matches frequently carry user agents
+/// identifying commercial firewalls.
+pub fn user_agent(flow: &FlowRecord) -> Option<String> {
+    flow.packets
+        .iter()
+        .filter(|p| p.has_payload())
+        .find_map(|p| http::parse_request(&p.payload).and_then(|r| r.user_agent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_capture::PacketRecord;
+    use tamper_wire::TcpFlags;
+
+    fn flow(dst_port: u16, payloads: Vec<Bytes>) -> FlowRecord {
+        let packets = payloads
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| PacketRecord {
+                ts_sec: i as u64,
+                flags: if payload.is_empty() {
+                    TcpFlags::SYN
+                } else {
+                    TcpFlags::PSH_ACK
+                },
+                seq: i as u32,
+                ack: 0,
+                ip_id: Some(1),
+                ttl: 60,
+                window: 65535,
+                payload_len: payload.len() as u32,
+                payload,
+                has_tcp_options: true,
+            })
+            .collect();
+        FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            src_port: 40000,
+            dst_port,
+            packets,
+            observation_end_sec: 100,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn sni_extraction() {
+        let hello = tls::build_client_hello("secret.example.org", [0u8; 32]);
+        let f = flow(443, vec![Bytes::new(), hello]);
+        let t = extract(&f);
+        assert_eq!(t.protocol, AppProtocol::Tls);
+        assert_eq!(t.domain.as_deref(), Some("secret.example.org"));
+    }
+
+    #[test]
+    fn host_extraction() {
+        let get = http::build_get("news.example", "/story", "Mozilla/5.0");
+        let f = flow(80, vec![Bytes::new(), get]);
+        let t = extract(&f);
+        assert_eq!(t.protocol, AppProtocol::Http);
+        assert_eq!(t.domain.as_deref(), Some("news.example"));
+        assert_eq!(user_agent(&f).as_deref(), Some("Mozilla/5.0"));
+    }
+
+    #[test]
+    fn dataless_flow_falls_back_to_port() {
+        let f = flow(443, vec![Bytes::new()]);
+        let t = extract(&f);
+        assert_eq!(t.protocol, AppProtocol::Tls);
+        assert_eq!(t.domain, None);
+        let f80 = flow(80, vec![Bytes::new()]);
+        assert_eq!(extract(&f80).protocol, AppProtocol::Http);
+        let fother = flow(8443, vec![Bytes::new()]);
+        assert_eq!(extract(&fother).protocol, AppProtocol::Other);
+    }
+
+    #[test]
+    fn binary_payload_is_other_protocol_on_odd_port() {
+        let f = flow(9999, vec![Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef])]);
+        let t = extract(&f);
+        assert_eq!(t.protocol, AppProtocol::Other);
+        assert_eq!(t.domain, None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for wire-format parsing.
+
+use std::fmt;
+
+/// Errors produced while parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input buffer ended before the structure was complete.
+    Truncated,
+    /// The IP version nibble was neither 4 nor 6.
+    BadVersion(u8),
+    /// A length field was inconsistent with the buffer (e.g. IHL < 5,
+    /// data offset < 5, or a total length exceeding the frame).
+    BadLength,
+    /// A checksum did not verify.
+    BadChecksum,
+    /// The IP payload is not TCP.
+    UnsupportedProtocol(u8),
+    /// An application-layer structure was malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::UnsupportedProtocol(p) => {
+                write!(f, "unsupported IP protocol {p} (only TCP is handled)")
+            }
+            WireError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,146 @@
+//! IPv6 fixed header (RFC 8200). Extension headers are not supported — the
+//! simulated traffic never carries them, and the classifier only needs the
+//! hop limit (the IPv6 analogue of the TTL evidence) and the addresses.
+
+use crate::{Result, WireError};
+use bytes::{BufMut, BytesMut};
+use std::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// An IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class byte.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length in bytes (excludes this header).
+    pub payload_len: u16,
+    /// Next header (6 = TCP).
+    pub next_header: u8,
+    /// Hop limit — plays the role TTL plays in IPv4 evidence.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// A TCP header template with sensible defaults.
+    pub fn tcp_template(src: Ipv6Addr, dst: Ipv6Addr) -> Ipv6Header {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: 0, // filled by the emitter
+            next_header: 6,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Parse a header from the start of `data`. Returns the header and the
+    /// byte offset of the payload.
+    pub fn parse(data: &[u8]) -> Result<(Ipv6Header, usize)> {
+        if data.len() < IPV6_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let version = data[0] >> 4;
+        if version != 6 {
+            return Err(WireError::BadVersion(version));
+        }
+        let payload_len = u16::from_be_bytes([data[4], data[5]]);
+        if IPV6_HEADER_LEN + payload_len as usize > data.len() {
+            return Err(WireError::BadLength);
+        }
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        dst.copy_from_slice(&data[24..40]);
+        let header = Ipv6Header {
+            traffic_class: (data[0] << 4) | (data[1] >> 4),
+            flow_label: (u32::from(data[1] & 0x0F) << 16)
+                | (u32::from(data[2]) << 8)
+                | u32::from(data[3]),
+            payload_len,
+            next_header: data[6],
+            hop_limit: data[7],
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        };
+        Ok((header, IPV6_HEADER_LEN))
+    }
+
+    /// Emit the header into `buf` with `payload_len` payload bytes to follow.
+    pub fn emit(&self, buf: &mut BytesMut, payload_len: usize) {
+        buf.put_u8(0x60 | (self.traffic_class >> 4));
+        buf.put_u8((self.traffic_class << 4) | ((self.flow_label >> 16) as u8 & 0x0F));
+        buf.put_u16((self.flow_label & 0xFFFF) as u16);
+        buf.put_u16(payload_len as u16);
+        buf.put_u8(self.next_header);
+        buf.put_u8(self.hop_limit);
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0xABCDE,
+            payload_len: 20,
+            next_header: 6,
+            hop_limit: 58,
+            src: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            dst: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let mut buf = BytesMut::new();
+        h.emit(&mut buf, 20);
+        buf.extend_from_slice(&[0u8; 20]);
+        let (parsed, off) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(off, IPV6_HEADER_LEN);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(Ipv6Header::parse(&[0x60; 30]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = BytesMut::new();
+        sample().emit(&mut buf, 0);
+        buf[0] = 0x45;
+        assert_eq!(Ipv6Header::parse(&buf), Err(WireError::BadVersion(4)));
+    }
+
+    #[test]
+    fn rejects_payload_len_beyond_buffer() {
+        let mut buf = BytesMut::new();
+        sample().emit(&mut buf, 64);
+        assert_eq!(Ipv6Header::parse(&buf), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn flow_label_is_20_bits() {
+        let mut h = sample();
+        h.flow_label = 0xFFFFF;
+        let mut buf = BytesMut::new();
+        h.emit(&mut buf, 0);
+        let (parsed, _) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(parsed.flow_label, 0xFFFFF);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # tamper-wire
+//!
+//! Wire formats for the tamperscope project: IPv4/IPv6 and TCP header
+//! parsing and emission, internet checksums, and minimal application-layer
+//! parsers for the two cleartext protocols that deep-packet-inspection
+//! middleboxes key on — the TLS ClientHello (Server Name Indication) and
+//! HTTP/1.x requests (Host header, request line keywords).
+//!
+//! The crate is deliberately small and allocation-light: parsing borrows
+//! from the input frame wherever possible, and emission writes into a
+//! [`bytes::BytesMut`]. Emitted frames are genuine, checksummed IP/TCP
+//! packets; they round-trip through [`Packet::parse`] and are accepted by
+//! standard tooling when written to pcap files by the `tamper-capture`
+//! crate.
+//!
+//! ## Layout
+//!
+//! - [`flags`] — the TCP flag byte as a typed bitset.
+//! - [`checksum`] — the one's-complement internet checksum.
+//! - [`ipv4`], [`ipv6`] — network-layer headers.
+//! - [`tcp`] — transport header plus the option kinds that matter for
+//!   tampering analysis (MSS, window scale, SACK-permitted, timestamps).
+//! - [`packet`] — a full frame (IP header + TCP header + payload) with a
+//!   builder, parser, and emitter.
+//! - [`tls`] — ClientHello construction and SNI extraction.
+//! - [`http`] — HTTP/1.x request construction and parsing.
+
+pub mod checksum;
+pub mod error;
+pub mod flags;
+pub mod http;
+pub mod ipv4;
+pub mod ipv6;
+pub mod packet;
+pub mod tcp;
+pub mod tls;
+
+pub use error::WireError;
+pub use flags::TcpFlags;
+pub use ipv4::Ipv4Header;
+pub use ipv6::Ipv6Header;
+pub use packet::{IpHeader, Packet, PacketBuilder};
+pub use tcp::{TcpHeader, TcpOption};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WireError>;

@@ -1,0 +1,229 @@
+//! Minimal TLS ClientHello handling: enough to build a realistic
+//! ClientHello carrying a Server Name Indication (SNI) extension, and to
+//! extract the SNI from one — which is exactly the visibility a censoring
+//! middlebox (and this project's classifier) has into an HTTPS connection.
+//!
+//! TLS 1.3 with plain ClientHello is modelled; the record and handshake
+//! framing follows RFC 8446 §4 and RFC 6066 §3 for server_name.
+
+use crate::{Result, WireError};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// TLS record content type for handshake messages.
+const CONTENT_TYPE_HANDSHAKE: u8 = 0x16;
+/// Handshake message type for ClientHello.
+const HANDSHAKE_CLIENT_HELLO: u8 = 0x01;
+/// Extension number for server_name.
+const EXT_SERVER_NAME: u16 = 0x0000;
+
+/// Build a TLS 1.2-compatible ClientHello record carrying `sni` in a
+/// server_name extension. The `random` bytes let callers derandomize.
+///
+/// ```
+/// let hello = tamper_wire::tls::build_client_hello("example.com", [0u8; 32]);
+/// assert!(tamper_wire::tls::is_client_hello(&hello));
+/// assert_eq!(
+///     tamper_wire::tls::parse_sni(&hello).unwrap().as_deref(),
+///     Some("example.com"),
+/// );
+/// ```
+pub fn build_client_hello(sni: &str, random: [u8; 32]) -> Bytes {
+    // server_name extension body: list length, type 0 (host_name), name.
+    let name = sni.as_bytes();
+    let mut ext_body = BytesMut::with_capacity(5 + name.len());
+    ext_body.put_u16((3 + name.len()) as u16); // server name list length
+    ext_body.put_u8(0); // name type: host_name
+    ext_body.put_u16(name.len() as u16);
+    ext_body.put_slice(name);
+
+    // A small, realistic second extension so the hello isn't SNI-only:
+    // supported_versions offering TLS 1.3 and 1.2.
+    let supported_versions: &[u8] = &[0x04, 0x03, 0x04, 0x03, 0x03];
+
+    let mut exts = BytesMut::new();
+    exts.put_u16(EXT_SERVER_NAME);
+    exts.put_u16(ext_body.len() as u16);
+    exts.put_slice(&ext_body);
+    exts.put_u16(0x002b); // supported_versions
+    exts.put_u16(supported_versions.len() as u16);
+    exts.put_slice(supported_versions);
+
+    let cipher_suites: &[u16] = &[0x1301, 0x1302, 0x1303, 0xc02f];
+
+    let mut body = BytesMut::new();
+    body.put_u16(0x0303); // legacy_version TLS 1.2
+    body.put_slice(&random);
+    body.put_u8(32); // legacy_session_id length
+    body.put_slice(&[0xAA; 32]);
+    body.put_u16((cipher_suites.len() * 2) as u16);
+    for cs in cipher_suites {
+        body.put_u16(*cs);
+    }
+    body.put_u8(1); // compression methods length
+    body.put_u8(0); // null compression
+    body.put_u16(exts.len() as u16);
+    body.put_slice(&exts);
+
+    let mut hs = BytesMut::with_capacity(body.len() + 4);
+    hs.put_u8(HANDSHAKE_CLIENT_HELLO);
+    hs.put_u8(0);
+    hs.put_u16(body.len() as u16); // 24-bit length, high byte zero
+    hs.put_slice(&body);
+
+    let mut rec = BytesMut::with_capacity(hs.len() + 5);
+    rec.put_u8(CONTENT_TYPE_HANDSHAKE);
+    rec.put_u16(0x0301); // record legacy version
+    rec.put_u16(hs.len() as u16);
+    rec.put_slice(&hs);
+    rec.freeze()
+}
+
+/// True if the payload starts like a TLS handshake record containing a
+/// ClientHello. Used by middleboxes and the classifier to decide whether a
+/// data packet is "the TLS request".
+pub fn is_client_hello(payload: &[u8]) -> bool {
+    payload.len() >= 6
+        && payload[0] == CONTENT_TYPE_HANDSHAKE
+        && payload[1] == 0x03
+        && payload[5] == HANDSHAKE_CLIENT_HELLO
+}
+
+/// Extract the SNI host name from a ClientHello payload, if present and
+/// well-formed. This is the middlebox's-eye view: no decryption, just the
+/// cleartext extension.
+pub fn parse_sni(payload: &[u8]) -> Result<Option<String>> {
+    if !is_client_hello(payload) {
+        return Err(WireError::Malformed("tls record"));
+    }
+    let record_len = u16::from_be_bytes([payload[3], payload[4]]) as usize;
+    let record = payload
+        .get(5..5 + record_len)
+        .ok_or(WireError::Truncated)?;
+    // Handshake header: type(1) + len(3).
+    if record.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let hs_len =
+        (usize::from(record[1]) << 16) | (usize::from(record[2]) << 8) | usize::from(record[3]);
+    let body = record.get(4..4 + hs_len).ok_or(WireError::Truncated)?;
+
+    let mut cur = 0usize;
+    let take = |cur: &mut usize, n: usize| -> Result<&[u8]> {
+        let s = body.get(*cur..*cur + n).ok_or(WireError::Truncated)?;
+        *cur += n;
+        Ok(s)
+    };
+    take(&mut cur, 2)?; // legacy_version
+    take(&mut cur, 32)?; // random
+    let sid_len = take(&mut cur, 1)?[0] as usize;
+    take(&mut cur, sid_len)?;
+    let cs = take(&mut cur, 2)?;
+    let cs_len = u16::from_be_bytes([cs[0], cs[1]]) as usize;
+    take(&mut cur, cs_len)?;
+    let comp_len = take(&mut cur, 1)?[0] as usize;
+    take(&mut cur, comp_len)?;
+    if cur == body.len() {
+        return Ok(None); // no extensions block at all
+    }
+    let el = take(&mut cur, 2)?;
+    let ext_total = u16::from_be_bytes([el[0], el[1]]) as usize;
+    let ext_end = cur + ext_total;
+    while cur + 4 <= ext_end.min(body.len()) {
+        let hdr = take(&mut cur, 4)?;
+        let ext_type = u16::from_be_bytes([hdr[0], hdr[1]]);
+        let ext_len = u16::from_be_bytes([hdr[2], hdr[3]]) as usize;
+        let ext = take(&mut cur, ext_len)?;
+        if ext_type == EXT_SERVER_NAME {
+            // list length(2) + type(1) + name length(2) + name
+            if ext.len() < 5 {
+                return Err(WireError::Malformed("sni extension"));
+            }
+            if ext[2] != 0 {
+                continue; // not a host_name entry
+            }
+            let name_len = u16::from_be_bytes([ext[3], ext[4]]) as usize;
+            let name = ext.get(5..5 + name_len).ok_or(WireError::Truncated)?;
+            let s = std::str::from_utf8(name)
+                .map_err(|_| WireError::Malformed("sni utf-8"))?
+                .to_owned();
+            return Ok(Some(s));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_parse_sni() {
+        let ch = build_client_hello("blocked.example.com", [7u8; 32]);
+        assert!(is_client_hello(&ch));
+        assert_eq!(
+            parse_sni(&ch).unwrap().as_deref(),
+            Some("blocked.example.com")
+        );
+    }
+
+    #[test]
+    fn sni_with_unicode_label_round_trips() {
+        // IDNs appear on the wire in punycode, but parse must not crash on
+        // any valid UTF-8 either.
+        let ch = build_client_hello("xn--bcher-kva.example", [0u8; 32]);
+        assert_eq!(
+            parse_sni(&ch).unwrap().as_deref(),
+            Some("xn--bcher-kva.example")
+        );
+    }
+
+    #[test]
+    fn non_tls_payload_rejected() {
+        assert!(parse_sni(b"GET / HTTP/1.1\r\n\r\n").is_err());
+        assert!(!is_client_hello(b"GET / HTTP/1.1\r\n"));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let ch = build_client_hello("a.example", [0u8; 32]);
+        for cut in [6, 10, 40, ch.len() - 1] {
+            assert!(
+                parse_sni(&ch[..cut]).is_err(),
+                "cut at {cut} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_without_sni_yields_none() {
+        // Build a hello, then splice out the SNI extension by rebuilding
+        // the extensions block with only supported_versions.
+        let ch = build_client_hello("x.example", [0u8; 32]);
+        // Simpler: craft a minimal hello with zero extensions length.
+        let mut body = Vec::new();
+        body.extend_from_slice(&[0x03, 0x03]);
+        body.extend_from_slice(&[0u8; 32]);
+        body.push(0); // empty session id
+        body.extend_from_slice(&[0x00, 0x02, 0x13, 0x01]); // one suite
+        body.extend_from_slice(&[0x01, 0x00]); // null compression
+        body.extend_from_slice(&[0x00, 0x00]); // empty extensions
+        let mut rec = Vec::new();
+        rec.push(0x16);
+        rec.extend_from_slice(&[0x03, 0x01]);
+        rec.extend_from_slice(&((body.len() + 4) as u16).to_be_bytes());
+        rec.push(0x01);
+        rec.push(0);
+        rec.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        rec.extend_from_slice(&body);
+        assert_eq!(parse_sni(&rec).unwrap(), None);
+        // And the full builder output still parses.
+        assert!(parse_sni(&ch).unwrap().is_some());
+    }
+
+    #[test]
+    fn first_bytes_look_like_tls() {
+        let ch = build_client_hello("a.b", [1u8; 32]);
+        assert_eq!(ch[0], 0x16);
+        assert_eq!(&ch[1..3], &[0x03, 0x01]);
+    }
+}

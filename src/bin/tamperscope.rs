@@ -1,0 +1,376 @@
+//! `tamperscope` — the command-line front end.
+//!
+//! ```text
+//! tamperscope classify <capture.pcap> [--jsonl] [--port 80 --port 443]
+//! tamperscope report   [--sessions N] [--days D] [--seed S] [--threads T]
+//! tamperscope iran     [--sessions N] [--seed S]
+//! tamperscope synthesize <out.pcap> [--sessions N] [--tamper-share F]
+//! tamperscope signatures
+//! tamperscope world-spec   (the calibration table as JSON lines)
+//! ```
+//!
+//! `classify` is the production path: feed it a server-side raw-IP pcap
+//! (LINKTYPE_RAW) and it prints per-flow verdicts or JSON lines. The other
+//! subcommands drive the simulation substrate that reproduces the paper.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use tamperscope::analysis::{flow_to_jsonl, pct, report, summary_to_json, Collector};
+use tamperscope::capture::{flows_from_pcap, OfflineConfig, PcapWriter};
+use tamperscope::core::{classify, ClassifierConfig};
+use tamperscope::middlebox::{RuleSet, Vendor, ALL_VENDORS};
+use tamperscope::netsim::{
+    derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
+    SimTime,
+};
+use tamperscope::worldgen::{generate_lists, Scenario, WorldConfig, WorldSim, SEP13_2022_UNIX};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| (*v).clone());
+                if value.is_some() {
+                    it.next();
+                }
+                flags.push((name.to_owned(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "tamperscope — passive detection of connection tampering (SIGCOMM'23 reproduction)
+
+USAGE:
+    tamperscope classify <capture.pcap> [--jsonl | --explain]
+    tamperscope report   [--sessions N] [--days D] [--seed S] [--threads T]
+                         [--json-summary] [--world spec.json]
+    tamperscope iran     [--sessions N] [--seed S]
+    tamperscope synthesize <out.pcap> [--sessions N] [--seed S]
+    tamperscope signatures
+    tamperscope world-spec [--full]   (--full emits the loadable JSON schema)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = Args::parse(&raw[1..]);
+    match cmd.as_str() {
+        "classify" => cmd_classify(&args),
+        "report" => cmd_report(&args),
+        "iran" => cmd_iran(&args),
+        "synthesize" => cmd_synthesize(&args),
+        "signatures" => cmd_signatures(),
+        "world-spec" => cmd_world_spec(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_signatures() -> ExitCode {
+    use tamperscope::core::Signature;
+    println!("{:<4} {:<20} {:<34} Description", "#", "Stage", "Signature");
+    for (i, sig) in Signature::ALL.iter().enumerate() {
+        println!(
+            "{:<4} {:<20} {:<34} {}",
+            i + 1,
+            sig.stage().label(),
+            sig.label(),
+            sig.description()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_world_spec(args: &Args) -> ExitCode {
+    use tamperscope::analysis::JsonObject;
+    let world = tamperscope::worldgen::policy::world_spec();
+    if args.has("full") {
+        // The complete, loadable schema (see `report --world`).
+        println!("{}", tamperscope::worldgen::world_to_json(&world));
+        return ExitCode::SUCCESS;
+    }
+    for spec in &world {
+        let p = &spec.policy;
+        let syn: f64 = p.syn_rules.iter().map(|(_, r)| r).sum();
+        let fw: f64 = p.fw_rules.iter().map(|(_, r)| r).sum();
+        let dpi_vendors = p
+            .dpi_mix
+            .iter()
+            .map(|(v, w)| format!("{v:?}:{w}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let line = JsonObject::new()
+            .str("country", &spec.country.code)
+            .float("weight", spec.country.weight)
+            .int("tz_offset_hours", i64::from(spec.country.tz_offset_hours))
+            .float("ipv6_share", spec.country.ipv6_share)
+            .uint("n_ases", spec.country.n_ases as u64)
+            .float("centralization", spec.country.centralization)
+            .float("http_share", spec.country.http_share)
+            .float("syn_rate", syn)
+            .float("dpi_blanket", p.dpi_blanket)
+            .float("dpi_enforce", p.dpi_enforce)
+            .float("fw_rate", fw)
+            .str("dpi_mix", &dpi_vendors)
+            .float("diurnal_amp", p.diurnal_amp)
+            .finish();
+        println!("{line}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_classify(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return usage();
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (flows, stats) = match flows_from_pcap(BufReader::new(file), &OfflineConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[{path}] {} flows / {} packets ({} non-inbound, {} unparsable frames skipped)",
+        stats.flows, stats.packets, stats.not_inbound, stats.unparsable
+    );
+    let cfg = ClassifierConfig::default();
+    let jsonl = args.has("jsonl");
+    let explain_mode = args.has("explain");
+    let mut matched = 0u64;
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for flow in &flows {
+        let analysis = classify(flow, &cfg);
+        if analysis.signature().is_some() {
+            matched += 1;
+        }
+        if jsonl {
+            let _ = writeln!(out, "{}", flow_to_jsonl(flow, &analysis));
+        } else if explain_mode {
+            let _ = writeln!(out, "{}", tamperscope::core::explain(flow, &analysis));
+        } else {
+            let verdict = match analysis.signature() {
+                Some(sig) => format!("TAMPERED  {sig}"),
+                None if analysis.is_possibly_tampered() => "possibly tampered".to_owned(),
+                None => "clean".to_owned(),
+            };
+            let domain = analysis.trigger.domain.as_deref().unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "{}:{} -> :{}  [{} pkts]  {:<40} {}",
+                flow.client_ip,
+                flow.src_port,
+                flow.dst_port,
+                flow.packets.len(),
+                verdict,
+                domain
+            );
+        }
+    }
+    drop(out);
+    eprintln!(
+        "{} of {} flows match a tampering signature ({})",
+        matched,
+        flows.len(),
+        pct(matched, flows.len() as u64)
+    );
+    ExitCode::SUCCESS
+}
+
+fn threads(args: &Args) -> usize {
+    args.get_u64(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(4),
+    ) as usize
+}
+
+fn cmd_report(args: &Args) -> ExitCode {
+    let cfg = WorldConfig {
+        sessions: args.get_u64("sessions", 200_000),
+        days: args.get_u64("days", 14) as u32,
+        seed: args.get_u64("seed", 20230112),
+        ..Default::default()
+    };
+    let sim = match args.get("world") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match tamperscope::worldgen::world_from_json(&text) {
+                Ok(world) => {
+                    eprintln!("[world] loaded {} countries from {path}", world.len());
+                    WorldSim::with_world(cfg, world)
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => WorldSim::new(cfg),
+    };
+    let mk = || {
+        Collector::new(
+            ClassifierConfig::default(),
+            sim.world().len(),
+            sim.config().days,
+            sim.config().start_unix,
+        )
+    };
+    let t0 = std::time::Instant::now();
+    let col = sim.run_sharded(threads(args), mk, |c, lf| c.observe(&lf), |a, b| a.merge(b));
+    eprintln!(
+        "[world] {} flows in {:.1}s",
+        col.total,
+        t0.elapsed().as_secs_f64()
+    );
+    if args.has("json-summary") {
+        println!("{}", summary_to_json(&col));
+        return ExitCode::SUCCESS;
+    }
+    let lists = generate_lists(&sim);
+    println!("{}", report::full_report(&col, &sim, &lists));
+    ExitCode::SUCCESS
+}
+
+fn cmd_iran(args: &Args) -> ExitCode {
+    let sim = WorldSim::new(WorldConfig {
+        sessions: args.get_u64("sessions", 120_000),
+        days: 17,
+        seed: args.get_u64("seed", 20220913),
+        start_unix: SEP13_2022_UNIX,
+        scenario: Scenario::IranProtest,
+        ..Default::default()
+    });
+    let mk = || Collector::new(ClassifierConfig::default(), 1, 17, SEP13_2022_UNIX);
+    let col = sim.run_sharded(threads(args), mk, |c, lf| c.observe(&lf), |a, b| a.merge(b));
+    println!("{}", report::fig8(&col));
+    ExitCode::SUCCESS
+}
+
+fn cmd_synthesize(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return usage();
+    };
+    let sessions = args.get_u64("sessions", 200) as u32;
+    let seed = args.get_u64("seed", 7);
+    let file = match File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match PcapWriter::new(BufWriter::new(file)) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server_ip: std::net::IpAddr = "198.51.100.1".parse().unwrap();
+    let vendor_cycle: Vec<Option<Vendor>> = std::iter::once(None)
+        .chain(ALL_VENDORS.iter().copied().map(Some))
+        .collect();
+    let mut start = SimTime::ZERO;
+    let mut written = 0u64;
+    for i in 0..sessions {
+        let client_ip: std::net::IpAddr = format!("203.0.113.{}", 2 + i % 250).parse().unwrap();
+        let blocked = i % 2 == 0;
+        let sni = if blocked { "blocked.example.com" } else { "fine.example.org" };
+        let mut cfg = ClientConfig::default_tls(client_ip, server_ip, sni);
+        cfg.src_port = 28_000 + (i as u16 * 17) % 30_000;
+        let vendor = vendor_cycle[i as usize % vendor_cycle.len()];
+        let mut path_obj = match vendor {
+            Some(v) => {
+                let rules = if v.stages().on_syn {
+                    RuleSet::blanket()
+                } else if v.stages().on_later_data {
+                    // Later-data vendors need a two-request flow to fire;
+                    // keep the session simple and let them idle instead.
+                    RuleSet::default()
+                } else {
+                    RuleSet::domains(["blocked.example.com"])
+                };
+                Path {
+                    links: vec![
+                        Link::new(SimDuration::from_millis(9), 4),
+                        Link::new(SimDuration::from_millis(42), 9),
+                    ],
+                    hops: vec![Box::new(v.build(rules))],
+                }
+            }
+            None => Path::direct(SimDuration::from_millis(50), 13),
+        };
+        let mut rng = derive_rng(seed, u64::from(i));
+        let trace = run_session(
+            SessionParams::new(cfg, ServerConfig::default_edge(server_ip, 443), start),
+            &mut path_obj,
+            &mut rng,
+        );
+        for tp in trace.inbound() {
+            let secs = tp.time.as_secs() as u32;
+            let usec = ((tp.time.as_nanos() % 1_000_000_000) / 1_000) as u32;
+            if writer.write_packet(secs, usec, &tp.packet).is_err() {
+                eprintln!("write error");
+                return ExitCode::FAILURE;
+            }
+            written += 1;
+        }
+        start += SimDuration::from_secs(2);
+    }
+    eprintln!("wrote {written} packets from {sessions} sessions to {path}");
+    ExitCode::SUCCESS
+}

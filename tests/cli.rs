@@ -1,0 +1,195 @@
+//! End-to-end tests of the `tamperscope` CLI binary: synthesize a capture,
+//! classify it in both output modes, and check the simulation subcommands.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tamperscope"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("tamperscope_cli_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn signatures_lists_nineteen_rows() {
+    let out = bin().arg("signatures").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let rows = text.lines().filter(|l| l.contains('⟨')).count();
+    assert_eq!(rows, 19);
+    assert!(text.contains("⟨PSH+ACK → RST; RST₀⟩"));
+}
+
+#[test]
+fn synthesize_then_classify_round_trip() {
+    let pcap = tmp("round_trip.pcap");
+    let out = bin()
+        .args(["synthesize", pcap.to_str().unwrap(), "--sessions", "120"])
+        .output()
+        .expect("synthesize");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["classify", pcap.to_str().unwrap()])
+        .output()
+        .expect("classify");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("TAMPERED"));
+    assert!(text.contains("clean"));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("flows match a tampering signature"));
+
+    // JSONL mode: every line is a JSON object with the expected keys.
+    let out = bin()
+        .args(["classify", pcap.to_str().unwrap(), "--jsonl"])
+        .output()
+        .expect("classify jsonl");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 100);
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"verdict\":"));
+        assert!(line.contains("\"client_ip\":"));
+    }
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn report_json_summary_is_valid_shape() {
+    let out = bin()
+        .args(["report", "--sessions", "4000", "--days", "2", "--json-summary"])
+        .output()
+        .expect("report");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let line = text.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'));
+    assert!(line.contains("\"total_flows\":"));
+    assert!(line.contains("\"possibly_tampered\":"));
+}
+
+#[test]
+fn world_spec_emits_one_json_line_per_country() {
+    let out = bin().arg("world-spec").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 50, "expected one line per country");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"country\":"));
+        assert!(!line.contains("-0,") && !line.ends_with("-0}"), "negative zero leaked: {line}");
+    }
+    assert!(text.contains("\"country\":\"TM\""));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn classify_missing_file_fails_cleanly() {
+    let out = bin()
+        .args(["classify", "/definitely/not/here.pcap"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot open"));
+}
+
+#[test]
+fn custom_world_round_trips_through_cli() {
+    // Export the calibrated world, load it back, and run a small report.
+    let spec_path = tmp("world.json");
+    let out = bin().args(["world-spec", "--full"]).output().expect("run");
+    assert!(out.status.success());
+    std::fs::write(&spec_path, &out.stdout).unwrap();
+
+    let out = bin()
+        .args([
+            "report",
+            "--world",
+            spec_path.to_str().unwrap(),
+            "--sessions",
+            "3000",
+            "--days",
+            "2",
+            "--json-summary",
+        ])
+        .output()
+        .expect("report");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"possibly_tampered\":"));
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn single_country_world_runs() {
+    let spec_path = tmp("mono.json");
+    std::fs::write(
+        &spec_path,
+        r#"[{
+            "code": "QQ", "weight": 1, "http_share": 0.5,
+            "policy": {
+                "dpi_blanket": 0.5,
+                "dpi_mix": [{"vendor": "GfwDoubleRstAck", "rate": 1}]
+            }
+        }]"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args([
+            "report",
+            "--world",
+            spec_path.to_str().unwrap(),
+            "--sessions",
+            "2500",
+            "--days",
+            "1",
+            "--json-summary",
+        ])
+        .output()
+        .expect("report");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Half the country is GFW'd: the possibly-tampered rate must be far
+    // above the benign floor.
+    let pt: f64 = text
+        .split("\"possibly_tampered\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    let total: f64 = text
+        .split("\"total_flows\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(pt / total > 0.4, "pt {pt} / total {total}");
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn malformed_world_fails_with_context() {
+    let spec_path = tmp("bad.json");
+    std::fs::write(&spec_path, r#"[{"code":"X","weight":1,"policy":{"dpi_mix":[{"vendor":"Nope","rate":1}]}}]"#).unwrap();
+    let out = bin()
+        .args(["report", "--world", spec_path.to_str().unwrap()])
+        .output()
+        .expect("report");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown vendor"), "{err}");
+    let _ = std::fs::remove_file(&spec_path);
+}

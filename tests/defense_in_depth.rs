@@ -1,0 +1,111 @@
+//! Multi-middlebox paths ("censorship-in-depth", as the paper's citations
+//! describe for Iran): several boxes inspect the same flow; whichever
+//! triggers first shapes the server-side signature, and ground truth
+//! attributes the firing hop.
+
+use tamper_capture::{collect, CollectorConfig};
+use tamper_core::{classify, ClassifierConfig, Signature};
+use tamper_middlebox::{RuleSet, Vendor};
+use tamper_netsim::{
+    derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
+    SimTime,
+};
+use std::net::{IpAddr, Ipv4Addr};
+
+const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 44));
+const SERVER: IpAddr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+
+fn two_hop_path(first: Box<dyn tamper_netsim::Hop>, second: Box<dyn tamper_netsim::Hop>) -> Path {
+    Path {
+        links: vec![
+            Link::new(SimDuration::from_millis(5), 2),
+            Link::new(SimDuration::from_millis(15), 5),
+            Link::new(SimDuration::from_millis(30), 7),
+        ],
+        hops: vec![first, second],
+    }
+}
+
+#[test]
+fn second_hop_fires_when_first_is_out_of_scope() {
+    // Hop 0: IP blocker for a different destination. Hop 1: GFW-style
+    // domain censor that does match.
+    let mut ip_rules = RuleSet::default();
+    ip_rules
+        .blocked_ips
+        .insert(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 99)));
+    let first = Vendor::SynDropAll.build(ip_rules);
+    let second = Vendor::GfwDoubleRstAck.build(RuleSet::domains(["deep.example"]));
+
+    let cfg = ClientConfig::default_tls(CLIENT, SERVER, "deep.example");
+    let mut path = two_hop_path(Box::new(first), Box::new(second));
+    let mut rng = derive_rng(61, 1);
+    let trace = run_session(
+        SessionParams::new(cfg, ServerConfig::default_edge(SERVER, 443), SimTime::ZERO),
+        &mut path,
+        &mut rng,
+    );
+    assert_eq!(trace.tamper_events.len(), 1);
+    assert_eq!(trace.tamper_events[0].hop, 1, "the domain censor fired");
+    let mut crng = derive_rng(61, 2);
+    let flow = collect(&trace, &CollectorConfig::default(), &mut crng).unwrap();
+    assert_eq!(
+        classify(&flow, &ClassifierConfig::default()).signature(),
+        Some(Signature::PshRstAckRstAck)
+    );
+}
+
+#[test]
+fn first_hop_preempts_the_second() {
+    // Hop 0 black-holes the flow at the SYN; the GFW at hop 1 never sees
+    // data and never fires.
+    let first = Vendor::SynDropAll.build(RuleSet::blanket());
+    let second = Vendor::GfwDoubleRstAck.build(RuleSet::domains(["deep.example"]));
+
+    let cfg = ClientConfig::default_tls(CLIENT, SERVER, "deep.example");
+    let mut path = two_hop_path(Box::new(first), Box::new(second));
+    let mut rng = derive_rng(62, 1);
+    let trace = run_session(
+        SessionParams::new(cfg, ServerConfig::default_edge(SERVER, 443), SimTime::ZERO),
+        &mut path,
+        &mut rng,
+    );
+    assert_eq!(trace.tamper_events.len(), 1);
+    assert_eq!(trace.tamper_events[0].hop, 0, "the IP blocker fired first");
+    let mut crng = derive_rng(62, 2);
+    let flow = collect(&trace, &CollectorConfig::default(), &mut crng).unwrap();
+    assert_eq!(
+        classify(&flow, &ClassifierConfig::default()).signature(),
+        Some(Signature::SynNone),
+        "SYN-stage drop masks the deeper censor entirely"
+    );
+}
+
+#[test]
+fn both_injectors_stack_their_bursts() {
+    // Two on-path injectors for the same domain: the server receives both
+    // bursts (1 bare RST + 2 RST+ACKs), which the classifier reads as the
+    // mixed signature.
+    let first = Vendor::PshRst.build(RuleSet::domains(["deep.example"]));
+    let second = Vendor::GfwDoubleRstAck.build(RuleSet::domains(["deep.example"]));
+
+    let cfg = ClientConfig::default_tls(CLIENT, SERVER, "deep.example");
+    let mut path = two_hop_path(Box::new(first), Box::new(second));
+    let mut rng = derive_rng(63, 1);
+    let trace = run_session(
+        SessionParams::new(cfg, ServerConfig::default_edge(SERVER, 443), SimTime::ZERO),
+        &mut path,
+        &mut rng,
+    );
+    assert_eq!(trace.tamper_events.len(), 2, "both censors fire");
+    let mut crng = derive_rng(63, 2);
+    let flow = collect(&trace, &CollectorConfig::default(), &mut crng).unwrap();
+    let analysis = classify(&flow, &ClassifierConfig::default());
+    assert_eq!(
+        analysis.signature(),
+        Some(Signature::PshRstRstAck),
+        "stacked bursts look like the GFW's mixed teardown"
+    );
+    assert_eq!(analysis.rst_count, 1);
+    assert!(analysis.rst_ack_count >= 2);
+}

@@ -1,0 +1,262 @@
+//! Pipeline equivalence and ablation tests: the pcap round-trip matches
+//! direct collection, the sampler preserves proportions (ablation A5),
+//! timestamp quantization does not change verdicts (ablation A3), and the
+//! 10-packet window ablation behaves as DESIGN.md predicts (A2).
+
+use tamper_analysis::Collector;
+use tamper_capture::{
+    collect, flows_from_records, CollectorConfig, OfflineConfig, PcapRecord, Sampler,
+};
+use tamper_core::{classify, ClassifierConfig, Signature, Stage};
+use tamper_middlebox::{RuleSet, Vendor};
+use tamper_netsim::{
+    derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
+    SimTime,
+};
+use tamper_worldgen::{WorldConfig, WorldSim};
+use std::net::{IpAddr, Ipv4Addr};
+
+fn tampered_trace(vendor: Vendor, seed: u64) -> tamper_netsim::SessionTrace {
+    let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 77));
+    let server = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+    let cfg = ClientConfig::default_tls(client, server, "blocked.example.com");
+    let mut path = Path {
+        links: vec![
+            Link::new(SimDuration::from_millis(10), 4),
+            Link::new(SimDuration::from_millis(40), 9),
+        ],
+        hops: vec![Box::new(vendor.build(RuleSet::domains(["blocked.example.com"])))],
+    };
+    let mut rng = derive_rng(seed, 0);
+    run_session(
+        SessionParams::new(cfg, ServerConfig::default_edge(server, 443), SimTime::from_secs(10)),
+        &mut path,
+        &mut rng,
+    )
+}
+
+/// Writing inbound packets to pcap and re-ingesting them gives the same
+/// classification as the direct in-memory pipeline.
+#[test]
+fn pcap_round_trip_classifies_identically() {
+    for (vendor, seed) in [
+        (Vendor::GfwDoubleRstAck, 3u64),
+        (Vendor::ZeroAckPair, 4),
+        (Vendor::DataDropAll, 5),
+        (Vendor::PshRstAck, 6),
+    ] {
+        let trace = tampered_trace(vendor, seed);
+        // Direct collection (no shuffle so the comparison is exact).
+        let direct_cfg = CollectorConfig {
+            shuffle_within_second: false,
+            ..Default::default()
+        };
+        let mut crng = derive_rng(seed, 1);
+        let direct = collect(&trace, &direct_cfg, &mut crng).unwrap();
+        let direct_class = classify(&direct, &ClassifierConfig::default()).classification;
+
+        // Pcap round-trip.
+        let records: Vec<PcapRecord> = trace
+            .inbound()
+            .map(|tp| PcapRecord {
+                ts_sec: tp.time.as_secs() as u32,
+                ts_usec: ((tp.time.as_nanos() % 1_000_000_000) / 1000) as u32,
+                frame: tp.packet.emit().to_vec(),
+            })
+            .collect();
+        let (flows, stats) = flows_from_records(&records, &OfflineConfig::default());
+        assert_eq!(flows.len(), 1, "{vendor:?}");
+        assert_eq!(stats.unparsable, 0);
+        let offline_class = classify(&flows[0], &ClassifierConfig::default()).classification;
+        assert_eq!(direct_class, offline_class, "{vendor:?}");
+    }
+}
+
+/// Ablation A3: exact (nanosecond) timestamps and quantized 1-second
+/// timestamps yield identical classifications — order reconstruction from
+/// headers recovers everything quantization loses.
+#[test]
+fn quantization_ablation_preserves_verdicts() {
+    let vendors = [
+        Vendor::GfwMixed,
+        Vendor::SameAckBurst { n: 3 },
+        Vendor::DataDropRstAck { n: 2 },
+        Vendor::FirewallRst,
+        Vendor::SynRstBoth,
+    ];
+    for (i, vendor) in vendors.into_iter().enumerate() {
+        let request = if vendor.stages().on_later_data {
+            tamper_netsim::RequestPayload::HttpTwo {
+                host: "blocked.example.com".into(),
+                path1: "/".into(),
+                path2: format!("/x?q={}", tamper_worldgen::FIREWALL_KEYWORD),
+                user_agent: "ua".into(),
+            }
+        } else {
+            tamper_netsim::RequestPayload::TlsClientHello {
+                sni: "blocked.example.com".into(),
+            }
+        };
+        let rules = if vendor.stages().on_syn {
+            RuleSet::blanket()
+        } else if vendor.stages().on_later_data {
+            let mut r = RuleSet::default();
+            r.keywords.push(tamper_worldgen::FIREWALL_KEYWORD.into());
+            r
+        } else {
+            RuleSet::domains(["blocked.example.com"])
+        };
+        let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 80));
+        let server = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+        let mut cfg = ClientConfig::default_tls(client, server, "blocked.example.com");
+        cfg.request = request;
+        let mut path = Path {
+            links: vec![
+                Link::new(SimDuration::from_millis(10), 4),
+                Link::new(SimDuration::from_millis(40), 9),
+            ],
+            hops: vec![Box::new(vendor.build(rules))],
+        };
+        let mut rng = derive_rng(100 + i as u64, 0);
+        let trace = run_session(
+            SessionParams::new(cfg, ServerConfig::default_edge(server, 443), SimTime::ZERO),
+            &mut path,
+            &mut rng,
+        );
+
+        let quantized_cfg = CollectorConfig::default();
+        let exact_cfg = CollectorConfig {
+            quantize_timestamps: false,
+            shuffle_within_second: false,
+            ..Default::default()
+        };
+        let mut r1 = derive_rng(200, i as u64);
+        let mut r2 = derive_rng(201, i as u64);
+        let q = collect(&trace, &quantized_cfg, &mut r1).unwrap();
+        let e = collect(&trace, &exact_cfg, &mut r2).unwrap();
+        let cq = classify(&q, &ClassifierConfig::default()).classification;
+        let ce = classify(&e, &ClassifierConfig::default()).classification;
+        assert_eq!(cq, ce, "{vendor:?}: quantization changed the verdict");
+    }
+}
+
+/// Ablation A2: shrinking the packet window below the teardown position
+/// hides Post-Data tampering (the paper's rationale for 10 packets).
+#[test]
+fn packet_window_ablation_hides_late_tampering() {
+    let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 81));
+    let server = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+    let mut cfg = ClientConfig::default_tls(client, server, "x");
+    cfg.request = tamper_netsim::RequestPayload::HttpTwo {
+        host: "site.example".into(),
+        path1: "/".into(),
+        path2: format!("/x?q={}", tamper_worldgen::FIREWALL_KEYWORD),
+        user_agent: "ua".into(),
+    };
+    cfg.dst_port = 80;
+    let mut rules = RuleSet::default();
+    rules.keywords.push(tamper_worldgen::FIREWALL_KEYWORD.into());
+    let mut path = Path {
+        links: vec![
+            Link::new(SimDuration::from_millis(10), 4),
+            Link::new(SimDuration::from_millis(40), 9),
+        ],
+        hops: vec![Box::new(Vendor::FirewallRstAck.build(rules))],
+    };
+    let mut rng = derive_rng(300, 0);
+    let trace = run_session(
+        SessionParams::new(cfg, ServerConfig::default_edge(server, 80), SimTime::ZERO),
+        &mut path,
+        &mut rng,
+    );
+    let classify_with_window = |max_packets: usize| {
+        let cfg = CollectorConfig {
+            max_packets,
+            shuffle_within_second: false,
+            ..Default::default()
+        };
+        let mut crng = derive_rng(301, max_packets as u64);
+        let flow = collect(&trace, &cfg, &mut crng).unwrap();
+        classify(&flow, &ClassifierConfig::default())
+    };
+    let full = classify_with_window(10);
+    assert_eq!(full.signature(), Some(Signature::DataRstAck));
+    let narrow = classify_with_window(4);
+    assert_ne!(
+        narrow.signature(),
+        Some(Signature::DataRstAck),
+        "a 4-packet window cannot see the Post-Data teardown"
+    );
+}
+
+/// Ablation A5: sampling 1-in-N preserves the headline proportions.
+#[test]
+fn sampling_ablation_preserves_proportions() {
+    let make = |denominator: u64| {
+        let sim = WorldSim::new(WorldConfig {
+            sessions: if denominator == 1 { 25_000 } else { 250_000 },
+            days: 2,
+            catalog_size: 800,
+            sample_denominator: denominator,
+            ..Default::default()
+        });
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        sim.run_sharded(
+            threads,
+            || {
+                Collector::new(
+                    ClassifierConfig::default(),
+                    sim.world().len(),
+                    2,
+                    sim.config().start_unix,
+                )
+            },
+            |c, lf| c.observe(&lf),
+            |a, b| a.merge(b),
+        )
+    };
+    let full = make(1);
+    let sampled = make(10);
+    // 250k generated at 1-in-10 yields about as many kept flows as the
+    // unsampled 25k run — i.e. the sampler really dropped ~90%.
+    let ratio = sampled.total as f64 / full.total as f64;
+    assert!((0.8..1.25).contains(&ratio), "sample ratio {ratio}");
+    // ...but the possibly-tampered proportion is stable.
+    let p_full = full.possibly_tampered as f64 / full.total as f64;
+    let p_sampled = sampled.possibly_tampered as f64 / sampled.total as f64;
+    assert!(
+        (p_full - p_sampled).abs() < 0.03,
+        "full {p_full} vs sampled {p_sampled}"
+    );
+    // Stage shares stay within a few points too.
+    for stage in [Stage::PostSyn, Stage::PostData] {
+        let s_full = tamper_analysis::report::stage_share(&full, stage);
+        let s_sampled = tamper_analysis::report::stage_share(&sampled, stage);
+        assert!(
+            (s_full - s_sampled).abs() < 0.06,
+            "{stage:?}: {s_full} vs {s_sampled}"
+        );
+    }
+}
+
+/// The deterministic sampler keeps roughly 1/N of connections.
+#[test]
+fn sampler_rate_sanity() {
+    let s = Sampler::new(99, 10_000);
+    let total = 2_000_000u64;
+    let kept = (0..total)
+        .filter(|&i| {
+            s.keep(
+                IpAddr::V4(Ipv4Addr::from(0x0A00_0000 + (i % 700_000) as u32)),
+                IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+                (i % 60_000) as u16,
+                i,
+            )
+        })
+        .count() as f64;
+    let rate = kept / total as f64;
+    assert!(
+        (rate - 1e-4).abs() < 4e-5,
+        "1-in-10k sampler rate was {rate}"
+    );
+}

@@ -1,0 +1,283 @@
+//! Property-based tests over the core data structures and invariants:
+//! wire-format round-trips on arbitrary packets, order-reconstruction
+//! invariance (the paper's claim that 1-second out-of-order logs are
+//! recoverable), and classifier robustness.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use tamper_capture::{FlowRecord, PacketRecord};
+use tamper_core::{classify, reconstruct_order, ClassifierConfig};
+use tamper_wire::{Packet, PacketBuilder, TcpFlags, TcpHeader, TcpOption};
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    // Any combination of the six classic flags.
+    (0u8..64).prop_map(TcpFlags::from_bits)
+}
+
+fn arb_v4() -> impl Strategy<Value = IpAddr> {
+    any::<u32>().prop_map(|v| IpAddr::V4(Ipv4Addr::from(v)))
+}
+
+fn arb_v6() -> impl Strategy<Value = IpAddr> {
+    any::<u128>().prop_map(|v| IpAddr::V6(Ipv6Addr::from(v)))
+}
+
+fn arb_options() -> impl Strategy<Value = Vec<TcpOption>> {
+    prop_oneof![
+        Just(Vec::new()),
+        Just(TcpHeader::standard_syn_options()),
+        (any::<u16>(), any::<u8>()).prop_map(|(mss, ws)| vec![
+            TcpOption::Mss(mss),
+            TcpOption::WindowScale(ws & 14),
+            TcpOption::SackPermitted,
+        ]),
+        (any::<u32>(), any::<u32>()).prop_map(|(tsval, tsecr)| vec![
+            TcpOption::Nop,
+            TcpOption::Nop,
+            TcpOption::Timestamps { tsval, tsecr },
+        ]),
+    ]
+}
+
+proptest! {
+    /// Every packet we can build emits to a frame that parses back to an
+    /// equal packet (module the computed total-length field).
+    #[test]
+    fn wire_round_trip_v4(
+        src in arb_v4(),
+        dst in arb_v4(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in arb_flags(),
+        ttl in 1u8..=255,
+        ip_id in any::<u16>(),
+        window in any::<u16>(),
+        options in arb_options(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let pkt = PacketBuilder::new(src, dst, sport, dport)
+            .seq(seq)
+            .ack(ack)
+            .flags(flags)
+            .ttl(ttl)
+            .ip_id(ip_id)
+            .window(window)
+            .options(options)
+            .payload(Bytes::from(payload))
+            .build();
+        let frame = pkt.emit();
+        let parsed = Packet::parse(&frame).expect("emitted frame must parse");
+        prop_assert_eq!(parsed.tcp.seq, pkt.tcp.seq);
+        prop_assert_eq!(parsed.tcp.ack, pkt.tcp.ack);
+        prop_assert_eq!(parsed.tcp.flags, pkt.tcp.flags);
+        prop_assert_eq!(parsed.tcp.src_port, pkt.tcp.src_port);
+        prop_assert_eq!(parsed.ip.ttl(), ttl);
+        prop_assert_eq!(parsed.ip.ip_id(), Some(ip_id));
+        prop_assert_eq!(&parsed.payload[..], &pkt.payload[..]);
+    }
+
+    /// Same for IPv6 (no IP-ID there).
+    #[test]
+    fn wire_round_trip_v6(
+        src in arb_v6(),
+        dst in arb_v6(),
+        flags in arb_flags(),
+        ttl in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let pkt = PacketBuilder::new(src, dst, 1234, 443)
+            .flags(flags)
+            .ttl(ttl)
+            .payload(Bytes::from(payload))
+            .build();
+        let parsed = Packet::parse(&pkt.emit()).expect("parse");
+        prop_assert_eq!(parsed.ip.ip_id(), None);
+        prop_assert_eq!(parsed.ip.ttl(), ttl);
+        prop_assert_eq!(parsed.tcp.flags, pkt.tcp.flags);
+    }
+
+    /// Corrupting any single byte of a frame never panics the parser, and
+    /// is either rejected or yields a packet (checksums catch most flips).
+    #[test]
+    fn corrupted_frames_never_panic(
+        flip_at in any::<u16>(),
+        flip_bits in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let pkt = PacketBuilder::new(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            40000,
+            443,
+        )
+        .flags(TcpFlags::PSH_ACK)
+        .payload(Bytes::from(payload))
+        .build();
+        let mut frame = pkt.emit().to_vec();
+        let idx = usize::from(flip_at) % frame.len();
+        frame[idx] ^= flip_bits;
+        let _ = Packet::parse(&frame); // must not panic
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Order reconstruction and classifier invariance
+// ---------------------------------------------------------------------------
+
+fn rec(ts: u64, flags: TcpFlags, seq: u32, ack: u32, payload_len: u32) -> PacketRecord {
+    PacketRecord {
+        ts_sec: ts,
+        flags,
+        seq,
+        ack,
+        ip_id: Some(100),
+        ttl: 52,
+        window: 65535,
+        payload_len,
+        payload: Bytes::from(vec![b'z'; payload_len as usize]),
+        has_tcp_options: true,
+    }
+}
+
+/// A plausible inbound flow: handshake, k data packets, then a teardown
+/// suffix chosen by the strategy.
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        0usize..=2,                       // data packets
+        0usize..=3,                       // teardown RSTs
+        proptest::bool::ANY,              // RST vs RST+ACK
+        proptest::bool::ANY,              // include FIN
+        0u64..4,                          // seconds spread
+    )
+        .prop_map(|(n_data, n_rst, pure, fin, spread)| {
+            let mut packets = vec![rec(100, TcpFlags::SYN, 1000, 0, 0)];
+            packets.push(rec(100, TcpFlags::ACK, 1001, 501, 0));
+            let mut seq = 1001;
+            for i in 0..n_data {
+                packets.push(rec(
+                    100 + (i as u64 % (spread + 1)),
+                    TcpFlags::PSH_ACK,
+                    seq,
+                    501,
+                    200,
+                ));
+                seq += 200;
+            }
+            if fin {
+                packets.push(rec(100 + spread, TcpFlags::FIN_ACK, seq, 900, 0));
+            }
+            for i in 0..n_rst {
+                let flags = if pure { TcpFlags::RST } else { TcpFlags::RST_ACK };
+                packets.push(rec(100 + spread, flags, seq, 700 + i as u32, 0));
+            }
+            FlowRecord {
+                client_ip: IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1)),
+                server_ip: IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+                src_port: 40000,
+                dst_port: 443,
+                packets,
+                observation_end_sec: 140,
+                truncated: false,
+            }
+        })
+}
+
+proptest! {
+    /// The classification is invariant under any permutation of the log
+    /// order within equal-timestamp buckets — the paper's §3.2 claim that
+    /// out-of-order 1-second logs don't hurt.
+    #[test]
+    fn classification_invariant_under_bucket_shuffle(
+        flow in arb_flow(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ClassifierConfig::default();
+        let baseline = classify(&flow, &cfg);
+
+        // Shuffle within equal-ts groups, deterministically from `seed`.
+        let mut shuffled = flow.clone();
+        let mut i = 0;
+        let mut state = seed | 1;
+        while i < shuffled.packets.len() {
+            let ts = shuffled.packets[i].ts_sec;
+            let mut j = i + 1;
+            while j < shuffled.packets.len() && shuffled.packets[j].ts_sec == ts {
+                j += 1;
+            }
+            // Fisher–Yates with an xorshift stream.
+            for k in ((i + 1)..j).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let pick = i + (state as usize) % (k - i + 1);
+                shuffled.packets.swap(k, pick);
+            }
+            i = j;
+        }
+        let shuffled_result = classify(&shuffled, &cfg);
+        prop_assert_eq!(
+            baseline.classification,
+            shuffled_result.classification,
+            "shuffle changed the verdict"
+        );
+        prop_assert_eq!(baseline.stage, shuffled_result.stage);
+    }
+
+    /// Reconstruction returns a permutation, and timestamps end up
+    /// non-decreasing.
+    #[test]
+    fn reconstruction_is_a_monotone_permutation(flow in arb_flow()) {
+        let order = reconstruct_order(&flow.packets);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..flow.packets.len()).collect::<Vec<_>>());
+        let mut last_ts = 0;
+        for &i in &order {
+            prop_assert!(flow.packets[i].ts_sec >= last_ts);
+            last_ts = flow.packets[i].ts_sec;
+        }
+    }
+
+    /// The classifier never panics on arbitrary packet-record soup, and a
+    /// flow with a FIN and no RST is never possibly-tampered.
+    #[test]
+    fn classifier_total_and_fin_safe(
+        flags in proptest::collection::vec(arb_flags(), 1..10),
+    ) {
+        let packets: Vec<PacketRecord> = flags
+            .iter()
+            .enumerate()
+            .map(|(i, f)| rec(100 + i as u64, *f, i as u32 * 7, i as u32, 0))
+            .collect();
+        let flow = FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(5, 6, 7, 8)),
+            src_port: 1,
+            dst_port: 443,
+            packets,
+            observation_end_sec: 500,
+            truncated: false,
+        };
+        let a = classify(&flow, &ClassifierConfig::default());
+        let has_rst = flow.packets.iter().any(|p| p.flags.has_rst());
+        // A FIN combined with SYN or RST is a nonsense packet (scan
+        // artifacts); the graceful-teardown guarantee only covers real
+        // FINs.
+        let has_fin = flow
+            .packets
+            .iter()
+            .any(|p| p.flags.has_fin() && !p.flags.has_rst() && !p.flags.has_syn());
+        if has_fin && !has_rst {
+            prop_assert!(!a.is_possibly_tampered());
+        }
+        if !has_rst {
+            // Without a RST, any signature must be a silence signature.
+            if let Some(sig) = a.signature() {
+                prop_assert!(sig.is_silence());
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Whole-pipeline fuzzing: arbitrary (valid) world configurations must
+//! never panic the generator, the collector, or the classifier, and the
+//! resulting flows must respect the collection invariants.
+
+use proptest::prelude::*;
+use tamper_analysis::Collector;
+use tamper_core::ClassifierConfig;
+use tamper_middlebox::Vendor;
+use tamper_worldgen::{
+    Category, Country, CountrySpec, Policy, ProtoFilter, WorldConfig, WorldSim,
+};
+
+fn arb_vendor() -> impl Strategy<Value = Vendor> {
+    prop_oneof![
+        Just(Vendor::SynDropAll),
+        (1u8..3).prop_map(|n| Vendor::SynRst { n }),
+        Just(Vendor::SynRstBoth),
+        Just(Vendor::DataDropAll),
+        (1u8..3).prop_map(|n| Vendor::DataDropRstAck { n }),
+        Just(Vendor::PshDropAll),
+        Just(Vendor::GfwMixed),
+        Just(Vendor::GfwDoubleRstAck),
+        (2u8..4).prop_map(|n| Vendor::AckGuessBurst { n }),
+        Just(Vendor::ZeroAckPair),
+        Just(Vendor::FirewallRstAck),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    (
+        proptest::collection::vec((arb_vendor(), 0.0..0.2f64), 0..2),
+        0.0..0.6f64,
+        prop_oneof![
+            Just(ProtoFilter::Any),
+            Just(ProtoFilter::HttpOnly),
+            Just(ProtoFilter::TlsOnly)
+        ],
+        proptest::collection::vec((arb_vendor(), 0.05..1.0f64), 1..3),
+        proptest::collection::vec((Just(Vendor::FirewallRst), 0.0..0.1f64), 0..2),
+        prop_oneof![
+            Just(vec![]),
+            Just(vec![(Category::AdultThemes, 0.5)]),
+            Just(vec![(Category::News, 0.9), (Category::Chat, 0.2)])
+        ],
+        0.0..0.8f64,
+        0.0..0.5f64,
+    )
+        .prop_map(
+            |(syn_rules, dpi_blanket, dpi_filter, dpi_mix, fw_rules, coverage, amp, weekend)| {
+                Policy {
+                    syn_rules,
+                    dpi_blanket,
+                    dpi_filter,
+                    dpi_enforce: 0.9,
+                    dpi_mix,
+                    fw_rules,
+                    coverage,
+                    affinity: vec![],
+                    overblock_substrings: vec![],
+                    diurnal_amp: amp,
+                    weekend_drop: weekend,
+                }
+            },
+        )
+}
+
+fn arb_country(idx: usize) -> impl Strategy<Value = CountrySpec> {
+    (
+        0.1..5.0f64,
+        -11i32..13,
+        0.0..0.9f64,
+        1usize..12,
+        0.0..1.0f64,
+        0.0..0.95f64,
+        arb_policy(),
+    )
+        .prop_map(
+            move |(weight, tz, ipv6, n_ases, central, http, policy)| CountrySpec {
+                country: Country {
+                    code: format!("Z{idx}"),
+                    weight,
+                    tz_offset_hours: tz,
+                    ipv6_share: ipv6,
+                    n_ases,
+                    centralization: central,
+                    http_share: http,
+                    ipv6_tamper_mult: 1.0,
+                    syn_payload_mult: 1.0,
+                },
+                policy,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn arbitrary_worlds_run_clean(
+        c0 in arb_country(0),
+        c1 in arb_country(1),
+        seed in any::<u64>(),
+    ) {
+        let sim = WorldSim::with_world(
+            WorldConfig {
+                seed,
+                sessions: 300,
+                days: 2,
+                catalog_size: 300,
+                ..Default::default()
+            },
+            vec![c0, c1],
+        );
+        let mut col = Collector::new(
+            ClassifierConfig::default(),
+            sim.world().len(),
+            2,
+            sim.config().start_unix,
+        );
+        let mut flows = 0u32;
+        let mut violations: Vec<String> = Vec::new();
+        sim.run(|lf| {
+            // Collection invariants.
+            if lf.flow.packets.is_empty() {
+                violations.push("empty flow".into());
+            }
+            if lf.flow.packets.len() > 10 {
+                violations.push(format!("{} packets", lf.flow.packets.len()));
+            }
+            if lf.flow.dst_port != 80 && lf.flow.dst_port != 443 {
+                violations.push(format!("port {}", lf.flow.dst_port));
+            }
+            if lf
+                .flow
+                .packets
+                .iter()
+                .any(|p| p.ts_sec < sim.config().start_unix)
+            {
+                violations.push("timestamp before epoch".into());
+            }
+            col.observe(&lf);
+            flows += 1;
+        });
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        prop_assert!(flows > 250, "only {flows} flows emerged");
+        // The collector's books balance.
+        let class_sum: u64 = col.country_class.iter().flat_map(|c| c.iter()).sum();
+        prop_assert_eq!(class_sum, col.total);
+        prop_assert!(col.possibly_tampered <= col.total);
+    }
+}
