@@ -102,6 +102,14 @@ impl JsonObject {
         self
     }
 
+    /// Add a pre-serialized JSON value verbatim (nested objects/arrays).
+    pub fn raw(mut self, key: &str, value: &str) -> JsonObject {
+        self.sep();
+        self.body
+            .push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self
+    }
+
     /// Add an explicit null.
     pub fn null(mut self, key: &str) -> JsonObject {
         self.sep();

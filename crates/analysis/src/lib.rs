@@ -7,6 +7,7 @@
 //! domain, IP version, protocol), plus one generator per paper artifact
 //! (Table 1–3, Figures 1–10, the §4 validation numbers) in [`report`].
 
+pub mod capture;
 pub mod collector;
 pub mod fmt;
 pub mod jsonl;
@@ -14,6 +15,9 @@ pub mod paper;
 pub mod report;
 pub mod stats;
 
+pub use capture::{
+    capture_collector, capture_summary_to_json, engine_perf_to_json, label_capture_flow,
+};
 pub use collector::{
     class_code_label, postpsh_class_code, Collector, DomainCell, TruthStats, CLASS_NOT_TAMPERED,
     CLASS_OTHER, N_CLASSES, RESERVOIR_CAP,

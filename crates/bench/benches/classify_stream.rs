@@ -1,0 +1,145 @@
+//! Throughput of the streaming classification engine across shard counts.
+//!
+//! Synthesizes a ≥100k-flow capture in memory, replays it through
+//! [`run_engine`] at 1/2/4/8 shards with the full classify-and-collect
+//! sink, checks the outputs agree, and records flows/sec per shard count
+//! in `BENCH_classify_stream.json` at the repo root. The JSON includes
+//! the host's core count: on a single-core box every configuration
+//! serializes onto one CPU, so the speedup column is only meaningful
+//! when `cores >= threads`.
+
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Instant;
+
+use tamper_analysis::{capture_collector, label_capture_flow, Collector};
+use tamper_capture::{run_engine, ClosedFlow, EngineConfig, EngineStats, OfflineConfig, PcapWriter};
+use tamper_core::{Classifier, ClassifierConfig};
+use tamper_wire::{PacketBuilder, TcpFlags};
+
+const FLOWS: u32 = 120_000;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn synth_capture(n_flows: u32) -> Vec<u8> {
+    let server = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
+    let mut w = PcapWriter::new(Vec::with_capacity(n_flows as usize * 320)).expect("header");
+    let mut record = 0u32;
+    for i in 0..n_flows {
+        let client = IpAddr::V4(Ipv4Addr::new(
+            (10 + (i >> 16)) as u8,
+            (i >> 8) as u8,
+            i as u8,
+            1,
+        ));
+        let sport = 20_000 + (i % 40_000) as u16;
+        let dport = if i % 3 == 0 { 80 } else { 443 };
+        let t = 100 + i / 64; // ~64 flows start per capture second
+        let mut f = |ts: u32, flags, seq: u32, payload: &[u8]| {
+            let frame = PacketBuilder::new(client, server, sport, dport)
+                .flags(flags)
+                .seq(seq)
+                .ack(if seq > 100 { 500 } else { 0 })
+                .ttl(52)
+                .ip_id((seq ^ i) as u16)
+                .payload(bytes::Bytes::copy_from_slice(payload))
+                .build()
+                .emit();
+            w.write_frame(ts, record % 1_000_000, &frame).expect("frame");
+            record += 1;
+        };
+        match i % 4 {
+            0 => {
+                f(t, TcpFlags::SYN, 100, b"");
+                f(t, TcpFlags::ACK, 101, b"");
+                f(t + 1, TcpFlags::PSH_ACK, 101, b"GET / HTTP/1.1\r\nHost: x.example\r\n\r\n");
+                f(t + 2, TcpFlags::FIN_ACK, 137, b"");
+            }
+            1 => f(t, TcpFlags::SYN, 100, b""),
+            2 => {
+                f(t, TcpFlags::SYN, 100, b"");
+                f(t, TcpFlags::RST, 101, b"");
+            }
+            _ => {
+                f(t, TcpFlags::SYN, 100, b"");
+                f(t, TcpFlags::ACK, 101, b"");
+                f(t + 1, TcpFlags::PSH_ACK, 101, b"hello");
+                f(t + 1, TcpFlags::RST_ACK, 106, b"");
+            }
+        }
+    }
+    w.into_inner()
+}
+
+struct Sink {
+    clf: Classifier,
+    col: Collector,
+}
+
+fn run(bytes: &[u8], threads: usize) -> (Collector, EngineStats) {
+    let cfg = EngineConfig {
+        offline: OfflineConfig::default(),
+        threads,
+        ..EngineConfig::default()
+    };
+    let clf_cfg = ClassifierConfig::default();
+    let (sink, stats) = run_engine(
+        bytes,
+        &cfg,
+        || Sink {
+            clf: Classifier::new(clf_cfg),
+            col: capture_collector(clf_cfg, 0),
+        },
+        |sink: &mut Sink, closed: ClosedFlow| {
+            let lf = label_capture_flow(closed.flow);
+            let analysis = sink.clf.classify(&lf.flow);
+            sink.col.observe_analyzed(&lf, &analysis);
+        },
+        |a, b| a.col.merge(b.col),
+    )
+    .expect("engine run");
+    (sink.col, stats)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("synthesizing {FLOWS} flows...");
+    let bytes = synth_capture(FLOWS);
+    eprintln!("capture: {} MiB", bytes.len() >> 20);
+
+    // Warm up page cache / allocator.
+    let (base_col, base_stats) = run(&bytes, 1);
+
+    let mut rows = Vec::new();
+    let mut base_secs = 0f64;
+    for &threads in &THREAD_COUNTS {
+        let start = Instant::now();
+        let (col, stats) = run(&bytes, threads);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(col.total, base_col.total, "flow totals diverged at {threads} shards");
+        assert_eq!(
+            col.possibly_tampered, base_col.possibly_tampered,
+            "verdicts diverged at {threads} shards"
+        );
+        assert_eq!(stats.ingest.flows, base_stats.ingest.flows);
+        if threads == 1 {
+            base_secs = secs;
+        }
+        let fps = stats.ingest.flows as f64 / secs;
+        let speedup = base_secs / secs;
+        eprintln!(
+            "threads {threads}: {secs:.3}s, {fps:.0} flows/s, {speedup:.2}x vs 1",
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"secs\": {secs:.4}, \"flows_per_sec\": {fps:.0}, \"speedup_vs_1\": {speedup:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"classify_stream\",\n  \"flows\": {},\n  \"records\": {},\n  \"cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        base_stats.ingest.flows,
+        base_stats.records,
+        rows.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_classify_stream.json");
+    std::fs::write(path, &json).expect("write BENCH_classify_stream.json");
+    println!("{json}");
+}

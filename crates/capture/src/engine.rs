@@ -1,0 +1,535 @@
+//! The streaming, sharded classification engine.
+//!
+//! One reader thread pulls records off the pcap stream and fans them out
+//! over bounded channels to N worker shards keyed by `hash(FlowKey) % N`.
+//! Each shard owns its slice of the flow table ([`FlowTable`]), applies
+//! the paper's collection constraints, evicts flows on the inactivity
+//! timeout *as the capture streams*, and folds every closed flow into a
+//! caller-supplied accumulator. The per-shard accumulators are merged in
+//! shard order at the end — the same fold/merge shape `worldgen::driver`
+//! uses — so the result is byte-identical for any thread count.
+//!
+//! # Determinism
+//!
+//! Three choices make the engine's output independent of thread count and
+//! scheduling:
+//!
+//! 1. **A single capture clock.** The reader stamps every record with the
+//!    running maximum timestamp seen so far. Shards evict on the predicate
+//!    `last_packet_ts + timeout < stamp`, evaluated against the stamp of
+//!    the record being absorbed — a pure function of the capture bytes,
+//!    not of which shard saw which record when.
+//! 2. **Stable flow ordering.** The reader assigns each record a global
+//!    index; a flow remembers the index of the packet that opened it, and
+//!    callers that need first-seen order sort closed flows by that index.
+//! 3. **End-of-stream flush.** The reader publishes the final stamp
+//!    through an atomic before closing the channels; each shard drains its
+//!    table against that stamp, so the timeout-vs-end-of-capture split is
+//!    also deterministic.
+//!
+//! The only scheduling-dependent outputs are the perf counters
+//! ([`EngineStats::channel_stalls`], [`EngineStats::threads`]), which
+//! callers must keep out of any byte-compared report.
+//!
+//! # Memory bound
+//!
+//! With `max_flows = M` and `threads = N`, each shard caps its live table
+//! at `max(1, M / N)` flows and sheds least-recently-active flows past
+//! that (counted in [`EngineStats::evicted_cap`]), so live flows never
+//! exceed `N * max(1, M / N)` — at most `M` whenever `N ≤ M`. Channels
+//! are bounded, so a slow shard backpressures the reader instead of
+//! growing a queue.
+
+use crate::offline::{ClosedFlow, EvictionCause, FlowTable, IngestStats, OfflineConfig};
+use crate::pcap::{PcapError, PcapReader};
+use crossbeam::channel::{bounded, Receiver, TrySendError};
+use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tamper_netsim::splitmix64;
+use tamper_wire::Packet;
+
+/// Configuration for [`run_engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Flow-assembly constraints (ports, packet cap, timeout).
+    pub offline: OfflineConfig,
+    /// Worker shards (0 = one per available core).
+    pub threads: usize,
+    /// Global live-flow bound (0 = unbounded). Split evenly across shards.
+    pub max_flows: usize,
+    /// Records per channel message (amortizes channel overhead).
+    pub batch_size: usize,
+    /// Batches in flight per shard before the reader blocks.
+    pub channel_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            offline: OfflineConfig::default(),
+            threads: 0,
+            max_flows: 0,
+            batch_size: 256,
+            channel_capacity: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The shard count this configuration resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+
+    /// Per-shard live-flow cap (0 = unbounded).
+    pub fn per_shard_cap(&self) -> usize {
+        if self.max_flows == 0 {
+            0
+        } else {
+            (self.max_flows / self.resolved_threads()).max(1)
+        }
+    }
+}
+
+/// Per-stage counters from one engine run.
+///
+/// Everything except `channel_stalls` and `threads` is a pure function of
+/// the capture bytes and the [`EngineConfig`] flow parameters — identical
+/// for any thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Records read off the pcap stream.
+    pub records: u64,
+    /// Flow-assembly counters (flows, packets kept, truncated, unparsable,
+    /// not-inbound) — same meanings as the legacy single-pass path.
+    pub ingest: IngestStats,
+    /// Flows evicted because their inactivity timeout elapsed mid-capture.
+    pub evicted_timeout: u64,
+    /// Flows shed by the live-flow cap (memory pressure).
+    pub evicted_cap: u64,
+    /// Flows still live at end of capture, drained inside their timeout
+    /// window.
+    pub drained_eof: u64,
+    /// True if the capture ended in a corrupt or truncated record; the
+    /// bytes read up to that point were still processed.
+    pub corrupt_tail: bool,
+    /// Times the reader found a shard channel full and had to block
+    /// (scheduling-dependent; exclude from byte-compared output).
+    pub channel_stalls: u64,
+    /// Sum of per-shard live-flow high-water marks — the engine's actual
+    /// peak table occupancy.
+    pub max_live_flows: u64,
+    /// Worker shards used (scheduling-dependent when auto-detected;
+    /// exclude from byte-compared output).
+    pub threads: usize,
+}
+
+/// One record in flight to a shard.
+struct RecordMsg {
+    index: u64,
+    ts: u64,
+    stamp: u64,
+    frame: Vec<u8>,
+}
+
+/// What one shard hands back when its channel drains.
+struct ShardOutcome<T> {
+    acc: T,
+    ingest: IngestStats,
+    evicted_timeout: u64,
+    evicted_cap: u64,
+    drained_eof: u64,
+    high_water: usize,
+}
+
+/// Route a raw IP frame to a shard by hashing its 4-tuple, without a full
+/// (checksum-validating) parse. Returns `None` for frames that cannot be
+/// TCP/IP — every such frame would also fail [`Packet::parse`], so the
+/// reader counts it as unparsable without shipping it anywhere.
+fn route_hash(frame: &[u8]) -> Option<u64> {
+    fn mix(h: u64, v: u64) -> u64 {
+        splitmix64(h ^ v)
+    }
+    fn word(b: &[u8], at: usize) -> u64 {
+        u64::from(u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]))
+    }
+    let first = *frame.first()?;
+    match first >> 4 {
+        4 => {
+            // The wire parser only accepts a 20-byte header (IHL 5) and
+            // protocol 6; anything else fails full parse too.
+            if frame.len() < 24 || (first & 0x0f) != 5 || frame[9] != 6 {
+                return None;
+            }
+            let mut h = mix(0x7461_6d70_6572_0004, word(frame, 12)); // src
+            h = mix(h, word(frame, 16)); // dst
+            Some(mix(h, word(frame, 20))) // ports
+        }
+        6 => {
+            if frame.len() < 44 || frame[6] != 6 {
+                return None;
+            }
+            let mut h = 0x7461_6d70_6572_0006;
+            for off in (8..40).step_by(4) {
+                h = mix(h, word(frame, off)); // src + dst
+            }
+            Some(mix(h, word(frame, 40))) // ports
+        }
+        _ => None,
+    }
+}
+
+fn run_shard<T, FO>(
+    rx: Receiver<Vec<RecordMsg>>,
+    cfg: OfflineConfig,
+    per_shard_cap: usize,
+    final_stamp: &AtomicU64,
+    mut acc: T,
+    observe: &FO,
+) -> ShardOutcome<T>
+where
+    FO: Fn(&mut T, ClosedFlow),
+{
+    let mut table = FlowTable::new(cfg, per_shard_cap);
+    let mut ingest = IngestStats::default();
+    let mut closed: Vec<ClosedFlow> = Vec::new();
+    let mut evicted_timeout = 0u64;
+    let mut evicted_cap = 0u64;
+    let mut drained_eof = 0u64;
+
+    let mut fold = |acc: &mut T, closed: &mut Vec<ClosedFlow>| {
+        for cf in closed.drain(..) {
+            match cf.cause {
+                EvictionCause::Timeout => evicted_timeout += 1,
+                EvictionCause::CapPressure => evicted_cap += 1,
+                EvictionCause::EndOfCapture => drained_eof += 1,
+            }
+            observe(acc, cf);
+        }
+    };
+
+    for batch in rx.iter() {
+        for msg in batch {
+            match Packet::parse(&msg.frame) {
+                Err(_) => ingest.unparsable += 1,
+                Ok(pkt) => {
+                    if !cfg.server_ports.contains(&pkt.tcp.dst_port) {
+                        ingest.not_inbound += 1;
+                    } else {
+                        table.absorb(msg.index, msg.ts, msg.stamp, &pkt, &mut ingest, &mut closed);
+                        fold(&mut acc, &mut closed);
+                    }
+                }
+            }
+        }
+    }
+    // Channel closed: the reader has published the final capture stamp.
+    table.drain(final_stamp.load(Ordering::Acquire), &mut closed);
+    fold(&mut acc, &mut closed);
+
+    ShardOutcome {
+        acc,
+        ingest,
+        evicted_timeout,
+        evicted_cap,
+        drained_eof,
+        high_water: table.high_water(),
+    }
+}
+
+/// Run the streaming engine over a pcap stream.
+///
+/// `init` builds one accumulator per shard, `observe` folds each closed
+/// flow into its shard's accumulator, and `merge` combines shard
+/// accumulators (in shard order) into the first shard's. This is the same
+/// fold/merge shape as `WorldSim::run_sharded`, so an
+/// `analysis::Collector` drops in directly.
+///
+/// A malformed global header aborts with the error; a corrupt record
+/// mid-stream ends reading with [`EngineStats::corrupt_tail`] set and
+/// everything before it processed normally.
+pub fn run_engine<R, T, FI, FO, FM>(
+    input: R,
+    cfg: &EngineConfig,
+    init: FI,
+    observe: FO,
+    mut merge: FM,
+) -> Result<(T, EngineStats), PcapError>
+where
+    R: Read,
+    T: Send,
+    FI: Fn() -> T + Sync,
+    FO: Fn(&mut T, ClosedFlow) + Sync,
+    FM: FnMut(&mut T, T),
+{
+    let mut reader = PcapReader::new(input)?;
+    let threads = cfg.resolved_threads();
+    let per_shard_cap = cfg.per_shard_cap();
+    let batch_size = cfg.batch_size.max(1);
+    let channel_capacity = cfg.channel_capacity.max(1);
+    let final_stamp = AtomicU64::new(0);
+
+    let mut stats = EngineStats {
+        threads,
+        ..EngineStats::default()
+    };
+
+    let offline = cfg.offline;
+    let final_ref = &final_stamp;
+    let init_ref = &init;
+    let observe_ref = &observe;
+
+    let outcomes: Vec<ShardOutcome<T>> = crossbeam::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = bounded::<Vec<RecordMsg>>(channel_capacity);
+            senders.push(tx);
+            handles.push(s.spawn(move |_| {
+                run_shard(rx, offline, per_shard_cap, final_ref, init_ref(), observe_ref)
+            }));
+        }
+
+        // ---- reader loop (this thread) ----
+        let mut batches: Vec<Vec<RecordMsg>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut index = 0u64;
+        let mut stamp = 0u64;
+        let flush = |shard: usize, batches: &mut Vec<Vec<RecordMsg>>, stats: &mut EngineStats| {
+            let batch = std::mem::take(&mut batches[shard]);
+            if batch.is_empty() {
+                return;
+            }
+            match senders[shard].try_send(batch) {
+                Ok(()) => {}
+                Err(TrySendError::Full(batch)) => {
+                    stats.channel_stalls += 1;
+                    // Worker threads only exit when senders drop, so a
+                    // blocking send can only fail on worker panic.
+                    let _ = senders[shard].send(batch);
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        };
+        loop {
+            match reader.next_record() {
+                Ok(Some(rec)) => {
+                    stats.records += 1;
+                    let ts = u64::from(rec.ts_sec);
+                    stamp = stamp.max(ts);
+                    match route_hash(&rec.frame) {
+                        Some(h) => {
+                            let shard = (h % threads as u64) as usize;
+                            batches[shard].push(RecordMsg {
+                                index,
+                                ts,
+                                stamp,
+                                frame: rec.frame,
+                            });
+                            if batches[shard].len() >= batch_size {
+                                flush(shard, &mut batches, &mut stats);
+                            }
+                        }
+                        None => stats.ingest.unparsable += 1,
+                    }
+                    index += 1;
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt or truncated tail: keep everything read so
+                    // far, record the damage, stop reading.
+                    stats.corrupt_tail = true;
+                    break;
+                }
+            }
+        }
+        for shard in 0..threads {
+            flush(shard, &mut batches, &mut stats);
+        }
+        final_stamp.store(stamp, Ordering::Release);
+        drop(senders);
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine shard panicked"))
+            .collect()
+    })
+    .expect("engine thread scope panicked");
+
+    // Merge shard accumulators and counters in shard order — deterministic.
+    let mut it = outcomes.into_iter();
+    let first = it.next().expect("at least one shard");
+    let fold_stats = |stats: &mut EngineStats, o: &ShardOutcome<T>| {
+        stats.ingest.flows += o.ingest.flows;
+        stats.ingest.packets += o.ingest.packets;
+        stats.ingest.truncated_packets += o.ingest.truncated_packets;
+        stats.ingest.unparsable += o.ingest.unparsable;
+        stats.ingest.not_inbound += o.ingest.not_inbound;
+        stats.evicted_timeout += o.evicted_timeout;
+        stats.evicted_cap += o.evicted_cap;
+        stats.drained_eof += o.drained_eof;
+        stats.max_live_flows += o.high_water as u64;
+    };
+    fold_stats(&mut stats, &first);
+    let mut acc = first.acc;
+    for o in it {
+        fold_stats(&mut stats, &o);
+        merge(&mut acc, o.acc);
+    }
+
+    Ok((acc, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::PcapWriter;
+    use bytes::Bytes;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_wire::{PacketBuilder, TcpFlags};
+
+    fn client(i: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(203, 0, 113, i))
+    }
+    fn server() -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1))
+    }
+
+    fn frame(src: IpAddr, sport: u16, flags: TcpFlags, seq: u32, payload: &'static [u8]) -> Vec<u8> {
+        PacketBuilder::new(src, server(), sport, 443)
+            .flags(flags)
+            .seq(seq)
+            .payload(Bytes::from_static(payload))
+            .build()
+            .emit()
+            .to_vec()
+    }
+
+    /// Collect every closed flow, tagged with its first-seen index.
+    fn collect_flows(bytes: &[u8], cfg: &EngineConfig) -> (Vec<ClosedFlow>, EngineStats) {
+        let (mut flows, stats) = run_engine(
+            bytes,
+            cfg,
+            Vec::new,
+            |acc: &mut Vec<ClosedFlow>, cf| acc.push(cf),
+            |a, mut b| a.append(&mut b),
+        )
+        .unwrap();
+        flows.sort_unstable_by_key(|cf| cf.first_index);
+        (flows, stats)
+    }
+
+    fn capture(n_flows: u32) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for i in 0..n_flows {
+            let c = client((1 + i % 200) as u8);
+            let sport = 4000 + (i % 10_000) as u16;
+            let t = 100 + i;
+            w.write_frame(t, 0, &frame(c, sport, TcpFlags::SYN, 1, b"")).unwrap();
+            w.write_frame(t, 1, &frame(c, sport, TcpFlags::ACK, 2, b"")).unwrap();
+            w.write_frame(t + 1, 0, &frame(c, sport, TcpFlags::PSH_ACK, 2, b"hello")).unwrap();
+        }
+        w.into_inner()
+    }
+
+    #[test]
+    fn engine_matches_legacy_path_for_any_thread_count() {
+        let bytes = capture(120);
+        let (legacy_flows, legacy_stats) =
+            crate::offline::flows_from_pcap(&bytes[..], &OfflineConfig::default()).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let cfg = EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            };
+            let (flows, stats) = collect_flows(&bytes, &cfg);
+            assert_eq!(flows.len(), legacy_flows.len(), "threads={threads}");
+            for (cf, lf) in flows.iter().zip(&legacy_flows) {
+                assert_eq!(&cf.flow, lf, "threads={threads}");
+            }
+            assert_eq!(stats.ingest, legacy_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn timeout_eviction_splits_idle_flows() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        // One flow goes quiet for > 30s then resumes: two flows.
+        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b"")).unwrap();
+        // Unrelated traffic advances the capture clock past the timeout.
+        w.write_frame(140, 0, &frame(client(2), 4001, TcpFlags::SYN, 1, b"")).unwrap();
+        w.write_frame(141, 0, &frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"x")).unwrap();
+        let bytes = w.into_inner();
+        let (flows, stats) = collect_flows(&bytes, &EngineConfig { threads: 2, ..Default::default() });
+        assert_eq!(stats.ingest.flows, 3);
+        assert_eq!(stats.evicted_timeout, 1);
+        assert_eq!(stats.drained_eof, 2);
+        assert_eq!(flows[0].cause, EvictionCause::Timeout);
+        assert_eq!(flows[0].flow.observation_end_sec, 100 + 30);
+    }
+
+    #[test]
+    fn max_flows_bounds_live_tables() {
+        let bytes = capture(3000);
+        let cfg = EngineConfig {
+            threads: 4,
+            max_flows: 64,
+            ..EngineConfig::default()
+        };
+        let (_, stats) = collect_flows(&bytes, &cfg);
+        assert!(stats.evicted_cap > 0, "cap must have engaged");
+        assert!(
+            stats.max_live_flows <= 64,
+            "peak live flows {} exceeded the bound",
+            stats.max_live_flows
+        );
+        // Every opened flow is still accounted for exactly once.
+        assert_eq!(
+            stats.ingest.flows,
+            stats.evicted_timeout + stats.evicted_cap + stats.drained_eof
+        );
+    }
+
+    #[test]
+    fn corrupt_tail_is_counted_not_fatal() {
+        let mut bytes = capture(10);
+        bytes.truncate(bytes.len() - 7);
+        let (flows, stats) = collect_flows(&bytes, &EngineConfig { threads: 2, ..Default::default() });
+        assert!(stats.corrupt_tail);
+        assert_eq!(stats.records, 29); // the torn 30th record is dropped
+        assert!(!flows.is_empty());
+    }
+
+    #[test]
+    fn garbage_frames_are_counted_either_side_of_the_channel() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b"")).unwrap();
+        w.write_frame(100, 1, &[0u8; 3]).unwrap(); // fails the route peek
+        // Valid-looking v4/TCP shape but a corrupt checksum: routes to a
+        // shard, fails full parse there.
+        let mut good = frame(client(1), 4001, TcpFlags::SYN, 1, b"");
+        good[11] ^= 0xff;
+        w.write_frame(100, 2, &good).unwrap();
+        let bytes = w.into_inner();
+        let (_, stats) = collect_flows(&bytes, &EngineConfig { threads: 2, ..Default::default() });
+        assert_eq!(stats.ingest.unparsable, 2);
+        assert_eq!(stats.ingest.flows, 1);
+    }
+
+    #[test]
+    fn route_hash_is_stable_per_flow() {
+        let a = frame(client(1), 4000, TcpFlags::SYN, 1, b"");
+        let b = frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"payload");
+        assert_eq!(route_hash(&a), route_hash(&b));
+        assert!(route_hash(&a).is_some());
+        let c = frame(client(2), 4000, TcpFlags::SYN, 1, b"");
+        assert_ne!(route_hash(&a), route_hash(&c));
+        assert_eq!(route_hash(&[]), None);
+        assert_eq!(route_hash(&[0x12, 0x34]), None);
+    }
+}

@@ -8,13 +8,18 @@
 //! quantization, and out-of-order logging — plus a classic libpcap
 //! writer/reader so captures interoperate with standard tooling.
 
+pub mod engine;
 pub mod offline;
 pub mod pcap;
 pub mod pipeline;
 pub mod record;
 pub mod sampler;
 
-pub use offline::{flows_from_pcap, flows_from_records, FlowKey, IngestStats, OfflineConfig};
+pub use engine::{run_engine, EngineConfig, EngineStats};
+pub use offline::{
+    flows_from_pcap, flows_from_records, ClosedFlow, EvictionCause, FlowKey, FlowTable,
+    IngestStats, OfflineConfig,
+};
 pub use pcap::{write_session_trace, PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use pipeline::{collect, CollectorConfig};
 pub use record::{FlowRecord, PacketRecord};

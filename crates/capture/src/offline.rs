@@ -47,21 +47,224 @@ impl Default for OfflineConfig {
     }
 }
 
+/// Why the streaming flow table closed a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionCause {
+    /// More than [`OfflineConfig::flow_timeout_secs`] of capture time
+    /// passed since the flow's last packet.
+    Timeout,
+    /// The table hit its live-flow cap and shed its least-recently-active
+    /// flow to stay within the memory bound.
+    CapPressure,
+    /// The capture ended while the flow was still inside its timeout
+    /// window.
+    EndOfCapture,
+}
+
+/// A flow closed by the streaming assembler, ready for classification.
+#[derive(Debug, Clone)]
+pub struct ClosedFlow {
+    /// The assembled record (collection constraints applied).
+    pub flow: FlowRecord,
+    /// Index of the capture record that opened the flow — a stable global
+    /// sequence number assigned by the (single) reader, used to restore
+    /// first-seen order after sharded processing.
+    pub first_index: u64,
+    /// Why the flow was closed.
+    pub cause: EvictionCause,
+}
+
+struct LiveFlow {
+    flow: FlowRecord,
+    first_index: u64,
+    /// Timestamp of the last packet seen for this flow (including packets
+    /// past the retention cap — they still count as activity).
+    last_ts: u64,
+}
+
+/// A streaming flow assembler with inactivity-timeout eviction and an
+/// optional live-flow cap — the unit of state one engine shard owns.
+///
+/// Eviction decisions depend only on packet contents and the monotone
+/// capture clock (`stamp`), never on wall time or shard placement, so any
+/// partition of a capture over tables keyed by flow produces byte-identical
+/// closed flows.
+pub struct FlowTable {
+    cfg: OfflineConfig,
+    flows: HashMap<FlowKey, LiveFlow>,
+    /// Maximum live flows held at once (0 = unbounded).
+    max_live: usize,
+    high_water: usize,
+    last_sweep: u64,
+}
+
+impl FlowTable {
+    /// Create a table; `max_live` of 0 means unbounded.
+    pub fn new(cfg: OfflineConfig, max_live: usize) -> FlowTable {
+        FlowTable {
+            cfg,
+            flows: HashMap::new(),
+            max_live,
+            high_water: 0,
+            last_sweep: 0,
+        }
+    }
+
+    /// Most live flows ever held at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Live flows currently held.
+    pub fn live(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Absorb one parsed inbound packet. `index` is the reader-assigned
+    /// record index, `ts` the packet's own (quantized) timestamp, and
+    /// `stamp` the running maximum capture timestamp — the capture clock.
+    /// Flows whose timeout elapsed before `stamp` are evicted into `closed`
+    /// *before* the packet is applied, so a packet arriving after its flow
+    /// expired opens a fresh flow.
+    pub fn absorb(
+        &mut self,
+        index: u64,
+        ts: u64,
+        stamp: u64,
+        pkt: &Packet,
+        stats: &mut IngestStats,
+        closed: &mut Vec<ClosedFlow>,
+    ) {
+        self.sweep(stamp, closed);
+        let key = FlowKey {
+            client_ip: pkt.ip.src(),
+            server_ip: pkt.ip.dst(),
+            src_port: pkt.tcp.src_port,
+            dst_port: pkt.tcp.dst_port,
+        };
+        let live = self.flows.entry(key).or_insert_with(|| {
+            stats.flows += 1;
+            LiveFlow {
+                flow: FlowRecord {
+                    client_ip: key.client_ip,
+                    server_ip: key.server_ip,
+                    src_port: key.src_port,
+                    dst_port: key.dst_port,
+                    packets: Vec::new(),
+                    observation_end_sec: ts,
+                    truncated: false,
+                },
+                first_index: index,
+                last_ts: ts,
+            }
+        });
+        live.last_ts = live.last_ts.max(ts);
+        if live.flow.packets.len() >= self.cfg.max_packets {
+            live.flow.truncated = true;
+            stats.truncated_packets += 1;
+        } else {
+            live.flow.packets.push(PacketRecord::from_packet(ts, pkt));
+            stats.packets += 1;
+        }
+        if self.max_live > 0 && self.flows.len() > self.max_live {
+            self.shed_lru(closed);
+        }
+        // Taken after shedding: the retained occupancy is what the memory
+        // bound promises (insertion holds one transient extra entry).
+        self.high_water = self.high_water.max(self.flows.len());
+    }
+
+    /// Evict every flow whose timeout elapsed before `stamp`, oldest
+    /// first-seen first.
+    fn sweep(&mut self, stamp: u64, closed: &mut Vec<ClosedFlow>) {
+        if stamp <= self.last_sweep {
+            return;
+        }
+        self.last_sweep = stamp;
+        let timeout = self.cfg.flow_timeout_secs;
+        let mut expired: Vec<FlowKey> = self
+            .flows
+            .iter()
+            .filter(|(_, lf)| lf.last_ts + timeout < stamp)
+            .map(|(k, _)| *k)
+            .collect();
+        expired.sort_unstable_by_key(|k| self.flows[k].first_index);
+        for key in expired {
+            if let Some(lf) = self.flows.remove(&key) {
+                closed.push(Self::close(lf, self.cfg.flow_timeout_secs, EvictionCause::Timeout));
+            }
+        }
+    }
+
+    /// Shed the least-recently-active flow (ties broken by first-seen).
+    fn shed_lru(&mut self, closed: &mut Vec<ClosedFlow>) {
+        let victim = self
+            .flows
+            .iter()
+            .min_by_key(|(_, lf)| (lf.last_ts, lf.first_index))
+            .map(|(k, _)| *k);
+        if let Some(key) = victim {
+            if let Some(lf) = self.flows.remove(&key) {
+                closed.push(Self::close(
+                    lf,
+                    self.cfg.flow_timeout_secs,
+                    EvictionCause::CapPressure,
+                ));
+            }
+        }
+    }
+
+    /// Close all remaining flows at end of capture. Flows whose timeout had
+    /// already elapsed at `final_stamp` count as timeout evictions (their
+    /// shard just saw no later packet to trigger the sweep); the rest close
+    /// as end-of-capture. Output is ordered by first-seen index.
+    pub fn drain(&mut self, final_stamp: u64, closed: &mut Vec<ClosedFlow>) {
+        let timeout = self.cfg.flow_timeout_secs;
+        let mut rest: Vec<LiveFlow> = self.flows.drain().map(|(_, lf)| lf).collect();
+        rest.sort_unstable_by_key(|lf| lf.first_index);
+        for lf in rest {
+            let cause = if lf.last_ts + timeout < final_stamp {
+                EvictionCause::Timeout
+            } else {
+                EvictionCause::EndOfCapture
+            };
+            closed.push(Self::close(lf, timeout, cause));
+        }
+    }
+
+    fn close(mut lf: LiveFlow, timeout: u64, cause: EvictionCause) -> ClosedFlow {
+        let last = lf.flow.packets.iter().map(|p| p.ts_sec).max().unwrap_or(0);
+        // Mirror an online collector that watched the flow for the timeout
+        // window after its last retained packet.
+        lf.flow.observation_end_sec = last + timeout;
+        ClosedFlow {
+            flow: lf.flow,
+            first_index: lf.first_index,
+            cause,
+        }
+    }
+}
+
 /// Assemble flow records from raw pcap records. Packets that fail to
 /// parse, or that are not TCP toward a configured server port, are
 /// skipped and counted in the returned statistics.
+///
+/// This is the single-threaded reference path; it shares the streaming
+/// [`FlowTable`] semantics with the sharded engine, so a 4-tuple that goes
+/// quiet for longer than the flow timeout and then resumes yields two
+/// flows, exactly as an online collector would record it.
 pub fn flows_from_records(
     records: &[PcapRecord],
     cfg: &OfflineConfig,
 ) -> (Vec<FlowRecord>, IngestStats) {
     let mut stats = IngestStats::default();
-    let mut flows: HashMap<FlowKey, FlowRecord> = HashMap::new();
-    let mut order: Vec<FlowKey> = Vec::new();
-    let mut last_ts = 0u64;
+    let mut table = FlowTable::new(*cfg, 0);
+    let mut closed = Vec::new();
+    let mut stamp = 0u64;
 
-    for rec in records {
+    for (index, rec) in records.iter().enumerate() {
         let ts = u64::from(rec.ts_sec);
-        last_ts = last_ts.max(ts);
+        stamp = stamp.max(ts);
         let pkt = match Packet::parse(&rec.frame) {
             Ok(p) => p,
             Err(_) => {
@@ -73,44 +276,11 @@ pub fn flows_from_records(
             stats.not_inbound += 1;
             continue;
         }
-        let key = FlowKey {
-            client_ip: pkt.ip.src(),
-            server_ip: pkt.ip.dst(),
-            src_port: pkt.tcp.src_port,
-            dst_port: pkt.tcp.dst_port,
-        };
-        let flow = flows.entry(key).or_insert_with(|| {
-            order.push(key);
-            stats.flows += 1;
-            FlowRecord {
-                client_ip: key.client_ip,
-                server_ip: key.server_ip,
-                src_port: key.src_port,
-                dst_port: key.dst_port,
-                packets: Vec::new(),
-                observation_end_sec: ts,
-                truncated: false,
-            }
-        });
-        if flow.packets.len() >= cfg.max_packets {
-            flow.truncated = true;
-            stats.truncated_packets += 1;
-            continue;
-        }
-        flow.packets.push(PacketRecord::from_packet(ts, &pkt));
-        stats.packets += 1;
+        table.absorb(index as u64, ts, stamp, &pkt, &mut stats, &mut closed);
     }
-
-    // Close every flow at capture end plus the flow timeout, mirroring an
-    // online collector that watched each flow for `flow_timeout_secs`.
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let mut flow = flows.remove(&key).expect("flow recorded");
-        let last = flow.packets.iter().map(|p| p.ts_sec).max().unwrap_or(0);
-        flow.observation_end_sec = (last + cfg.flow_timeout_secs).min(last_ts.max(last) + cfg.flow_timeout_secs);
-        out.push(flow);
-    }
-    (out, stats)
+    table.drain(stamp, &mut closed);
+    closed.sort_unstable_by_key(|cf| cf.first_index);
+    (closed.into_iter().map(|cf| cf.flow).collect(), stats)
 }
 
 /// Read a pcap stream and assemble flows in one call.

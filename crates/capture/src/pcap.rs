@@ -13,7 +13,19 @@ const VERSION_MAJOR: u16 = 2;
 const VERSION_MINOR: u16 = 4;
 /// LINKTYPE_RAW: raw IP, version nibble decides v4/v6.
 const LINKTYPE_RAW: u32 = 101;
-const SNAPLEN: u32 = 65_535;
+/// Snapshot length written to our own headers, and the hard upper bound we
+/// accept for any record's `incl_len` when reading. A corrupt length field
+/// must never translate into a multi-gigabyte allocation.
+pub const SNAPLEN: u32 = 65_535;
+
+/// Read a little-endian u32 out of a fixed-offset window of a header
+/// buffer. The offsets are compile-time constants into stack arrays, so
+/// the slice is always exactly four bytes.
+fn le_u32(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
+}
 
 /// One captured record: a timestamp and the raw frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +87,9 @@ pub enum PcapError {
     BadMagic(u32),
     /// Unsupported link type (only LINKTYPE_RAW is handled).
     BadLinkType(u32),
+    /// A record header claimed a captured length beyond any plausible
+    /// snapshot — the file is corrupt past this point.
+    OversizeRecord(u32),
 }
 
 impl std::fmt::Display for PcapError {
@@ -83,6 +98,9 @@ impl std::fmt::Display for PcapError {
             PcapError::Io(e) => write!(f, "pcap I/O error: {e}"),
             PcapError::BadMagic(m) => write!(f, "bad pcap magic {m:#x}"),
             PcapError::BadLinkType(l) => write!(f, "unsupported pcap link type {l}"),
+            PcapError::OversizeRecord(n) => {
+                write!(f, "pcap record claims {n} captured bytes (snaplen is {SNAPLEN})")
+            }
         }
     }
 }
@@ -105,11 +123,11 @@ impl<R: Read> PcapReader<R> {
     pub fn new(mut input: R) -> Result<PcapReader<R>, PcapError> {
         let mut header = [0u8; 24];
         input.read_exact(&mut header)?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let magic = le_u32(&header, 0);
         if magic != MAGIC {
             return Err(PcapError::BadMagic(magic));
         }
-        let linktype = u32::from_le_bytes(header[20..24].try_into().unwrap());
+        let linktype = le_u32(&header, 20);
         if linktype != LINKTYPE_RAW {
             return Err(PcapError::BadLinkType(linktype));
         }
@@ -117,17 +135,35 @@ impl<R: Read> PcapReader<R> {
     }
 
     /// Read the next record; `Ok(None)` at clean end-of-file.
+    ///
+    /// Only an EOF landing exactly on a record boundary is a clean end.
+    /// A cut mid-way through the 16-byte record header (or the frame
+    /// body) is a ragged tail and surfaces as an error, so callers can
+    /// count it rather than silently dropping up to 15 bytes.
     pub fn next_record(&mut self) -> Result<Option<PcapRecord>, PcapError> {
         let mut rec_header = [0u8; 16];
-        match self.input.read_exact(&mut rec_header) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let mut filled = 0usize;
+        while filled < rec_header.len() {
+            match self.input.read(&mut rec_header[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(PcapError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("pcap ends {filled} bytes into a record header"),
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
         }
-        let ts_sec = u32::from_le_bytes(rec_header[0..4].try_into().unwrap());
-        let ts_usec = u32::from_le_bytes(rec_header[4..8].try_into().unwrap());
-        let incl_len = u32::from_le_bytes(rec_header[8..12].try_into().unwrap()) as usize;
-        let mut frame = vec![0u8; incl_len];
+        let ts_sec = le_u32(&rec_header, 0);
+        let ts_usec = le_u32(&rec_header, 4);
+        let incl_len = le_u32(&rec_header, 8);
+        if incl_len > SNAPLEN {
+            return Err(PcapError::OversizeRecord(incl_len));
+        }
+        let mut frame = vec![0u8; incl_len as usize];
         self.input.read_exact(&mut frame)?;
         Ok(Some(PcapRecord {
             ts_sec,
@@ -231,6 +267,21 @@ mod tests {
         let parsed = Packet::parse(&rec.frame).unwrap();
         assert!(!parsed.ip.is_v4());
         assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_record_is_rejected_not_allocated() {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_packet(1, 2, &v4_packet()).unwrap();
+        let mut bytes = w.into_inner();
+        // Corrupt the first record's incl_len (global header is 24 bytes,
+        // incl_len sits 8 bytes into the record header) to claim 1 GiB.
+        bytes[32..36].copy_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        match r.next_record() {
+            Err(PcapError::OversizeRecord(n)) => assert_eq!(n, 1 << 30),
+            other => panic!("expected oversize error, got {other:?}"),
+        }
     }
 
     #[test]

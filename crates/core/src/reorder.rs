@@ -38,6 +38,14 @@ fn rank(p: &PacketRecord) -> u8 {
 /// numbers are taken relative to the flow's initial sequence number so
 /// wrap-around does not scramble ordering.
 pub fn reconstruct_order(packets: &[PacketRecord]) -> Vec<usize> {
+    let mut idx = Vec::new();
+    reconstruct_order_into(packets, &mut idx);
+    idx
+}
+
+/// [`reconstruct_order`] writing into a caller-owned buffer, so hot loops
+/// (one classification per evicted flow) can reuse the allocation.
+pub fn reconstruct_order_into(packets: &[PacketRecord], idx: &mut Vec<usize>) {
     // The ISN is the sequence number of the (lowest-ranked) SYN if one was
     // logged, else the minimum data sequence seen.
     let isn = packets
@@ -47,7 +55,8 @@ pub fn reconstruct_order(packets: &[PacketRecord]) -> Vec<usize> {
         .or_else(|| packets.iter().map(|p| p.seq).min())
         .unwrap_or(0);
 
-    let mut idx: Vec<usize> = (0..packets.len()).collect();
+    idx.clear();
+    idx.extend(0..packets.len());
     idx.sort_by_key(|&i| {
         let p = &packets[i];
         (
@@ -60,7 +69,6 @@ pub fn reconstruct_order(packets: &[PacketRecord]) -> Vec<usize> {
             i,
         )
     });
-    idx
 }
 
 /// Convenience: the packets themselves in reconstructed order.

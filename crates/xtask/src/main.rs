@@ -1,0 +1,56 @@
+//! Repo automation. `cargo xtask ci` is the one-command gate a PR must
+//! pass: release build, the full workspace test suite, and the engine
+//! determinism suite re-run explicitly so a scheduling-dependent failure
+//! gets a second chance to surface.
+
+use std::process::{Command, ExitCode};
+
+fn run(step: &str, program: &str, args: &[&str]) -> Result<(), String> {
+    eprintln!("==> {step}: {program} {}", args.join(" "));
+    let status = Command::new(program)
+        .args(args)
+        .status()
+        .map_err(|e| format!("{step}: failed to spawn {program}: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("{step}: exited with {status}"))
+    }
+}
+
+fn ci() -> Result<(), String> {
+    run("build", "cargo", &["build", "--release"])?;
+    run("test", "cargo", &["test", "--workspace", "-q"])?;
+    // The headline guarantee deserves its own gate: run the determinism
+    // suite again so a flaky scheduling-dependent divergence has a second
+    // chance to surface outside the big batch.
+    run(
+        "determinism",
+        "cargo",
+        &["test", "-q", "--test", "engine_determinism"],
+    )?;
+    run(
+        "golden corpus",
+        "cargo",
+        &["test", "-q", "--test", "golden_corpus"],
+    )?;
+    eprintln!("==> ci: all green");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1).unwrap_or_default();
+    let result = match task.as_str() {
+        "ci" => ci(),
+        _ => Err(format!(
+            "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  ci    release build + workspace tests + determinism gates"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,9 +17,13 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use tamperscope::analysis::{flow_to_jsonl, pct, report, summary_to_json, Collector};
-use tamperscope::capture::{flows_from_pcap, OfflineConfig, PcapWriter};
-use tamperscope::core::{classify, ClassifierConfig};
+use tamperscope::analysis::{
+    capture_collector, capture_summary_to_json, engine_perf_to_json, flow_to_jsonl,
+    label_capture_flow, pct, report, summary_to_json, Collector,
+};
+use tamperscope::capture::{run_engine, EngineConfig, OfflineConfig, PcapWriter};
+use tamperscope::cli::Args;
+use tamperscope::core::{Classifier, ClassifierConfig};
 use tamperscope::middlebox::{RuleSet, Vendor, ALL_VENDORS};
 use tamperscope::netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
@@ -27,56 +31,13 @@ use tamperscope::netsim::{
 };
 use tamperscope::worldgen::{generate_lists, Scenario, WorldConfig, WorldSim, SEP13_2022_UNIX};
 
-struct Args {
-    positional: Vec<String>,
-    flags: Vec<(String, Option<String>)>,
-}
-
-impl Args {
-    fn parse(raw: &[String]) -> Args {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut it = raw.iter().peekable();
-        while let Some(a) = it.next() {
-            if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .peek()
-                    .filter(|v| !v.starts_with("--"))
-                    .map(|v| (*v).clone());
-                if value.is_some() {
-                    it.next();
-                }
-                flags.push((name.to_owned(), value));
-            } else {
-                positional.push(a.clone());
-            }
-        }
-        Args { positional, flags }
-    }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
-}
-
 fn usage() -> ExitCode {
     eprintln!(
         "tamperscope — passive detection of connection tampering (SIGCOMM'23 reproduction)
 
 USAGE:
-    tamperscope classify <capture.pcap> [--jsonl | --explain]
+    tamperscope classify <capture.pcap> [--jsonl | --explain] [--threads T]
+                         [--max-flows M] [--json-summary]
     tamperscope report   [--sessions N] [--days D] [--seed S] [--threads T]
                          [--json-summary] [--world spec.json]
     tamperscope iran     [--sessions N] [--seed S]
@@ -157,6 +118,23 @@ fn cmd_world_spec(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum ClassifyMode {
+    Lines,
+    Jsonl,
+    Explain,
+}
+
+/// Per-shard classify state: a scratch-reusing classifier, a collector
+/// slice, and the output lines tagged with each flow's global first-record
+/// index so the merged output sorts into a thread-count-independent order.
+struct ClassifySink {
+    clf: Classifier,
+    col: Collector,
+    lines: Vec<(u64, String)>,
+    matched: u64,
+}
+
 fn cmd_classify(args: &Args) -> ExitCode {
     let Some(path) = args.positional.first() else {
         return usage();
@@ -168,57 +146,98 @@ fn cmd_classify(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (flows, stats) = match flows_from_pcap(BufReader::new(file), &OfflineConfig::default()) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let mode = if args.has("jsonl") {
+        ClassifyMode::Jsonl
+    } else if args.has("explain") {
+        ClassifyMode::Explain
+    } else {
+        ClassifyMode::Lines
     };
+    let cfg = EngineConfig {
+        offline: OfflineConfig::default(),
+        threads: args.get_u64("threads", 0) as usize,
+        max_flows: args.get_u64("max-flows", 0) as usize,
+        ..EngineConfig::default()
+    };
+    let clf_cfg = ClassifierConfig::default();
+    let init = || ClassifySink {
+        clf: Classifier::new(clf_cfg),
+        col: capture_collector(clf_cfg, 0),
+        lines: Vec::new(),
+        matched: 0,
+    };
+    let observe = |sink: &mut ClassifySink, closed: tamperscope::capture::ClosedFlow| {
+        let first_index = closed.first_index;
+        let lf = label_capture_flow(closed.flow);
+        let analysis = sink.clf.classify(&lf.flow);
+        sink.col.observe_analyzed(&lf, &analysis);
+        if analysis.signature().is_some() {
+            sink.matched += 1;
+        }
+        let flow = &lf.flow;
+        let line = match mode {
+            ClassifyMode::Jsonl => flow_to_jsonl(flow, &analysis),
+            ClassifyMode::Explain => tamperscope::core::explain(flow, &analysis),
+            ClassifyMode::Lines => {
+                let verdict = match analysis.signature() {
+                    Some(sig) => format!("TAMPERED  {sig}"),
+                    None if analysis.is_possibly_tampered() => "possibly tampered".to_owned(),
+                    None => "clean".to_owned(),
+                };
+                let domain = analysis.trigger.domain.as_deref().unwrap_or("-");
+                format!(
+                    "{}:{} -> :{}  [{} pkts]  {:<40} {}",
+                    flow.client_ip,
+                    flow.src_port,
+                    flow.dst_port,
+                    flow.packets.len(),
+                    verdict,
+                    domain
+                )
+            }
+        };
+        sink.lines.push((first_index, line));
+    };
+    let merge = |a: &mut ClassifySink, mut b: ClassifySink| {
+        a.col.merge(b.col);
+        a.lines.append(&mut b.lines);
+        a.matched += b.matched;
+    };
+    let (mut sink, stats) =
+        match run_engine(BufReader::new(file), &cfg, init, observe, merge) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     eprintln!(
-        "[{path}] {} flows / {} packets ({} non-inbound, {} unparsable frames skipped)",
-        stats.flows, stats.packets, stats.not_inbound, stats.unparsable
+        "[{path}] {} flows / {} packets ({} non-inbound, {} unparsable frames skipped, {} threads)",
+        stats.ingest.flows,
+        stats.ingest.packets,
+        stats.ingest.not_inbound,
+        stats.ingest.unparsable,
+        stats.threads
     );
-    let cfg = ClassifierConfig::default();
-    let jsonl = args.has("jsonl");
-    let explain_mode = args.has("explain");
-    let mut matched = 0u64;
+    if stats.corrupt_tail {
+        eprintln!("[{path}] warning: capture tail is corrupt; trailing records dropped");
+    }
+    sink.lines.sort_by_key(|(first_index, _)| *first_index);
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    for flow in &flows {
-        let analysis = classify(flow, &cfg);
-        if analysis.signature().is_some() {
-            matched += 1;
-        }
-        if jsonl {
-            let _ = writeln!(out, "{}", flow_to_jsonl(flow, &analysis));
-        } else if explain_mode {
-            let _ = writeln!(out, "{}", tamperscope::core::explain(flow, &analysis));
-        } else {
-            let verdict = match analysis.signature() {
-                Some(sig) => format!("TAMPERED  {sig}"),
-                None if analysis.is_possibly_tampered() => "possibly tampered".to_owned(),
-                None => "clean".to_owned(),
-            };
-            let domain = analysis.trigger.domain.as_deref().unwrap_or("-");
-            let _ = writeln!(
-                out,
-                "{}:{} -> :{}  [{} pkts]  {:<40} {}",
-                flow.client_ip,
-                flow.src_port,
-                flow.dst_port,
-                flow.packets.len(),
-                verdict,
-                domain
-            );
-        }
+    for (_, line) in &sink.lines {
+        let _ = writeln!(out, "{line}");
+    }
+    if args.has("json-summary") {
+        let _ = writeln!(out, "{}", capture_summary_to_json(&sink.col, &stats));
+        let _ = writeln!(out, "{}", engine_perf_to_json(&stats));
     }
     drop(out);
     eprintln!(
         "{} of {} flows match a tampering signature ({})",
-        matched,
-        flows.len(),
-        pct(matched, flows.len() as u64)
+        sink.matched,
+        stats.ingest.flows,
+        pct(sink.matched, stats.ingest.flows)
     );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,126 @@
+//! Command-line argument parsing for the `tamperscope` binary.
+//!
+//! Hand-rolled (the workspace takes no CLI dependency): positionals plus
+//! `--flag` / `--flag value` / `--flag=value`. Whether a flag consumes
+//! the next token is decided by the [`VALUE_FLAGS`] list, not by peeking
+//! at the token's shape — peeking made boolean flags swallow whatever
+//! followed them (`classify --jsonl capture.pcap` used to parse with no
+//! positional at all, rejecting a perfectly good invocation).
+
+/// Flags that take a value. Everything else parses as boolean.
+pub const VALUE_FLAGS: &[&str] = &[
+    "sessions",
+    "days",
+    "seed",
+    "threads",
+    "world",
+    "port",
+    "max-flows",
+    "tamper-share",
+];
+
+/// Parsed command line: positionals in order, flags with optional values.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Non-flag tokens, in order.
+    pub positional: Vec<String>,
+    /// `(name, value)` pairs, in order; later occurrences win on lookup.
+    pub flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parse raw tokens (everything after the subcommand).
+    pub fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let (name, value) = match name.split_once('=') {
+                    Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+                    None => {
+                        let value = if VALUE_FLAGS.contains(&name) {
+                            it.next().cloned()
+                        } else {
+                            None
+                        };
+                        (name.to_owned(), value)
+                    }
+                };
+                flags.push((name, value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    /// The value of the last `--name`, if any was given with a value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Parse the value of `--name` as u64, falling back to `default`.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// True when `--name` appeared at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        let raw: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw)
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_positional() {
+        // The historical bug: `--jsonl` peeked ahead and consumed the
+        // capture path as its "value".
+        let a = args(&["--jsonl", "capture.pcap"]);
+        assert_eq!(a.positional, vec!["capture.pcap"]);
+        assert!(a.has("jsonl"));
+        assert_eq!(a.get("jsonl"), None);
+    }
+
+    #[test]
+    fn value_flags_consume_the_next_token() {
+        let a = args(&["--threads", "8", "capture.pcap", "--max-flows", "1000"]);
+        assert_eq!(a.get_u64("threads", 0), 8);
+        assert_eq!(a.get_u64("max-flows", 0), 1000);
+        assert_eq!(a.positional, vec!["capture.pcap"]);
+    }
+
+    #[test]
+    fn equals_syntax_works_for_any_flag() {
+        let a = args(&["--seed=42", "--jsonl", "--world=spec.json"]);
+        assert_eq!(a.get_u64("seed", 0), 42);
+        assert_eq!(a.get("world"), Some("spec.json"));
+        assert!(a.has("jsonl"));
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let a = args(&["--seed", "1", "--seed", "2"]);
+        assert_eq!(a.get_u64("seed", 0), 2);
+    }
+
+    #[test]
+    fn missing_value_at_end_is_tolerated() {
+        let a = args(&["--threads"]);
+        assert!(a.has("threads"));
+        assert_eq!(a.get("threads"), None);
+        assert_eq!(a.get_u64("threads", 3), 3);
+    }
+}

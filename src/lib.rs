@@ -42,6 +42,8 @@
 //! assert_eq!(analysis.signature(), Some(Signature::SynNone));
 //! ```
 
+pub mod cli;
+
 /// Wire formats: IP/TCP headers, TLS ClientHello, HTTP requests.
 pub use tamper_wire as wire;
 

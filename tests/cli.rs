@@ -59,6 +59,59 @@ fn synthesize_then_classify_round_trip() {
 }
 
 #[test]
+fn classify_accepts_flags_in_any_position() {
+    // Regression: boolean flags placed before the positional path used to
+    // swallow the next argument as their "value", so `classify --jsonl X`
+    // saw no positional at all.
+    let pcap = tmp("flag_order.pcap");
+    let out = bin()
+        .args(["synthesize", pcap.to_str().unwrap(), "--sessions", "60"])
+        .output()
+        .expect("synthesize");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let flag_first = bin()
+        .args(["classify", "--jsonl", pcap.to_str().unwrap()])
+        .output()
+        .expect("classify flag-first");
+    assert!(
+        flag_first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&flag_first.stderr)
+    );
+    let flag_last = bin()
+        .args(["classify", pcap.to_str().unwrap(), "--jsonl"])
+        .output()
+        .expect("classify flag-last");
+    assert!(flag_last.status.success());
+    assert_eq!(flag_first.stdout, flag_last.stdout, "flag position changed output");
+
+    // The engine path: thread count must not change a single output byte,
+    // and --json-summary appends the summary + perf lines.
+    let t1 = bin()
+        .args(["classify", pcap.to_str().unwrap(), "--jsonl", "--threads", "1"])
+        .output()
+        .expect("threads 1");
+    let t4 = bin()
+        .args(["classify", "--threads", "4", "--jsonl", pcap.to_str().unwrap()])
+        .output()
+        .expect("threads 4");
+    assert!(t1.status.success() && t4.status.success());
+    assert_eq!(t1.stdout, t4.stdout, "verdicts differ across thread counts");
+
+    let summary = bin()
+        .args(["classify", pcap.to_str().unwrap(), "--json-summary", "--threads", "2"])
+        .output()
+        .expect("summary");
+    assert!(summary.status.success());
+    let text = String::from_utf8(summary.stdout).unwrap();
+    assert!(text.contains("\"total_flows\":"), "{text}");
+    assert!(text.contains("\"signatures\":"), "{text}");
+    assert!(text.contains("\"threads\":2"), "{text}");
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
 fn report_json_summary_is_valid_shape() {
     let out = bin()
         .args(["report", "--sessions", "4000", "--days", "2", "--json-summary"])

@@ -1,0 +1,241 @@
+//! The engine's headline guarantee: classify output is a pure function of
+//! the capture bytes, not of the thread count. A synthesized capture runs
+//! through the streaming engine at 1, 2, and 8 shards and through the
+//! legacy buffered path; verdict lines, per-signature counts, and the
+//! deterministic summary JSON must be byte-identical everywhere.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use tamperscope::analysis::{
+    capture_collector, capture_summary_to_json, flow_to_jsonl, label_capture_flow, Collector,
+};
+use tamperscope::capture::{
+    flows_from_pcap, run_engine, ClosedFlow, EngineConfig, EngineStats, OfflineConfig, PcapWriter,
+};
+use tamperscope::core::{Classifier, ClassifierConfig, Signature};
+use tamperscope::wire::{PacketBuilder, TcpFlags};
+
+fn server() -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1))
+}
+
+fn frame(
+    client: IpAddr,
+    sport: u16,
+    dport: u16,
+    flags: TcpFlags,
+    seq: u32,
+    ack: u32,
+    payload: &[u8],
+) -> Vec<u8> {
+    PacketBuilder::new(client, server(), sport, dport)
+        .flags(flags)
+        .seq(seq)
+        .ack(ack)
+        .ttl(52)
+        .ip_id((seq % 60_000) as u16)
+        .payload(bytes::Bytes::copy_from_slice(payload))
+        .build()
+        .emit()
+        .to_vec()
+}
+
+/// A deterministic capture with a varied mix of flow shapes, written in
+/// global timestamp order so flows interleave and idle flows age out
+/// mid-stream.
+fn synth_capture(n_flows: u32) -> Vec<u8> {
+    let mut timed: Vec<(u32, Vec<u8>)> = Vec::new();
+    for i in 0..n_flows {
+        let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, (1 + i % 200) as u8));
+        let sport = 20_000 + (i % 40_000) as u16;
+        let dport = if i % 3 == 0 { 80 } else { 443 };
+        let t = 100 + i; // staggered starts
+        let f = |flags, seq, ack, payload: &[u8]| frame(client, sport, dport, flags, seq, ack, payload);
+        match i % 8 {
+            // Clean request/teardown.
+            0 => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
+                timed.push((t + 1, f(TcpFlags::PSH_ACK, 101, 500, b"GET / HTTP/1.1\r\nHost: ok.example\r\n\r\n")));
+                timed.push((t + 2, f(TcpFlags::FIN_ACK, 137, 900, b"")));
+            }
+            // Lone SYN, then silence.
+            1 => timed.push((t, f(TcpFlags::SYN, 100, 0, b""))),
+            // SYN answered by an injected RST.
+            2 => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::RST, 101, 0, b"")));
+            }
+            // Handshake completes, then RST+ACK.
+            3 => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
+                timed.push((t + 1, f(TcpFlags::RST_ACK, 101, 500, b"")));
+            }
+            // Data, then a burst of equal-ack RSTs.
+            4 => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
+                timed.push((t + 1, f(TcpFlags::PSH_ACK, 101, 500, b"hello")));
+                timed.push((t + 1, f(TcpFlags::RST, 106, 700, b"")));
+                timed.push((t + 1, f(TcpFlags::RST, 106, 700, b"")));
+            }
+            // Long idle mid-flow: the 30 s timeout splits it in two.
+            5 => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
+                timed.push((t + 40, f(TcpFlags::PSH_ACK, 101, 500, b"late")));
+            }
+            // More packets than the 10-packet cap retains.
+            6 => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
+                for k in 0..12u32 {
+                    timed.push((t + 1 + k / 6, f(TcpFlags::PSH_ACK, 101 + k * 8, 500, b"chunk!!!")));
+                }
+            }
+            // Two data packets, then RST+ACK.
+            _ => {
+                timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
+                timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
+                timed.push((t + 1, f(TcpFlags::PSH_ACK, 101, 500, b"first")));
+                timed.push((t + 2, f(TcpFlags::PSH_ACK, 106, 600, b"second")));
+                timed.push((t + 2, f(TcpFlags::RST_ACK, 112, 700, b"")));
+            }
+        }
+    }
+    timed.sort_by_key(|(ts, _)| *ts);
+    let mut w = PcapWriter::new(Vec::new()).expect("header");
+    for (i, (ts, fr)) in timed.iter().enumerate() {
+        w.write_frame(*ts, i as u32 % 1_000_000, fr).expect("frame");
+    }
+    w.into_inner()
+}
+
+struct Sink {
+    clf: Classifier,
+    col: Collector,
+    lines: Vec<(u64, String)>,
+}
+
+/// Run the engine at a given shard count; return the concatenated verdict
+/// lines (global order) and the collector.
+fn engine_output(bytes: &[u8], threads: usize) -> (String, Collector, EngineStats) {
+    let cfg = EngineConfig {
+        offline: OfflineConfig::default(),
+        threads,
+        ..EngineConfig::default()
+    };
+    let clf_cfg = ClassifierConfig::default();
+    let (mut sink, stats) = run_engine(
+        bytes,
+        &cfg,
+        || Sink {
+            clf: Classifier::new(clf_cfg),
+            col: capture_collector(clf_cfg, 0),
+            lines: Vec::new(),
+        },
+        |sink: &mut Sink, closed: ClosedFlow| {
+            let first_index = closed.first_index;
+            let lf = label_capture_flow(closed.flow);
+            let analysis = sink.clf.classify(&lf.flow);
+            sink.col.observe_analyzed(&lf, &analysis);
+            sink.lines.push((first_index, flow_to_jsonl(&lf.flow, &analysis)));
+        },
+        |a, mut b| {
+            a.col.merge(b.col);
+            a.lines.append(&mut b.lines);
+        },
+    )
+    .expect("engine run");
+    sink.lines.sort_by_key(|(first_index, _)| *first_index);
+    let text = sink
+        .lines
+        .into_iter()
+        .map(|(_, l)| l)
+        .collect::<Vec<_>>()
+        .join("\n");
+    (text, sink.col, stats)
+}
+
+/// The legacy buffered path, producing the same verdict-line format.
+fn legacy_output(bytes: &[u8]) -> (String, Collector) {
+    let (flows, _stats) =
+        flows_from_pcap(bytes, &OfflineConfig::default()).expect("legacy parse");
+    let clf_cfg = ClassifierConfig::default();
+    let mut clf = Classifier::new(clf_cfg);
+    let mut col = capture_collector(clf_cfg, 0);
+    let mut lines = Vec::new();
+    for flow in flows {
+        let lf = label_capture_flow(flow);
+        let analysis = clf.classify(&lf.flow);
+        col.observe_analyzed(&lf, &analysis);
+        lines.push(flow_to_jsonl(&lf.flow, &analysis));
+    }
+    (lines.join("\n"), col)
+}
+
+fn signature_counts(col: &Collector) -> [u64; 19] {
+    let mut counts = [0u64; 19];
+    for row in &col.country_class {
+        for (i, c) in row.iter().take(19).enumerate() {
+            counts[i] += c;
+        }
+    }
+    counts
+}
+
+#[test]
+fn verdicts_are_byte_identical_across_thread_counts() {
+    let bytes = synth_capture(120);
+    let (out1, col1, stats1) = engine_output(&bytes, 1);
+    let (out2, col2, stats2) = engine_output(&bytes, 2);
+    let (out8, col8, stats8) = engine_output(&bytes, 8);
+
+    assert!(!out1.is_empty());
+    assert_eq!(out1, out2, "threads 1 vs 2 diverged");
+    assert_eq!(out1, out8, "threads 1 vs 8 diverged");
+
+    // The deterministic summary line must match byte-for-byte too.
+    let s1 = capture_summary_to_json(&col1, &stats1);
+    let s2 = capture_summary_to_json(&col2, &stats2);
+    let s8 = capture_summary_to_json(&col8, &stats8);
+    assert_eq!(s1, s2);
+    assert_eq!(s1, s8);
+
+    // And the per-signature counts.
+    assert_eq!(signature_counts(&col1), signature_counts(&col2));
+    assert_eq!(signature_counts(&col1), signature_counts(&col8));
+
+    // The capture genuinely exercised streaming eviction and all
+    // stat paths — otherwise the determinism claim is vacuous.
+    assert!(stats1.evicted_timeout > 0, "no timeout evictions happened");
+    assert!(stats1.drained_eof > 0, "no EOF drains happened");
+    assert!(stats1.ingest.truncated_packets > 0, "no truncation happened");
+}
+
+#[test]
+fn engine_matches_the_legacy_buffered_path() {
+    let bytes = synth_capture(96);
+    let (engine_text, engine_col, _) = engine_output(&bytes, 4);
+    let (legacy_text, legacy_col) = legacy_output(&bytes);
+    assert_eq!(engine_text, legacy_text);
+    assert_eq!(signature_counts(&engine_col), signature_counts(&legacy_col));
+    assert_eq!(engine_col.total, legacy_col.total);
+    assert_eq!(engine_col.possibly_tampered, legacy_col.possibly_tampered);
+}
+
+#[test]
+fn corpus_hits_multiple_signatures() {
+    // Sanity: the synthetic mix must produce a spread of signatures, not
+    // funnel everything into one bucket.
+    let bytes = synth_capture(80);
+    let (_, col, _) = engine_output(&bytes, 2);
+    let counts = signature_counts(&col);
+    assert!(counts[Signature::SynNone.index()] > 0);
+    assert!(counts[Signature::SynRst.index()] > 0);
+    assert!(counts[Signature::AckRstAck.index()] > 0);
+    assert!(counts[Signature::PshRstEq.index()] > 0);
+    let distinct = counts.iter().filter(|&&c| c > 0).count();
+    assert!(distinct >= 4, "only {distinct} distinct signatures: {counts:?}");
+}

@@ -1,0 +1,343 @@
+//! Offline, API-compatible subset of the `bytes` crate: just enough of
+//! `Bytes`, `BytesMut`, and `BufMut` for this workspace, so builds never
+//! need the network. Cheap-clone semantics are preserved (shared
+//! `Arc<[u8]>` storage; static slices are borrowed, not copied).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    inner: Inner,
+}
+
+#[derive(Clone)]
+enum Inner {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub const fn new() -> Bytes {
+        Bytes {
+            inner: Inner::Static(&[]),
+        }
+    }
+
+    /// Wrap a static slice without copying.
+    pub const fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            inner: Inner::Static(data),
+        }
+    }
+
+    /// Copy a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            inner: Inner::Shared(Arc::from(data)),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Copy the range `at..` into a new buffer (subset of the real
+    /// `slice` API used here).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.as_slice()[range])
+    }
+
+    /// A plain `Vec` copy of the contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Static(s) => s,
+            Inner::Shared(s) => s,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            inner: Inner::Shared(Arc::from(v)),
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes::from_static(v)
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Bytes {
+        Bytes::from_static(v.as_bytes())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data)
+    }
+
+    /// Reserve additional capacity.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional)
+    }
+
+    /// Truncate to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len)
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(&self.vec), f)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+/// Append-only writer trait (big-endian put methods, as in the real
+/// crate).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u128.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.vec.extend_from_slice(data)
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_and_equality() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b.len(), 5);
+        assert_eq!(b, Bytes::copy_from_slice(b"hello"));
+        assert_eq!(&b[1..3], b"el");
+        let c = b.clone();
+        assert_eq!(c.to_vec(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(1);
+        m.put_u16(0x0203);
+        m.put_u32(0x0405_0607);
+        m.put_slice(b"xy");
+        m[0] = 9;
+        assert_eq!(m.len(), 9);
+        let frozen = m.freeze();
+        assert_eq!(&frozen[..], &[9, 2, 3, 4, 5, 6, 7, b'x', b'y']);
+    }
+}
