@@ -100,7 +100,7 @@ pub fn engine_perf_to_json(stats: &EngineStats) -> String {
     JsonObject::new()
         .uint("threads", stats.threads as u64)
         .uint("channel_stalls", stats.channel_stalls)
-        .uint("max_live_flows", stats.max_live_flows as u64)
+        .uint("max_live_flows", stats.max_live_flows)
         .uint("evicted_timeout", stats.evicted_timeout)
         .uint("evicted_cap", stats.evicted_cap)
         .uint("drained_eof", stats.drained_eof)

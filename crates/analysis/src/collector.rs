@@ -7,11 +7,11 @@
 //! evidence reservoirs for the CDF figures and ground-truth confusion
 //! counts that only exist in simulation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tamper_core::{classify, ClassifierConfig, FlowAnalysis, Signature, Stage};
 use tamper_core::{
-    is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta,
-    max_rst_ipid_delta, max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks,
+    is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta, max_rst_ipid_delta,
+    max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks,
 };
 use tamper_netsim::splitmix64;
 use tamper_worldgen::LabeledFlow;
@@ -94,8 +94,10 @@ pub struct Collector {
     pub stage_matched: [u64; 5],
     /// Per-country classification counts.
     pub country_class: Vec<[u64; N_CLASSES]>,
-    /// Per-(country, asn) (total, matched-any-signature).
-    pub as_counts: HashMap<(u16, u32), (u64, u64)>,
+    /// Per-(country, asn) (total, matched-any-signature). Ordered map:
+    /// report generators iterate this directly, and iteration order must
+    /// not depend on hasher seeds.
+    pub as_counts: BTreeMap<(u16, u32), (u64, u64)>,
     /// Per-country per-hour (total, matched Post-ACK/Post-PSH signature).
     pub country_hour: Vec<Vec<(u32, u32)>>,
     /// Global per-hour per-signature counts.
@@ -106,8 +108,8 @@ pub struct Collector {
     pub country_ipver: Vec<[(u64, u64); 2]>,
     /// Per-country per-protocol (HTTP=0, TLS=1): (total, matched Post-PSH).
     pub country_proto: Vec<[(u64, u64); 2]>,
-    /// Per-(country, domain) cells.
-    pub domain_cells: HashMap<(u16, u32), DomainCell>,
+    /// Per-(country, domain) cells. Ordered for deterministic reports.
+    pub domain_cells: BTreeMap<(u16, u32), DomainCell>,
     /// IP-ID delta reservoirs per class (index 19 = Not Tampering).
     pub ipid_res: Vec<Vec<u32>>,
     /// TTL delta reservoirs per class.
@@ -144,8 +146,8 @@ pub struct Collector {
     pub port443_flows: u64,
     /// Port-443 flows whose SYN carried payload.
     pub port443_syn_payload: u64,
-    /// SYN-payload counts per domain id.
-    pub syn_payload_domains: HashMap<u32, u32>,
+    /// SYN-payload counts per domain id. Ordered for deterministic reports.
+    pub syn_payload_domains: BTreeMap<u32, u32>,
 
     /// Post-Data signature matches observed.
     pub postdata_matches: u64,
@@ -161,7 +163,8 @@ pub struct Collector {
     pub benign_attribution: Vec<[u64; N_CLASSES]>,
     /// Per-(ip, domain) Post-PSH class sequences (Appendix B / Fig 10):
     /// class codes 0 = Not Tampering, 1..=8 the Post-PSH signatures.
-    pub pair_seqs: HashMap<(u64, u32), Vec<u8>>,
+    /// Ordered for deterministic reports.
+    pub pair_seqs: BTreeMap<(u64, u32), Vec<u8>>,
 }
 
 /// Map a signature to its Fig 10 class code (Post-PSH only).
@@ -210,9 +213,9 @@ fn ip_key(ip: std::net::IpAddr) -> u64 {
     match ip {
         std::net::IpAddr::V4(v4) => splitmix64(u64::from(u32::from(v4))),
         std::net::IpAddr::V6(v6) => {
-            let o = v6.octets();
-            let hi = u64::from_be_bytes(o[0..8].try_into().unwrap());
-            let lo = u64::from_be_bytes(o[8..16].try_into().unwrap());
+            let bits = u128::from_be_bytes(v6.octets());
+            let hi = (bits >> 64) as u64;
+            let lo = bits as u64;
             splitmix64(hi ^ lo.rotate_left(32))
         }
     }
@@ -232,13 +235,13 @@ impl Collector {
             stage_counts: [0; 5],
             stage_matched: [0; 5],
             country_class: vec![[0; N_CLASSES]; n_countries],
-            as_counts: HashMap::new(),
+            as_counts: BTreeMap::new(),
             country_hour: vec![vec![(0, 0); hours]; n_countries],
             sig_hour: vec![[0; 19]; hours],
             hour_totals: vec![0; hours],
             country_ipver: vec![[(0, 0); 2]; n_countries],
             country_proto: vec![[(0, 0); 2]; n_countries],
-            domain_cells: HashMap::new(),
+            domain_cells: BTreeMap::new(),
             ipid_res: vec![Vec::new(); 20],
             ttl_res: vec![Vec::new(); 20],
             ipid_flows: 0,
@@ -254,15 +257,12 @@ impl Collector {
             port80_syn_payload: 0,
             port443_flows: 0,
             port443_syn_payload: 0,
-            syn_payload_domains: HashMap::new(),
+            syn_payload_domains: BTreeMap::new(),
             postdata_matches: 0,
             postdata_fw_ua: 0,
             truth: TruthStats::default(),
-            benign_attribution: vec![
-                [0; N_CLASSES];
-                tamper_worldgen::BenignKind::ALL.len()
-            ],
-            pair_seqs: HashMap::new(),
+            benign_attribution: vec![[0; N_CLASSES]; tamper_worldgen::BenignKind::ALL.len()],
+            pair_seqs: BTreeMap::new(),
         }
     }
 

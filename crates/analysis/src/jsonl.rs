@@ -55,8 +55,11 @@ impl JsonObject {
     /// Add a string field.
     pub fn str(mut self, key: &str, value: &str) -> JsonObject {
         self.sep();
-        self.body
-            .push_str(&format!("\"{}\":\"{}\"", escape_json(key), escape_json(value)));
+        self.body.push_str(&format!(
+            "\"{}\":\"{}\"",
+            escape_json(key),
+            escape_json(value)
+        ));
         self
     }
 
@@ -71,14 +74,16 @@ impl JsonObject {
     /// Add an integer field.
     pub fn int(mut self, key: &str, value: i64) -> JsonObject {
         self.sep();
-        self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self.body
+            .push_str(&format!("\"{}\":{value}", escape_json(key)));
         self
     }
 
     /// Add an unsigned field.
     pub fn uint(mut self, key: &str, value: u64) -> JsonObject {
         self.sep();
-        self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self.body
+            .push_str(&format!("\"{}\":{value}", escape_json(key)));
         self
     }
 
@@ -88,9 +93,11 @@ impl JsonObject {
         self.sep();
         let value = if value == 0.0 { 0.0 } else { value };
         if value.is_finite() {
-            self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+            self.body
+                .push_str(&format!("\"{}\":{value}", escape_json(key)));
         } else {
-            self.body.push_str(&format!("\"{}\":null", escape_json(key)));
+            self.body
+                .push_str(&format!("\"{}\":null", escape_json(key)));
         }
         self
     }
@@ -98,7 +105,8 @@ impl JsonObject {
     /// Add a boolean field.
     pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
         self.sep();
-        self.body.push_str(&format!("\"{}\":{value}", escape_json(key)));
+        self.body
+            .push_str(&format!("\"{}\":{value}", escape_json(key)));
         self
     }
 
@@ -113,7 +121,8 @@ impl JsonObject {
     /// Add an explicit null.
     pub fn null(mut self, key: &str) -> JsonObject {
         self.sep();
-        self.body.push_str(&format!("\"{}\":null", escape_json(key)));
+        self.body
+            .push_str(&format!("\"{}\":null", escape_json(key)));
         self
     }
 
@@ -144,10 +153,7 @@ pub fn flow_to_jsonl(flow: &FlowRecord, analysis: &FlowAnalysis) -> String {
         .bool("truncated", flow.truncated)
         .str("verdict", verdict)
         .opt_str("signature", signature)
-        .opt_str(
-            "stage",
-            analysis.stage.map(|s| s.label()),
-        )
+        .opt_str("stage", analysis.stage.map(|s| s.label()))
         .str("protocol", protocol)
         .opt_str("trigger_domain", analysis.trigger.domain.as_deref())
         .uint("rst_count", analysis.rst_count as u64)

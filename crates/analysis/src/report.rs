@@ -8,7 +8,7 @@
 use crate::collector::{class_code_label, Collector, CLASS_NOT_TAMPERED, CLASS_OTHER};
 use crate::fmt::{pct, pct_f, Table};
 use crate::stats::{slope_through_origin, Cdf};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 use tamper_core::{Signature, Stage};
 use tamper_worldgen::{country_index, Category, TestLists, WorldSim};
 
@@ -52,11 +52,7 @@ pub fn table1(col: &Collector) -> String {
             sig.prior_work().to_owned(),
         ]);
     }
-    let other: u64 = col
-        .country_class
-        .iter()
-        .map(|c| c[CLASS_OTHER])
-        .sum();
+    let other: u64 = col.country_class.iter().map(|c| c[CLASS_OTHER]).sum();
     t.row([
         "—".to_owned(),
         "(unmatched possibly tampered)".to_owned(),
@@ -66,7 +62,11 @@ pub fn table1(col: &Collector) -> String {
     out.push_str(&t.render());
 
     out.push_str("\nStage breakdown of possibly tampered connections:\n");
-    let mut st = Table::new(["Stage", "% of possibly tampered", "signature coverage within stage"]);
+    let mut st = Table::new([
+        "Stage",
+        "% of possibly tampered",
+        "signature coverage within stage",
+    ]);
     let labels = [
         "Mid-handshake (Post-SYN)",
         "Immediately post-handshake (Post-ACK)",
@@ -184,7 +184,9 @@ pub fn fig2(col: &Collector) -> String {
 /// Figure 3: CDF of the signed TTL change between the RST and the
 /// preceding packet, per signature.
 pub fn fig3(col: &Collector) -> String {
-    let xs = [-200.0, -100.0, -50.0, -10.0, -1.0, 0.0, 1.0, 10.0, 50.0, 100.0, 200.0];
+    let xs = [
+        -200.0, -100.0, -50.0, -10.0, -1.0, 0.0, 1.0, 10.0, 50.0, 100.0, 200.0,
+    ];
     cdf_block(
         "Figure 3 — max TTL change between RST and preceding packet (CDF)",
         &xs,
@@ -360,10 +362,7 @@ pub fn diurnal_contrast(col: &Collector, sim: &WorldSim, code: &str) -> Option<(
     if night_t == 0 || day_t == 0 {
         return None;
     }
-    Some((
-        night_m as f64 / night_t as f64,
-        day_m as f64 / day_t as f64,
-    ))
+    Some((night_m as f64 / night_t as f64, day_m as f64 / day_t as f64))
 }
 
 /// Figure 9 (Appendix A): hourly percentage of connections matching each
@@ -478,10 +477,12 @@ fn region_categories(
     threshold: u32,
 ) -> RegionCategoryView {
     let catalog = sim.catalog();
-    let mut by_cat: Vec<(u64, HashSet<u32>, HashSet<u32>)> =
-        (0..Category::ALL.len()).map(|_| (0, HashSet::new(), HashSet::new())).collect();
+    let mut by_cat: Vec<(u64, BTreeSet<u32>, BTreeSet<u32>)> = (0..Category::ALL.len())
+        .map(|_| (0, BTreeSet::new(), BTreeSet::new()))
+        .collect();
     // Aggregate cells (for Global, sum the same domain across countries).
-    let mut agg: std::collections::HashMap<u32, (u32, u32)> = std::collections::HashMap::new();
+    // Ordered map: the iteration below feeds rendered rows.
+    let mut agg: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
     for ((cc, d), cell) in &col.domain_cells {
         if let Some(c) = country {
             if *cc != c {
@@ -571,7 +572,7 @@ fn observed_tampered_domains(
     threshold: u32,
 ) -> Vec<String> {
     let catalog = sim.catalog();
-    let mut agg: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut agg: BTreeMap<u32, u32> = BTreeMap::new();
     for ((cc, d), cell) in &col.domain_cells {
         if let Some(c) = country {
             if *cc != c {
@@ -648,7 +649,12 @@ pub fn table3(col: &Collector, sim: &WorldSim, lists: &TestLists, threshold: u32
             .collect();
         move |d: &str| members.iter().any(|l| l.contains(d))
     };
-    let cl_gf = union_pred(&["Citizenlab", "Citizenlab_global", "Greatfire_all", "Greatfire_30d"]);
+    let cl_gf = union_pred(&[
+        "Citizenlab",
+        "Citizenlab_global",
+        "Greatfire_all",
+        "Greatfire_30d",
+    ]);
     {
         let mut row = vec!["Union: Citizenlab + Greatfire".to_owned(), String::new()];
         for obs in &observed {
@@ -672,7 +678,10 @@ pub fn table3(col: &Collector, sim: &WorldSim, lists: &TestLists, threshold: u32
             .filter(|l| l.name.starts_with("Citizenlab") || l.name.starts_with("Greatfire"))
             .collect();
         let pred = |d: &str| members.iter().any(|l| l.substring_match(d));
-        let mut row = vec!["Substring: Citizenlab + Greatfire".to_owned(), String::new()];
+        let mut row = vec![
+            "Substring: Citizenlab + Greatfire".to_owned(),
+            String::new(),
+        ];
         for obs in &observed {
             row.push(coverage(&pred, obs));
         }
@@ -847,7 +856,13 @@ pub fn full_report(col: &Collector, sim: &WorldSim, lists: &TestLists) -> String
 /// benign client behaviour, where its flows land in the classification —
 /// which signature absorbs it, or whether it stays unmatched/clean.
 pub fn benign_attribution(col: &Collector) -> String {
-    let mut t = Table::new(["Benign behaviour", "n", "Dominant class", "share", "Not tampered"]);
+    let mut t = Table::new([
+        "Benign behaviour",
+        "n",
+        "Dominant class",
+        "share",
+        "Not tampered",
+    ]);
     for kind in tamper_worldgen::BenignKind::ALL {
         let row = &col.benign_attribution[kind.index()];
         let n: u64 = row.iter().sum();
@@ -954,7 +969,8 @@ mod tests {
             .skip(4)
             .filter_map(|l| {
                 let cols: Vec<&str> = l.split_whitespace().collect();
-                cols.get(2).and_then(|c| c.trim_end_matches('%').parse().ok())
+                cols.get(2)
+                    .and_then(|c| c.trim_end_matches('%').parse().ok())
             })
             .collect();
         assert!(rates.len() > 10);

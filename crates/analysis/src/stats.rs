@@ -45,9 +45,7 @@ impl Cdf {
         if self.sorted.is_empty() {
             return f64::NAN;
         }
-        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
-            .clamp(1, self.sorted.len())
-            - 1;
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
         self.sorted[idx]
     }
 

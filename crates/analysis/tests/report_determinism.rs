@@ -1,0 +1,113 @@
+//! Report determinism: the artifact generators must be pure functions of
+//! the flow *multiset*, never of map iteration order or insertion order.
+//!
+//! Before the collector moved to `BTreeMap`, two collectors holding
+//! identical counts could render different reports: `HashMap` iteration
+//! order differs per map instance (each gets its own `RandomState`), and
+//! that order leaked through stable-sort ties in e.g. Figure 5's per-AS
+//! table. These tests pin the fix.
+
+use tamper_analysis::{report, Collector};
+use tamper_core::ClassifierConfig;
+use tamper_netsim::splitmix64;
+use tamper_worldgen::{generate_lists, LabeledFlow, WorldConfig, WorldSim};
+
+fn sim() -> WorldSim {
+    WorldSim::new(WorldConfig {
+        sessions: 4_000,
+        days: 2,
+        catalog_size: 600,
+        ..Default::default()
+    })
+}
+
+fn collect_flows(sim: &WorldSim) -> Vec<LabeledFlow> {
+    let mut flows = Vec::new();
+    sim.run(|lf| flows.push(lf));
+    flows
+}
+
+fn collector_for(sim: &WorldSim) -> Collector {
+    Collector::new(
+        ClassifierConfig::default(),
+        sim.world().len(),
+        2,
+        sim.config().start_unix,
+    )
+}
+
+/// Deterministic Fisher–Yates driven by splitmix64, so the "shuffled"
+/// insertion order is reproducible across runs.
+fn shuffle(flows: &mut [LabeledFlow], seed: u64) {
+    let mut state = seed;
+    for i in (1..flows.len()).rev() {
+        state = splitmix64(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        flows.swap(i, j);
+    }
+}
+
+/// Two collectors fed the *same* flows in the *same* order must render
+/// byte-identical full reports. With per-instance hasher seeds this was
+/// not guaranteed; with ordered maps it is.
+#[test]
+fn identical_runs_render_identical_reports() {
+    let sim = sim();
+    let flows = collect_flows(&sim);
+    let lists = generate_lists(&sim);
+
+    let mut a = collector_for(&sim);
+    let mut b = collector_for(&sim);
+    for lf in &flows {
+        a.observe(lf);
+        b.observe(lf);
+    }
+    assert_eq!(
+        report::full_report(&a, &sim, &lists),
+        report::full_report(&b, &sim, &lists),
+        "same flows, same order, different report bytes"
+    );
+}
+
+/// Feeding the same flow multiset in a shuffled order must not change any
+/// count-based artifact. (Evidence reservoirs and repeat-pair sequences
+/// are genuinely first-come collections, so Figures 2/3/10 are excluded —
+/// everything else is a pure aggregate.)
+#[test]
+fn shuffled_insertion_order_renders_identical_aggregates() {
+    let sim = sim();
+    let flows = collect_flows(&sim);
+    let lists = generate_lists(&sim);
+
+    let mut ordered = collector_for(&sim);
+    for lf in &flows {
+        ordered.observe(lf);
+    }
+
+    let mut shuffled_flows = flows.clone();
+    shuffle(&mut shuffled_flows, 0x5eed_cafe);
+    assert!(shuffled_flows.iter().zip(&flows).any(
+        |(a, b)| a.meta.start_unix != b.meta.start_unix || a.flow.client_ip != b.flow.client_ip
+    ));
+    let mut shuffled = collector_for(&sim);
+    for lf in &shuffled_flows {
+        shuffled.observe(lf);
+    }
+
+    let render = |c: &Collector| {
+        [
+            ("table1", report::table1(c)),
+            ("fig1", report::fig1(c, &sim, 6)),
+            ("fig4", report::fig4(c, &sim, 100)),
+            ("fig5", report::fig5(c, &sim, 400)),
+            ("fig7a", report::fig7a(c, &sim, 150)),
+            ("fig7b", report::fig7b(c, &sim, 150)),
+            ("table2", report::table2(c, &sim, 3)),
+            ("table3", report::table3(c, &sim, &lists, 3)),
+            ("validation", report::validation(c)),
+        ]
+    };
+    for ((name, a), (_, b)) in render(&ordered).iter().zip(render(&shuffled).iter()) {
+        assert_eq!(a, b, "{name} depends on flow insertion order");
+    }
+}

@@ -17,10 +17,7 @@ use tamper_bench::{collector_for, emit, run_pipeline, BENCH_SESSIONS};
 use tamper_core::{ClassifierConfig, Stage};
 use tamper_worldgen::{WorldConfig, WorldSim};
 
-fn world_with(
-    sessions: u64,
-    f: impl FnOnce(&mut WorldConfig),
-) -> WorldSim {
+fn world_with(sessions: u64, f: impl FnOnce(&mut WorldConfig)) -> WorldSim {
     let mut cfg = WorldConfig {
         sessions,
         days: 4,
@@ -84,7 +81,10 @@ fn emit_artifacts() {
     for max_packets in [4usize, 10, 20] {
         let sim = world_with(N, |cfg| cfg.collector.max_packets = max_packets);
         let col = run_pipeline(&sim);
-        lines.push_str(&format!("window {max_packets:>2} packets: {}\n", headline(&col)));
+        lines.push_str(&format!(
+            "window {max_packets:>2} packets: {}\n",
+            headline(&col)
+        ));
     }
     emit("Ablation A2 — packet window", &lines);
 
@@ -98,7 +98,11 @@ fn emit_artifacts() {
         let col = run_pipeline(&sim);
         lines.push_str(&format!(
             "{}: {}\n",
-            if quantize { "1-second timestamps (paper)" } else { "exact timestamps    " },
+            if quantize {
+                "1-second timestamps (paper)"
+            } else {
+                "exact timestamps    "
+            },
             headline(&col)
         ));
     }
@@ -120,7 +124,11 @@ fn emit_artifacts() {
             .count();
         lines.push_str(&format!(
             "{}: {} | distinct signatures observed: {distinct}\n",
-            if split { "split (19 signatures) " } else { "merged (13 signatures)" },
+            if split {
+                "split (19 signatures) "
+            } else {
+                "merged (13 signatures)"
+            },
             headline(&col)
         ));
     }
@@ -145,7 +153,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let sim = world_with(BENCH_SESSIONS, |_| {});
     for secs in [1u64, 3, 10] {
-        g.bench_function(format!("a1_threshold_{secs}s"), |b| {
+        g.bench_function(&format!("a1_threshold_{secs}s"), |b| {
             b.iter(|| {
                 run_with_classifier(
                     &sim,

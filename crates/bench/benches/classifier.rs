@@ -7,8 +7,7 @@ use tamper_bench::pregenerate;
 use tamper_capture::{collect, CollectorConfig};
 use tamper_core::{classify, reordered, ClassifierConfig};
 use tamper_netsim::{
-    derive_rng, run_session, ClientConfig, Path, ServerConfig, SessionParams, SimDuration,
-    SimTime,
+    derive_rng, run_session, ClientConfig, Path, ServerConfig, SessionParams, SimDuration, SimTime,
 };
 use tamper_wire::{Packet, PacketBuilder, TcpFlags, TcpHeader};
 
@@ -71,7 +70,11 @@ fn bench(c: &mut Criterion) {
             },
             |(ccfg, scfg, mut rng)| {
                 let mut path = Path::direct(SimDuration::from_millis(40), 12);
-                run_session(SessionParams::new(ccfg, scfg, SimTime::ZERO), &mut path, &mut rng)
+                run_session(
+                    SessionParams::new(ccfg, scfg, SimTime::ZERO),
+                    &mut path,
+                    &mut rng,
+                )
             },
             BatchSize::SmallInput,
         )
@@ -81,7 +84,11 @@ fn bench(c: &mut Criterion) {
         let scfg = ServerConfig::default_edge(server_ip, 443);
         let mut rng = derive_rng(9, 77);
         let mut path = Path::direct(SimDuration::from_millis(40), 12);
-        let trace = run_session(SessionParams::new(ccfg, scfg, SimTime::ZERO), &mut path, &mut rng);
+        let trace = run_session(
+            SessionParams::new(ccfg, scfg, SimTime::ZERO),
+            &mut path,
+            &mut rng,
+        );
         let ccfg2 = CollectorConfig::default();
         b.iter_batched(
             || derive_rng(10, 1),

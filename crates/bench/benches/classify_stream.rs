@@ -12,7 +12,9 @@ use std::net::{IpAddr, Ipv4Addr};
 use std::time::Instant;
 
 use tamper_analysis::{capture_collector, label_capture_flow, Collector};
-use tamper_capture::{run_engine, ClosedFlow, EngineConfig, EngineStats, OfflineConfig, PcapWriter};
+use tamper_capture::{
+    run_engine, ClosedFlow, EngineConfig, EngineStats, OfflineConfig, PcapWriter,
+};
 use tamper_core::{Classifier, ClassifierConfig};
 use tamper_wire::{PacketBuilder, TcpFlags};
 
@@ -43,14 +45,20 @@ fn synth_capture(n_flows: u32) -> Vec<u8> {
                 .payload(bytes::Bytes::copy_from_slice(payload))
                 .build()
                 .emit();
-            w.write_frame(ts, record % 1_000_000, &frame).expect("frame");
+            w.write_frame(ts, record % 1_000_000, &frame)
+                .expect("frame");
             record += 1;
         };
         match i % 4 {
             0 => {
                 f(t, TcpFlags::SYN, 100, b"");
                 f(t, TcpFlags::ACK, 101, b"");
-                f(t + 1, TcpFlags::PSH_ACK, 101, b"GET / HTTP/1.1\r\nHost: x.example\r\n\r\n");
+                f(
+                    t + 1,
+                    TcpFlags::PSH_ACK,
+                    101,
+                    b"GET / HTTP/1.1\r\nHost: x.example\r\n\r\n",
+                );
                 f(t + 2, TcpFlags::FIN_ACK, 137, b"");
             }
             1 => f(t, TcpFlags::SYN, 100, b""),
@@ -100,7 +108,9 @@ fn run(bytes: &[u8], threads: usize) -> (Collector, EngineStats) {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     eprintln!("synthesizing {FLOWS} flows...");
     let bytes = synth_capture(FLOWS);
     eprintln!("capture: {} MiB", bytes.len() >> 20);
@@ -114,7 +124,10 @@ fn main() {
         let start = Instant::now();
         let (col, stats) = run(&bytes, threads);
         let secs = start.elapsed().as_secs_f64();
-        assert_eq!(col.total, base_col.total, "flow totals diverged at {threads} shards");
+        assert_eq!(
+            col.total, base_col.total,
+            "flow totals diverged at {threads} shards"
+        );
         assert_eq!(
             col.possibly_tampered, base_col.possibly_tampered,
             "verdicts diverged at {threads} shards"
@@ -125,9 +138,7 @@ fn main() {
         }
         let fps = stats.ingest.flows as f64 / secs;
         let speedup = base_secs / secs;
-        eprintln!(
-            "threads {threads}: {secs:.3}s, {fps:.0} flows/s, {speedup:.2}x vs 1",
-        );
+        eprintln!("threads {threads}: {secs:.3}s, {fps:.0} flows/s, {speedup:.2}x vs 1",);
         rows.push(format!(
             "    {{\"threads\": {threads}, \"secs\": {secs:.4}, \"flows_per_sec\": {fps:.0}, \"speedup_vs_1\": {speedup:.3}}}"
         ));
@@ -139,7 +150,10 @@ fn main() {
         base_stats.records,
         rows.join(",\n"),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_classify_stream.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_classify_stream.json"
+    );
     std::fs::write(path, &json).expect("write BENCH_classify_stream.json");
     println!("{json}");
 }

@@ -10,7 +10,10 @@ use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESS
 fn emit_artifacts() {
     let sim = standard_world(EMIT_SESSIONS);
     let col = run_pipeline(&sim);
-    emit("Figure 6", &report::fig6(&col, &sim, &report::FIG6_COUNTRIES));
+    emit(
+        "Figure 6",
+        &report::fig6(&col, &sim, &report::FIG6_COUNTRIES),
+    );
     emit("Figure 7(a)", &report::fig7a(&col, &sim, 150));
     emit("Figure 7(b)", &report::fig7b(&col, &sim, 150));
     emit("Figure 9 (Appendix A)", &report::fig9(&col));

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("iran");
     g.sample_size(10);
     let sim = iran_world(3_000);
-    g.bench_function("iran_scenario_pipeline", |b| {
-        b.iter(|| run_pipeline(&sim))
-    });
+    g.bench_function("iran_scenario_pipeline", |b| b.iter(|| run_pipeline(&sim)));
     let col = run_pipeline(&sim);
     g.bench_function("fig8_render", |b| b.iter(|| report::fig8(&col)));
     g.finish();

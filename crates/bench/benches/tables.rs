@@ -30,7 +30,9 @@ fn bench(c: &mut Criterion) {
 
     let col = run_pipeline(&sim);
     let lists = generate_lists(&sim);
-    g.bench_function("table2_render", |b| b.iter(|| report::table2(&col, &sim, 3)));
+    g.bench_function("table2_render", |b| {
+        b.iter(|| report::table2(&col, &sim, 3))
+    });
     g.bench_function("table3_render", |b| {
         b.iter(|| report::table3(&col, &sim, &lists, 3))
     });

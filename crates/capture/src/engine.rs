@@ -157,14 +157,20 @@ fn route_hash(frame: &[u8]) -> Option<u64> {
         splitmix64(h ^ v)
     }
     fn word(b: &[u8], at: usize) -> u64 {
-        u64::from(u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]]))
+        // Callers guard the frame length, but stay bounds-checked anyway:
+        // a short read hashes as zero instead of panicking.
+        let mut w = [0u8; 4];
+        if let Some(s) = b.get(at..at + 4) {
+            w.copy_from_slice(s);
+        }
+        u64::from(u32::from_be_bytes(w))
     }
     let first = *frame.first()?;
     match first >> 4 {
         4 => {
             // The wire parser only accepts a 20-byte header (IHL 5) and
             // protocol 6; anything else fails full parse too.
-            if frame.len() < 24 || (first & 0x0f) != 5 || frame[9] != 6 {
+            if frame.len() < 24 || (first & 0x0f) != 5 || frame.get(9) != Some(&6) {
                 return None;
             }
             let mut h = mix(0x7461_6d70_6572_0004, word(frame, 12)); // src
@@ -172,7 +178,7 @@ fn route_hash(frame: &[u8]) -> Option<u64> {
             Some(mix(h, word(frame, 20))) // ports
         }
         6 => {
-            if frame.len() < 44 || frame[6] != 6 {
+            if frame.len() < 44 || frame.get(6) != Some(&6) {
                 return None;
             }
             let mut h = 0x7461_6d70_6572_0006;
@@ -292,7 +298,14 @@ where
             let (tx, rx) = bounded::<Vec<RecordMsg>>(channel_capacity);
             senders.push(tx);
             handles.push(s.spawn(move |_| {
-                run_shard(rx, offline, per_shard_cap, final_ref, init_ref(), observe_ref)
+                run_shard(
+                    rx,
+                    offline,
+                    per_shard_cap,
+                    final_ref,
+                    init_ref(),
+                    observe_ref,
+                )
             }));
         }
 
@@ -301,16 +314,19 @@ where
         let mut index = 0u64;
         let mut stamp = 0u64;
         let flush = |shard: usize, batches: &mut Vec<Vec<RecordMsg>>, stats: &mut EngineStats| {
+            // tamperlint: allow(index) — shard < threads == batches.len() by the route_hash modulo
             let batch = std::mem::take(&mut batches[shard]);
             if batch.is_empty() {
                 return;
             }
+            // tamperlint: allow(index) — shard < threads == senders.len() by the route_hash modulo
             match senders[shard].try_send(batch) {
                 Ok(()) => {}
                 Err(TrySendError::Full(batch)) => {
                     stats.channel_stalls += 1;
                     // Worker threads only exit when senders drop, so a
                     // blocking send can only fail on worker panic.
+                    // tamperlint: allow(index) — same in-bounds shard as the try_send above
                     let _ = senders[shard].send(batch);
                 }
                 Err(TrySendError::Disconnected(_)) => {}
@@ -325,12 +341,14 @@ where
                     match route_hash(&rec.frame) {
                         Some(h) => {
                             let shard = (h % threads as u64) as usize;
+                            // tamperlint: allow(index) — shard < threads == batches.len() by construction
                             batches[shard].push(RecordMsg {
                                 index,
                                 ts,
                                 stamp,
                                 frame: rec.frame,
                             });
+                            // tamperlint: allow(index) — same in-bounds shard as the push above
                             if batches[shard].len() >= batch_size {
                                 flush(shard, &mut batches, &mut stats);
                             }
@@ -356,13 +374,16 @@ where
 
         handles
             .into_iter()
+            // tamperlint: allow(panic) — join() only fails if the shard itself panicked; re-raising preserves the original panic
             .map(|h| h.join().expect("engine shard panicked"))
             .collect()
     })
+    // tamperlint: allow(panic) — crossbeam scope() only fails if a scoped thread panicked; re-raising preserves it
     .expect("engine thread scope panicked");
 
     // Merge shard accumulators and counters in shard order — deterministic.
     let mut it = outcomes.into_iter();
+    // tamperlint: allow(panic) — threads is clamped to >= 1 above, so one shard always exists
     let first = it.next().expect("at least one shard");
     let fold_stats = |stats: &mut EngineStats, o: &ShardOutcome<T>| {
         stats.ingest.flows += o.ingest.flows;
@@ -400,7 +421,13 @@ mod tests {
         IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1))
     }
 
-    fn frame(src: IpAddr, sport: u16, flags: TcpFlags, seq: u32, payload: &'static [u8]) -> Vec<u8> {
+    fn frame(
+        src: IpAddr,
+        sport: u16,
+        flags: TcpFlags,
+        seq: u32,
+        payload: &'static [u8],
+    ) -> Vec<u8> {
         PacketBuilder::new(src, server(), sport, 443)
             .flags(flags)
             .seq(seq)
@@ -430,9 +457,12 @@ mod tests {
             let c = client((1 + i % 200) as u8);
             let sport = 4000 + (i % 10_000) as u16;
             let t = 100 + i;
-            w.write_frame(t, 0, &frame(c, sport, TcpFlags::SYN, 1, b"")).unwrap();
-            w.write_frame(t, 1, &frame(c, sport, TcpFlags::ACK, 2, b"")).unwrap();
-            w.write_frame(t + 1, 0, &frame(c, sport, TcpFlags::PSH_ACK, 2, b"hello")).unwrap();
+            w.write_frame(t, 0, &frame(c, sport, TcpFlags::SYN, 1, b""))
+                .unwrap();
+            w.write_frame(t, 1, &frame(c, sport, TcpFlags::ACK, 2, b""))
+                .unwrap();
+            w.write_frame(t + 1, 0, &frame(c, sport, TcpFlags::PSH_ACK, 2, b"hello"))
+                .unwrap();
         }
         w.into_inner()
     }
@@ -460,12 +490,21 @@ mod tests {
     fn timeout_eviction_splits_idle_flows() {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
         // One flow goes quiet for > 30s then resumes: two flows.
-        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b"")).unwrap();
+        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b""))
+            .unwrap();
         // Unrelated traffic advances the capture clock past the timeout.
-        w.write_frame(140, 0, &frame(client(2), 4001, TcpFlags::SYN, 1, b"")).unwrap();
-        w.write_frame(141, 0, &frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"x")).unwrap();
+        w.write_frame(140, 0, &frame(client(2), 4001, TcpFlags::SYN, 1, b""))
+            .unwrap();
+        w.write_frame(141, 0, &frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"x"))
+            .unwrap();
         let bytes = w.into_inner();
-        let (flows, stats) = collect_flows(&bytes, &EngineConfig { threads: 2, ..Default::default() });
+        let (flows, stats) = collect_flows(
+            &bytes,
+            &EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(stats.ingest.flows, 3);
         assert_eq!(stats.evicted_timeout, 1);
         assert_eq!(stats.drained_eof, 2);
@@ -499,7 +538,13 @@ mod tests {
     fn corrupt_tail_is_counted_not_fatal() {
         let mut bytes = capture(10);
         bytes.truncate(bytes.len() - 7);
-        let (flows, stats) = collect_flows(&bytes, &EngineConfig { threads: 2, ..Default::default() });
+        let (flows, stats) = collect_flows(
+            &bytes,
+            &EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
         assert!(stats.corrupt_tail);
         assert_eq!(stats.records, 29); // the torn 30th record is dropped
         assert!(!flows.is_empty());
@@ -508,15 +553,22 @@ mod tests {
     #[test]
     fn garbage_frames_are_counted_either_side_of_the_channel() {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
-        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b"")).unwrap();
+        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b""))
+            .unwrap();
         w.write_frame(100, 1, &[0u8; 3]).unwrap(); // fails the route peek
-        // Valid-looking v4/TCP shape but a corrupt checksum: routes to a
-        // shard, fails full parse there.
+                                                   // Valid-looking v4/TCP shape but a corrupt checksum: routes to a
+                                                   // shard, fails full parse there.
         let mut good = frame(client(1), 4001, TcpFlags::SYN, 1, b"");
         good[11] ^= 0xff;
         w.write_frame(100, 2, &good).unwrap();
         let bytes = w.into_inner();
-        let (_, stats) = collect_flows(&bytes, &EngineConfig { threads: 2, ..Default::default() });
+        let (_, stats) = collect_flows(
+            &bytes,
+            &EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(stats.ingest.unparsable, 2);
         assert_eq!(stats.ingest.flows, 1);
     }

@@ -182,16 +182,20 @@ impl FlowTable {
         }
         self.last_sweep = stamp;
         let timeout = self.cfg.flow_timeout_secs;
-        let mut expired: Vec<FlowKey> = self
+        let mut expired: Vec<(u64, FlowKey)> = self
             .flows
             .iter()
             .filter(|(_, lf)| lf.last_ts + timeout < stamp)
-            .map(|(k, _)| *k)
+            .map(|(k, lf)| (lf.first_index, *k))
             .collect();
-        expired.sort_unstable_by_key(|k| self.flows[k].first_index);
-        for key in expired {
+        expired.sort_unstable_by_key(|&(first_index, _)| first_index);
+        for (_, key) in expired {
             if let Some(lf) = self.flows.remove(&key) {
-                closed.push(Self::close(lf, self.cfg.flow_timeout_secs, EvictionCause::Timeout));
+                closed.push(Self::close(
+                    lf,
+                    self.cfg.flow_timeout_secs,
+                    EvictionCause::Timeout,
+                ));
             }
         }
     }
@@ -324,7 +328,13 @@ mod tests {
         IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1))
     }
 
-    fn frame(src: IpAddr, sport: u16, flags: TcpFlags, seq: u32, payload: &'static [u8]) -> Vec<u8> {
+    fn frame(
+        src: IpAddr,
+        sport: u16,
+        flags: TcpFlags,
+        seq: u32,
+        payload: &'static [u8],
+    ) -> Vec<u8> {
         PacketBuilder::new(src, server(), sport, 443)
             .flags(flags)
             .seq(seq)
@@ -337,9 +347,12 @@ mod tests {
     #[test]
     fn assembles_flows_by_four_tuple() {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
-        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b"")).unwrap();
-        w.write_frame(100, 10, &frame(client(2), 4001, TcpFlags::SYN, 9, b"")).unwrap();
-        w.write_frame(101, 0, &frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"x")).unwrap();
+        w.write_frame(100, 0, &frame(client(1), 4000, TcpFlags::SYN, 1, b""))
+            .unwrap();
+        w.write_frame(100, 10, &frame(client(2), 4001, TcpFlags::SYN, 9, b""))
+            .unwrap();
+        w.write_frame(101, 0, &frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"x"))
+            .unwrap();
         let bytes = w.into_inner();
         let (flows, stats) = flows_from_pcap(&bytes[..], &OfflineConfig::default()).unwrap();
         assert_eq!(flows.len(), 2);
@@ -361,7 +374,8 @@ mod tests {
             .to_vec();
         w.write_frame(100, 0, &outbound).unwrap();
         w.write_frame(100, 1, &[0xde, 0xad]).unwrap();
-        w.write_frame(100, 2, &frame(client(1), 4000, TcpFlags::SYN, 1, b"")).unwrap();
+        w.write_frame(100, 2, &frame(client(1), 4000, TcpFlags::SYN, 1, b""))
+            .unwrap();
         let bytes = w.into_inner();
         let (flows, stats) = flows_from_pcap(&bytes[..], &OfflineConfig::default()).unwrap();
         assert_eq!(flows.len(), 1);

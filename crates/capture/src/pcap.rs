@@ -23,6 +23,7 @@ pub const SNAPLEN: u32 = 65_535;
 /// the slice is always exactly four bytes.
 fn le_u32(buf: &[u8], at: usize) -> u32 {
     let mut b = [0u8; 4];
+    // tamperlint: allow(index) — offsets are compile-time constants into fixed-size stack arrays filled by read_exact
     b.copy_from_slice(&buf[at..at + 4]);
     u32::from_le_bytes(b)
 }
@@ -99,7 +100,10 @@ impl std::fmt::Display for PcapError {
             PcapError::BadMagic(m) => write!(f, "bad pcap magic {m:#x}"),
             PcapError::BadLinkType(l) => write!(f, "unsupported pcap link type {l}"),
             PcapError::OversizeRecord(n) => {
-                write!(f, "pcap record claims {n} captured bytes (snaplen is {SNAPLEN})")
+                write!(
+                    f,
+                    "pcap record claims {n} captured bytes (snaplen is {SNAPLEN})"
+                )
             }
         }
     }
@@ -144,6 +148,7 @@ impl<R: Read> PcapReader<R> {
         let mut rec_header = [0u8; 16];
         let mut filled = 0usize;
         while filled < rec_header.len() {
+            // tamperlint: allow(index) — filled < rec_header.len() by the loop condition
             match self.input.read(&mut rec_header[filled..]) {
                 Ok(0) if filled == 0 => return Ok(None),
                 Ok(0) => {

@@ -43,7 +43,11 @@ impl Default for CollectorConfig {
 /// Convert one session trace into a flow record under the collection
 /// constraints. Returns `None` when the server saw no packets at all (a
 /// fully black-holed connection never creates server state to sample).
-pub fn collect(trace: &SessionTrace, cfg: &CollectorConfig, rng: &mut StdRng) -> Option<FlowRecord> {
+pub fn collect(
+    trace: &SessionTrace,
+    cfg: &CollectorConfig,
+    rng: &mut StdRng,
+) -> Option<FlowRecord> {
     let mut inbound: Vec<_> = trace.inbound().collect();
     if inbound.is_empty() {
         return None;
@@ -69,8 +73,8 @@ pub fn collect(trace: &SessionTrace, cfg: &CollectorConfig, rng: &mut StdRng) ->
             };
             if cfg.reencode {
                 let frame = tp.packet.emit();
-                let parsed = tamper_wire::Packet::parse(&frame)
-                    .expect("emitted packet must re-parse");
+                let parsed =
+                    tamper_wire::Packet::parse(&frame).expect("emitted packet must re-parse");
                 PacketRecord::from_packet(ts, &parsed)
             } else {
                 PacketRecord::from_packet(ts, &tp.packet)
@@ -197,8 +201,16 @@ mod tests {
         let a = collect(&t, &cfg, &mut rng1).unwrap();
         let b = collect(&t, &cfg, &mut rng2).unwrap();
         // Same multiset of packets regardless of shuffle seed.
-        let mut sa: Vec<_> = a.packets.iter().map(|p| (p.ts_sec, p.seq, p.flags)).collect();
-        let mut sb: Vec<_> = b.packets.iter().map(|p| (p.ts_sec, p.seq, p.flags)).collect();
+        let mut sa: Vec<_> = a
+            .packets
+            .iter()
+            .map(|p| (p.ts_sec, p.seq, p.flags))
+            .collect();
+        let mut sb: Vec<_> = b
+            .packets
+            .iter()
+            .map(|p| (p.ts_sec, p.seq, p.flags))
+            .collect();
         sa.sort();
         sb.sort();
         assert_eq!(sa, sb);

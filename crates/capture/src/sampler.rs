@@ -39,9 +39,9 @@ impl Sampler {
         match ip {
             IpAddr::V4(v4) => splitmix64(h ^ u64::from(u32::from(v4))),
             IpAddr::V6(v6) => {
-                let o = v6.octets();
-                let hi = u64::from_be_bytes(o[0..8].try_into().unwrap());
-                let lo = u64::from_be_bytes(o[8..16].try_into().unwrap());
+                let bits = u128::from_be_bytes(v6.octets());
+                let hi = (bits >> 64) as u64;
+                let lo = bits as u64;
                 splitmix64(splitmix64(h ^ hi) ^ lo)
             }
         }
@@ -84,7 +84,14 @@ mod tests {
         let s = Sampler::new(42, 100);
         let total = 200_000u64;
         let kept = (0..total)
-            .filter(|&i| s.keep(client((i % 50_000) as u32), client(9_999_999), (i % 60_000) as u16, i))
+            .filter(|&i| {
+                s.keep(
+                    client((i % 50_000) as u32),
+                    client(9_999_999),
+                    (i % 60_000) as u16,
+                    i,
+                )
+            })
             .count() as f64;
         let rate = kept / total as f64;
         assert!(
@@ -105,8 +112,12 @@ mod tests {
     fn different_seeds_sample_different_sets() {
         let s1 = Sampler::new(1, 10);
         let s2 = Sampler::new(2, 10);
-        let picks1: Vec<bool> = (0..1000).map(|i| s1.keep(client(i), client(0), 1, i as u64)).collect();
-        let picks2: Vec<bool> = (0..1000).map(|i| s2.keep(client(i), client(0), 1, i as u64)).collect();
+        let picks1: Vec<bool> = (0..1000)
+            .map(|i| s1.keep(client(i), client(0), 1, i as u64))
+            .collect();
+        let picks2: Vec<bool> = (0..1000)
+            .map(|i| s2.keep(client(i), client(0), 1, i as u64))
+            .collect();
         assert_ne!(picks1, picks2);
     }
 

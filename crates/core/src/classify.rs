@@ -282,8 +282,8 @@ impl Classifier {
         let rst_ack_count = self.rsts.len() - rst_count;
 
         let has_rst = !self.rsts.is_empty();
-        let silent = !f.has_fin
-            && (f.max_gap >= cfg.inactivity_secs || f.tail_gap >= cfg.inactivity_secs);
+        let silent =
+            !f.has_fin && (f.max_gap >= cfg.inactivity_secs || f.tail_gap >= cfg.inactivity_secs);
         let possibly_tampered = has_rst || silent;
 
         if !possibly_tampered || self.order.is_empty() {
@@ -301,7 +301,11 @@ impl Classifier {
         // evidence.
         let boundary = f.first_rst_index.unwrap_or(self.order.len());
         let data_before = self.data_indices.iter().filter(|&&i| i < boundary).count();
-        let acks_before = self.pure_ack_indices.iter().filter(|&&i| i < boundary).count();
+        let acks_before = self
+            .pure_ack_indices
+            .iter()
+            .filter(|&&i| i < boundary)
+            .count();
         let fin_before_rst = match (f.fin_index, f.first_rst_index) {
             (Some(fi), Some(ri)) => fi < ri,
             (Some(_), None) => true,
@@ -455,10 +459,7 @@ mod tests {
         assert_eq!(a.signature(), Some(Signature::SynRst));
         let a = classify_default(&base(vec![rec(0, RA, 0, 101, 0)]));
         assert_eq!(a.signature(), Some(Signature::SynRstAck));
-        let a = classify_default(&base(vec![
-            rec(0, RST, 101, 0, 0),
-            rec(0, RA, 0, 101, 0),
-        ]));
+        let a = classify_default(&base(vec![rec(0, RST, 101, 0, 0), rec(0, RA, 0, 101, 0)]));
         assert_eq!(a.signature(), Some(Signature::SynRstBoth));
     }
 
@@ -527,13 +528,19 @@ mod tests {
             Some(Signature::PshRstAck)
         );
         assert_eq!(
-            classify_default(&base(vec![rec(0, RST, 351, 700, 0), rec(0, RA, 351, 700, 0)]))
-                .signature(),
+            classify_default(&base(vec![
+                rec(0, RST, 351, 700, 0),
+                rec(0, RA, 351, 700, 0)
+            ]))
+            .signature(),
             Some(Signature::PshRstRstAck)
         );
         assert_eq!(
-            classify_default(&base(vec![rec(0, RA, 351, 700, 0), rec(0, RA, 351, 700, 0)]))
-                .signature(),
+            classify_default(&base(vec![
+                rec(0, RA, 351, 700, 0),
+                rec(0, RA, 351, 700, 0)
+            ]))
+            .signature(),
             Some(Signature::PshRstAckRstAck)
         );
         // Multi bare RST with equal acks.
@@ -613,10 +620,7 @@ mod tests {
 
     #[test]
     fn multiple_syns_then_silence_is_other() {
-        let f = flow(
-            vec![rec(0, SYN, 100, 0, 0), rec(1, SYN, 100, 0, 0)],
-            30,
-        );
+        let f = flow(vec![rec(0, SYN, 100, 0, 0), rec(1, SYN, 100, 0, 0)], 30);
         let a = classify_default(&f);
         assert_eq!(a.classification, Classification::PossiblyTamperedOther);
     }

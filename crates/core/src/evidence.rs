@@ -112,8 +112,7 @@ pub fn scanner_marks(flow: &FlowRecord) -> ScannerMarks {
     let no_tcp_options = flow.packets.iter().all(|p| !p.has_tcp_options);
     let high_ttl = flow.packets.iter().any(|p| p.ttl >= HIGH_TTL);
     let ids: Vec<u16> = flow.packets.iter().filter_map(|p| p.ip_id).collect();
-    let fixed_nonzero_ipid =
-        !ids.is_empty() && ids[0] != 0 && ids.iter().all(|&i| i == ids[0]);
+    let fixed_nonzero_ipid = !ids.is_empty() && ids[0] != 0 && ids.iter().all(|&i| i == ids[0]);
     ScannerMarks {
         no_tcp_options,
         high_ttl,

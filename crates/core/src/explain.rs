@@ -30,7 +30,7 @@ pub fn explain(flow: &FlowRecord, analysis: &FlowAnalysis) -> String {
                     _ => notes.push("TLS ClientHello".to_owned()),
                 }
             } else if tamper_wire::http::is_http_request(&p.payload) {
-                if let Some(req) = tamper_wire::http::parse_request(&p.payload) {
+                if let Ok(req) = tamper_wire::http::parse_request(&p.payload) {
                     notes.push(format!(
                         "HTTP {} {} Host: {}",
                         req.method,

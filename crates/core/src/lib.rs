@@ -26,12 +26,12 @@ pub mod signature;
 pub mod trigger;
 
 pub use classify::{classify, Classifier, ClassifierConfig, FlowAnalysis};
-pub use explain::explain;
 pub use evidence::{
-    is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta,
-    max_rst_ipid_delta, max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks,
-    ScannerMarks, HIGH_TTL, ZMAP_IP_ID,
+    is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta, max_rst_ipid_delta,
+    max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks, ScannerMarks, HIGH_TTL,
+    ZMAP_IP_ID,
 };
+pub use explain::explain;
 pub use reorder::{reconstruct_order, reconstruct_order_into, reordered};
 pub use signature::{Classification, Signature, Stage};
 pub use trigger::{extract as extract_trigger, user_agent, AppProtocol, TriggerInfo};

@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn stable_for_identical_keys() {
-        let packets = vec![
-            rec(1, TcpFlags::RST, 500, 0),
-            rec(1, TcpFlags::RST, 500, 0),
-        ];
+        let packets = vec![rec(1, TcpFlags::RST, 500, 0), rec(1, TcpFlags::RST, 500, 0)];
         let order = reconstruct_order(&packets);
         assert_eq!(order, vec![0, 1]);
     }

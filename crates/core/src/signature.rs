@@ -22,7 +22,12 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in presentation order.
-    pub const ALL: [Stage; 4] = [Stage::PostSyn, Stage::PostAck, Stage::PostPsh, Stage::PostData];
+    pub const ALL: [Stage; 4] = [
+        Stage::PostSyn,
+        Stage::PostAck,
+        Stage::PostPsh,
+        Stage::PostData,
+    ];
 
     /// Human-readable stage name as used in the paper.
     pub fn label(self) -> &'static str {
@@ -262,10 +267,7 @@ mod tests {
     fn labels_use_paper_notation() {
         assert_eq!(Signature::SynNone.label(), "⟨SYN → ∅⟩");
         assert_eq!(Signature::PshRstZero.label(), "⟨PSH+ACK → RST; RST₀⟩");
-        assert_eq!(
-            Signature::DataRstAck.label(),
-            "⟨PSH+ACK; Data → RST+ACK⟩"
-        );
+        assert_eq!(Signature::DataRstAck.label(), "⟨PSH+ACK; Data → RST+ACK⟩");
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub fn extract(flow: &FlowRecord) -> TriggerInfo {
             };
         }
         if http::is_http_request(&p.payload) {
-            let host = http::parse_request(&p.payload).and_then(|r| r.host);
+            let host = http::parse_request(&p.payload).ok().and_then(|r| r.host);
             return TriggerInfo {
                 domain: host,
                 protocol: AppProtocol::Http,
@@ -65,7 +65,11 @@ pub fn user_agent(flow: &FlowRecord) -> Option<String> {
     flow.packets
         .iter()
         .filter(|p| p.has_payload())
-        .find_map(|p| http::parse_request(&p.payload).and_then(|r| r.user_agent))
+        .find_map(|p| {
+            http::parse_request(&p.payload)
+                .ok()
+                .and_then(|r| r.user_agent)
+        })
 }
 
 #[cfg(test)]

@@ -1,0 +1,260 @@
+//! tamperlint — the repo-native static-analysis gate.
+//!
+//! The reproduction's headline guarantee is determinism: the same capture
+//! bytes must produce the same report bytes, on any machine, in any thread
+//! interleaving. Two whole classes of Rust code silently break that promise
+//! (`HashMap` iteration order, ambient clocks/randomness), and a third class
+//! — panicking parse paths — turns malformed capture bytes into a crashed
+//! pipeline. tamperlint enforces all three properties at the source level
+//! with its own lightweight lexer ([`lexer`]): no rustc plugin, no network,
+//! no nightly.
+//!
+//! Rule families (see [`rules`]):
+//!
+//! | rule           | scope                               | forbids |
+//! |----------------|-------------------------------------|---------|
+//! | `map-iter`     | `crates/analysis`, `crates/core`    | `HashMap`/`HashSet` |
+//! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` |
+//! | `ambient-rng`  | all pipeline crates                 | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` |
+//! | `panic`        | `wire/*`, capture parse surface     | `.unwrap()`, `.expect()`, `panic!`, `unreachable!` |
+//! | `index`        | `wire/*`, capture parse surface     | direct slice indexing |
+//! | `taxonomy`     | signature.rs / golden / DESIGN.md   | drift between the three |
+//!
+//! A finding is waived in source with
+//! `// tamperlint: allow(<rule>) — <reason>`; unused or malformed waivers
+//! are findings themselves. Run it as `cargo xtask analyze [--json]`; it is
+//! part of `cargo xtask ci`.
+
+pub mod lexer;
+pub mod rules;
+pub mod taxonomy;
+
+pub use rules::{lint_file, parse_waiver, scope_for, FileLint, Finding, RULES};
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The outcome of a whole-repo analysis.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Unwaived findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by source waivers.
+    pub waived: Vec<Finding>,
+    /// Number of `.rs` files lexed and linted.
+    pub files_scanned: usize,
+    /// Wall-clock runtime of the analysis.
+    pub runtime_ms: u64,
+}
+
+impl Analysis {
+    /// True when the gate passes: zero unwaived findings.
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Per-rule counters: `(rule, findings, waived)` for every rule.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize, usize)> {
+        let mut fired: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut waived: BTreeMap<&str, usize> = BTreeMap::new();
+        for f in &self.findings {
+            *fired.entry(f.rule).or_default() += 1;
+        }
+        for f in &self.waived {
+            *waived.entry(f.rule).or_default() += 1;
+        }
+        RULES
+            .iter()
+            .map(|r| {
+                (
+                    *r,
+                    fired.get(r).copied().unwrap_or(0),
+                    waived.get(r).copied().unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    /// Human-readable report, one finding per line plus a summary block.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "tamperlint: {} file(s), {} finding(s), {} waived, {} ms\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived.len(),
+            self.runtime_ms
+        ));
+        for (rule, fired, waived) in self.rule_counts() {
+            if fired > 0 || waived > 0 {
+                out.push_str(&format!("  {rule}: {fired} finding(s), {waived} waived\n"));
+            }
+        }
+        out.push_str(if self.ok() {
+            "tamperlint: PASS\n"
+        } else {
+            "tamperlint: FAIL\n"
+        });
+        out
+    }
+
+    /// Machine-readable report (hand-rolled JSON; the workspace is offline
+    /// and vendors no JSON crate).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"ok\":{},", self.ok()));
+        out.push_str(&format!("\"runtime_ms\":{},", self.runtime_ms));
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"waived\":{},", self.waived.len()));
+        out.push_str("\"rules\":[");
+        let rules: Vec<String> = self
+            .rule_counts()
+            .into_iter()
+            .map(|(rule, fired, waived)| {
+                format!(
+                    "{{\"rule\":{},\"findings\":{fired},\"waived\":{waived}}}",
+                    json_escape(rule)
+                )
+            })
+            .collect();
+        out.push_str(&rules.join(","));
+        out.push_str("],\"findings\":[");
+        let findings: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                    json_escape(f.rule),
+                    json_escape(&f.file),
+                    f.line,
+                    json_escape(&f.message)
+                )
+            })
+            .collect();
+        out.push_str(&findings.join(","));
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lint one source string under the scope its path would get in the repo.
+/// This is the entry point the fixture tests use.
+pub fn lint_source(repo_rel_path: &str, src: &str) -> FileLint {
+    rules::lint_file(repo_rel_path, src, rules::scope_for(repo_rel_path))
+}
+
+/// Run the full gate against a repo checkout.
+pub fn analyze(root: &Path) -> Analysis {
+    let t0 = Instant::now();
+    let mut analysis = Analysis::default();
+    for rel in source_files(root) {
+        let scope = rules::scope_for(&rel);
+        if scope.is_empty() {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        let lint = rules::lint_file(&rel, &src, scope);
+        analysis.findings.extend(lint.findings);
+        analysis.waived.extend(lint.waived);
+        analysis.files_scanned += 1;
+    }
+    analysis.findings.extend(taxonomy::check(root));
+    analysis.findings.sort();
+    analysis.runtime_ms = t0.elapsed().as_millis() as u64;
+    analysis
+}
+
+/// All `.rs` files under the repo's first-party trees, repo-relative with
+/// forward slashes, in sorted (deterministic) order.
+fn source_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.join("crates"), root.join("src")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != ".git" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_escape("⟨SYN → ∅⟩"), "\"⟨SYN → ∅⟩\"");
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let mut a = Analysis::default();
+        a.findings.push(Finding {
+            file: "crates/wire/src/x.rs".into(),
+            line: 3,
+            rule: "index",
+            message: "direct slice indexing \"quoted\"".into(),
+        });
+        a.files_scanned = 1;
+        let json = a.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"rule\":\"index\",\"findings\":1,\"waived\":0"));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn rule_counts_cover_every_rule() {
+        let counts = Analysis::default().rule_counts();
+        assert_eq!(counts.len(), RULES.len());
+        assert!(counts.iter().all(|(_, f, w)| *f == 0 && *w == 0));
+    }
+}

@@ -1,0 +1,419 @@
+//! The token-level lint rules and the waiver grammar.
+//!
+//! Rules are scoped by repo-relative path (forward slashes). A finding can
+//! be waived in source with
+//!
+//! ```text
+//! // tamperlint: allow(<rule>) — <reason>
+//! ```
+//!
+//! (`--` is accepted in place of the em-dash). A waiver covers its own line
+//! and the next line that carries code, and the reason is mandatory. Unused
+//! and malformed waivers are themselves findings — a waiver must never
+//! outlive the code it excuses.
+
+use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// All lint rules, in reporting order.
+pub const RULES: [&str; 7] = [
+    "map-iter",
+    "ambient-clock",
+    "ambient-rng",
+    "panic",
+    "index",
+    "taxonomy",
+    "waiver",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule code (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed source waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule the waiver excuses.
+    pub rule: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Mandatory justification text.
+    pub reason: String,
+}
+
+/// Outcome of linting one file: surviving findings plus waiver bookkeeping.
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Findings not covered by any waiver.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a matching waiver (kept for counters).
+    pub waived: Vec<Finding>,
+}
+
+/// Parse a waiver out of one `//` comment body, if it claims to be one.
+///
+/// Returns `Ok(None)` when the comment is not a tamperlint directive at all,
+/// `Ok(Some(waiver))` on success, and `Err(description)` when the comment
+/// starts with `tamperlint:` but the grammar is wrong — those surface as
+/// `waiver` findings so typos cannot silently disable a gate.
+pub fn parse_waiver(comment: &str) -> Result<Option<(String, String)>, String> {
+    let text = comment.trim();
+    let Some(rest) = text.strip_prefix("tamperlint:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>)` after `tamperlint:`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` in waiver".to_string());
+    };
+    let rule = rest[..close].trim();
+    if !RULES.contains(&rule) {
+        return Err(format!("unknown rule {rule:?} in waiver"));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = if let Some(r) = after.strip_prefix('—') {
+        r.trim()
+    } else if let Some(r) = after.strip_prefix("--") {
+        r.trim()
+    } else {
+        return Err("expected `— <reason>` (or `-- <reason>`) after `allow(…)`".to_string());
+    };
+    if reason.is_empty() {
+        return Err("waiver reason must not be empty".to_string());
+    }
+    Ok(Some((rule.to_string(), reason.to_string())))
+}
+
+/// Which rule families apply to a repo-relative path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// `map-iter`: output-producing crates must not use HashMap/HashSet.
+    pub map_iter: bool,
+    /// `ambient-clock` / `ambient-rng`: the deterministic pipeline.
+    pub ambient: bool,
+    /// `panic` / `index`: the untrusted-input parsing surface.
+    pub panic_index: bool,
+}
+
+impl Scope {
+    /// True if no rule family applies (the file can be skipped entirely).
+    pub fn is_empty(self) -> bool {
+        !(self.map_iter || self.ambient || self.panic_index)
+    }
+}
+
+/// Compute the rule scope for one repo-relative path.
+pub fn scope_for(path: &str) -> Scope {
+    // Ambient time/randomness: every first-party pipeline crate. Benchmarks,
+    // repo automation, and the linter itself measure wall-clock by design.
+    let first_party =
+        (path.starts_with("crates/") && path.contains("/src/")) || path.starts_with("src/");
+    let exempt = path.starts_with("crates/bench/")
+        || path.starts_with("crates/xtask/")
+        || path.starts_with("crates/lint/");
+    Scope {
+        // Determinism: anything that feeds report bytes.
+        map_iter: path.starts_with("crates/analysis/src/") || path.starts_with("crates/core/src/"),
+        ambient: first_party && !exempt,
+        // Panic-safety: bytes-off-the-wire parsing surface.
+        panic_index: path.starts_with("crates/wire/src/")
+            || matches!(
+                path,
+                "crates/capture/src/pcap.rs"
+                    | "crates/capture/src/offline.rs"
+                    | "crates/capture/src/engine.rs"
+            ),
+    }
+}
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (patterns, array types, expression starts).
+const NON_INDEX_KEYWORDS: [&str; 14] = [
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "as", "const", "static", "move",
+    "box", "dyn",
+];
+
+/// Lint one file's source text under the given scope.
+pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
+    let toks = strip_test_modules(lex(src));
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // --- Waivers (and waiver-grammar findings) come from the comments. ---
+    let mut waivers: Vec<(Waiver, BTreeSet<u32>)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::LineComment(text) = &t.kind else {
+            continue;
+        };
+        match parse_waiver(text) {
+            Ok(None) => {}
+            Ok(Some((rule, reason))) => {
+                // A waiver covers its own line plus the next code line.
+                let mut covered: BTreeSet<u32> = BTreeSet::new();
+                covered.insert(t.line);
+                if let Some(next) = toks[i + 1..]
+                    .iter()
+                    .find(|n| !n.kind.is_comment() && n.line > t.line)
+                {
+                    covered.insert(next.line);
+                }
+                waivers.push((
+                    Waiver {
+                        rule,
+                        reason,
+                        line: t.line,
+                    },
+                    covered,
+                ));
+            }
+            Err(why) => raw.push(Finding {
+                file: path.to_string(),
+                line: t.line,
+                rule: "waiver",
+                message: format!("malformed waiver: {why}"),
+            }),
+        }
+    }
+
+    // --- Token-window rules over code tokens only. ---
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.kind.is_comment()).collect();
+    let ident = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    };
+    // `A :: B` at position i?
+    let path_pair = |i: usize, a: &str, b: &str| {
+        ident(i) == Some(a)
+            && punct(i + 1) == Some(':')
+            && punct(i + 2) == Some(':')
+            && ident(i + 3) == Some(b)
+    };
+
+    for i in 0..code.len() {
+        let line = code[i].line;
+        let mut push_at = |line: u32, rule: &'static str, message: String| {
+            raw.push(Finding {
+                file: path.to_string(),
+                line,
+                rule,
+                message,
+            });
+        };
+
+        if scope.map_iter {
+            if let Some(name @ ("HashMap" | "HashSet")) = ident(i) {
+                push_at(
+                    line,
+                    "map-iter",
+                    format!(
+                        "{name} in an output-producing crate: iteration order is \
+                         nondeterministic per process; use BTreeMap/BTreeSet"
+                    ),
+                );
+            }
+        }
+
+        if scope.ambient {
+            if path_pair(i, "SystemTime", "now") || path_pair(i, "Instant", "now") {
+                push_at(
+                    line,
+                    "ambient-clock",
+                    format!(
+                        "{}::now() reads the ambient clock; thread timestamps through \
+                         the simulated clock instead",
+                        ident(i).unwrap_or_default()
+                    ),
+                );
+            }
+            if let Some(name @ ("thread_rng" | "from_entropy" | "OsRng" | "getrandom")) = ident(i) {
+                push_at(
+                    line,
+                    "ambient-rng",
+                    format!("{name} draws ambient randomness; use a seeded generator"),
+                );
+            }
+            if path_pair(i, "rand", "random") {
+                push_at(
+                    line,
+                    "ambient-rng",
+                    "rand::random draws ambient randomness; use a seeded generator".to_string(),
+                );
+            }
+        }
+
+        if scope.panic_index {
+            if punct(i) == Some('.') {
+                if let Some(name @ ("unwrap" | "expect")) = ident(i + 1) {
+                    push_at(
+                        code[i + 1].line,
+                        "panic",
+                        format!(
+                            ".{name}() on the untrusted-input surface; return a typed \
+                             WireError instead"
+                        ),
+                    );
+                }
+            }
+            if let Some(name @ ("panic" | "unreachable" | "todo" | "unimplemented")) = ident(i) {
+                if punct(i + 1) == Some('!') {
+                    push_at(
+                        line,
+                        "panic",
+                        format!(
+                            "{name}! on the untrusted-input surface; malformed capture \
+                             bytes must not abort the process"
+                        ),
+                    );
+                }
+            }
+            if punct(i) == Some('[') && i > 0 {
+                let indexes = match &code[i - 1].kind {
+                    TokKind::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                    TokKind::Punct(')') | TokKind::Punct(']') => true,
+                    _ => false,
+                };
+                if indexes {
+                    push_at(
+                        line,
+                        "index",
+                        "direct slice indexing can panic on short input; use .get(…) or \
+                         a bounds-checked Reader"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Apply waivers. ---
+    let mut used = vec![false; waivers.len()];
+    let mut out = FileLint::default();
+    for f in raw {
+        let w = waivers
+            .iter()
+            .position(|(w, covered)| w.rule == f.rule && covered.contains(&f.line));
+        match w {
+            Some(idx) => {
+                used[idx] = true;
+                out.waived.push(f);
+            }
+            None => out.findings.push(f),
+        }
+    }
+    for (idx, (w, _)) in waivers.iter().enumerate() {
+        if !used[idx] {
+            out.findings.push(Finding {
+                file: path.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!(
+                    "unused waiver for `{}`: no matching finding on this or the next \
+                     code line — delete it",
+                    w.rule
+                ),
+            });
+        }
+    }
+    out.findings.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = "crates/wire/src/example.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        lint_file(path, src, scope_for(path))
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn waiver_grammar_accepts_both_separators() {
+        assert_eq!(
+            parse_waiver(" tamperlint: allow(index) — checked above").unwrap(),
+            Some(("index".into(), "checked above".into()))
+        );
+        assert_eq!(
+            parse_waiver(" tamperlint: allow(panic) -- join propagates").unwrap(),
+            Some(("panic".into(), "join propagates".into()))
+        );
+        assert_eq!(parse_waiver(" ordinary comment").unwrap(), None);
+    }
+
+    #[test]
+    fn waiver_grammar_rejects_missing_reason_and_unknown_rule() {
+        assert!(parse_waiver("tamperlint: allow(index)").is_err());
+        assert!(parse_waiver("tamperlint: allow(index) —  ").is_err());
+        assert!(parse_waiver("tamperlint: allow(no-such-rule) — x").is_err());
+        assert!(parse_waiver("tamperlint: allow(index — x").is_err());
+        assert!(parse_waiver("tamperlint: deny(index) — x").is_err());
+    }
+
+    #[test]
+    fn waiver_suppresses_next_code_line_only() {
+        let src = "
+            fn f(b: &[u8]) -> u8 {
+                // tamperlint: allow(index) — caller guarantees length
+                b[0]
+            }
+            fn g(b: &[u8]) -> u8 { b[1] }
+        ";
+        let lint = lint_file(WIRE, src, scope_for(WIRE));
+        assert_eq!(lint.waived.len(), 1);
+        assert_eq!(lint.findings.len(), 1);
+        assert_eq!(lint.findings[0].rule, "index");
+        assert_eq!(lint.findings[0].line, 6);
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let src = "
+            // tamperlint: allow(panic) — stale excuse
+            fn f() {}
+        ";
+        let lint = lint_file(WIRE, src, scope_for(WIRE));
+        assert_eq!(lint.findings.len(), 1);
+        assert_eq!(lint.findings[0].rule, "waiver");
+        assert!(lint.findings[0].message.contains("unused waiver"));
+    }
+
+    #[test]
+    fn index_rule_ignores_patterns_types_and_macros() {
+        let src = "
+            fn f(c: &[u8]) -> u32 {
+                if let &[a, b] = c { return u32::from(a) + u32::from(b); }
+                let [x] = [0u8; 1];
+                let v: Vec<u8> = vec![1, 2];
+                u32::from(x) + v.len() as u32
+            }
+        ";
+        assert!(rules_fired(WIRE, src).is_empty());
+    }
+
+    #[test]
+    fn scopes_are_path_sensitive() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] }";
+        assert!(!rules_fired(WIRE, src).is_empty());
+        // Same code outside the untrusted-input surface: no finding.
+        assert!(rules_fired("crates/analysis/src/x.rs", src).is_empty());
+    }
+}

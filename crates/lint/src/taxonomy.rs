@@ -1,0 +1,700 @@
+//! The taxonomy consistency checker.
+//!
+//! Table 1 of the paper — the 19-signature taxonomy — exists in three places
+//! that can drift apart: the `Signature` enum in `crates/core/src/signature.rs`,
+//! the golden classification corpus in `tests/fixtures/golden.verdicts.jsonl`,
+//! and the prose in `DESIGN.md`. This checker parses the enum *from source*
+//! (tokens, not rustc) and cross-checks all three:
+//!
+//! - `Signature::ALL` lists every declared variant exactly once, in
+//!   declaration order, and its declared length matches;
+//! - `label()`, `stage()`, `description()` and `prior_work()` each cover
+//!   every variant explicitly (no wildcard arm hiding a new variant);
+//! - labels are unique — two variants must not share a flag-sequence;
+//! - every golden verdict's `signature` is a known label and its `stage`
+//!   agrees with the enum's stage mapping; every label is exercised by the
+//!   golden corpus at least once;
+//! - `DESIGN.md` still states the right signature count.
+
+use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
+use crate::rules::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+const SIG_FILE: &str = "crates/core/src/signature.rs";
+const GOLDEN_FILE: &str = "tests/fixtures/golden.verdicts.jsonl";
+const DESIGN_FILE: &str = "DESIGN.md";
+
+/// Run the taxonomy checks against a repo root on disk.
+pub fn check(root: &Path) -> Vec<Finding> {
+    let read = |rel: &str| match std::fs::read_to_string(root.join(rel)) {
+        Ok(s) => Ok(s),
+        Err(e) => Err(Finding {
+            file: rel.to_string(),
+            line: 0,
+            rule: "taxonomy",
+            message: format!("cannot read {rel}: {e}"),
+        }),
+    };
+    let (sig, golden, design) = match (read(SIG_FILE), read(GOLDEN_FILE), read(DESIGN_FILE)) {
+        (Ok(s), Ok(g), Ok(d)) => (s, g, d),
+        (s, g, d) => {
+            return [s.err(), g.err(), d.err()].into_iter().flatten().collect();
+        }
+    };
+    check_sources(&sig, &golden, &design)
+}
+
+/// Run the taxonomy checks against in-memory sources (used by tests to
+/// exercise failure modes without touching the real files).
+pub fn check_sources(sig_src: &str, golden: &str, design: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let parsed = match parse_signature_source(sig_src) {
+        Ok(p) => p,
+        Err(f) => {
+            findings.push(f);
+            return findings;
+        }
+    };
+    check_enum_consistency(&parsed, &mut findings);
+    check_golden(&parsed, golden, &mut findings);
+    check_design(&parsed, design, &mut findings);
+    findings.sort();
+    findings
+}
+
+/// What the source-level parse of `signature.rs` recovers.
+#[derive(Debug, Default)]
+struct ParsedTaxonomy {
+    /// `Signature` variants in declaration order, with lines.
+    variants: Vec<(String, u32)>,
+    /// Declared length in `const ALL: [Signature; N]`.
+    all_decl_len: Option<(usize, u32)>,
+    /// `Signature::X` entries of `ALL`, in order.
+    all_entries: Vec<(String, u32)>,
+    /// `label()` arms: variant → (label, line).
+    labels: BTreeMap<String, (String, u32)>,
+    /// `stage()` arms: variant → (stage variant, line).
+    stages: BTreeMap<String, (String, u32)>,
+    /// Variants covered by `description()` / `prior_work()`.
+    described: BTreeSet<String>,
+    prior: BTreeSet<String>,
+    /// Whether each match carried a wildcard `_` arm.
+    label_wildcard: bool,
+    stage_wildcard: bool,
+    desc_wildcard: bool,
+    prior_wildcard: bool,
+    /// `Stage` variants and their `label()` strings.
+    stage_variants: Vec<String>,
+    stage_labels: BTreeMap<String, String>,
+}
+
+fn taxonomy_finding(line: u32, message: String) -> Finding {
+    Finding {
+        file: SIG_FILE.to_string(),
+        line,
+        rule: "taxonomy",
+        message,
+    }
+}
+
+fn parse_signature_source(src: &str) -> Result<ParsedTaxonomy, Finding> {
+    let toks: Vec<Tok> = strip_test_modules(lex(src))
+        .into_iter()
+        .filter(|t| !t.kind.is_comment())
+        .collect();
+    let variants = parse_enum_variants(&toks, "Signature")
+        .ok_or_else(|| taxonomy_finding(0, "cannot find `enum Signature` declaration".into()))?;
+    let stage_variants = parse_enum_variants(&toks, "Stage")
+        .ok_or_else(|| taxonomy_finding(0, "cannot find `enum Stage` declaration".into()))?
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect();
+    let mut p = ParsedTaxonomy {
+        variants,
+        stage_variants,
+        ..ParsedTaxonomy::default()
+    };
+
+    let sig_impl = impl_block(&toks, "Signature")
+        .ok_or_else(|| taxonomy_finding(0, "cannot find `impl Signature` block".into()))?;
+    let stage_impl = impl_block(&toks, "Stage")
+        .ok_or_else(|| taxonomy_finding(0, "cannot find `impl Stage` block".into()))?;
+
+    if let Some((len, entries, line)) = parse_all_const(&toks[sig_impl.clone()], "Signature") {
+        p.all_decl_len = Some((len, line));
+        p.all_entries = entries;
+    }
+
+    if let Some(arms) = parse_fn_match(&toks[sig_impl.clone()], "label") {
+        for arm in &arms.arms {
+            if arm.wildcard {
+                p.label_wildcard = true;
+                continue;
+            }
+            for (v, line) in &arm.pattern {
+                p.labels
+                    .entry(v.clone())
+                    .or_insert((arm.value_str.clone().unwrap_or_default(), *line));
+            }
+        }
+    }
+    if let Some(arms) = parse_fn_match(&toks[sig_impl.clone()], "stage") {
+        for arm in &arms.arms {
+            if arm.wildcard {
+                p.stage_wildcard = true;
+                continue;
+            }
+            for (v, line) in &arm.pattern {
+                p.stages
+                    .entry(v.clone())
+                    .or_insert((arm.value_path.clone().unwrap_or_default(), *line));
+            }
+        }
+    }
+    for (fn_name, set, wild) in [
+        ("description", &mut p.described, &mut p.desc_wildcard),
+        ("prior_work", &mut p.prior, &mut p.prior_wildcard),
+    ] {
+        if let Some(arms) = parse_fn_match(&toks[sig_impl.clone()], fn_name) {
+            for arm in &arms.arms {
+                if arm.wildcard {
+                    *wild = true;
+                }
+                for (v, _) in &arm.pattern {
+                    set.insert(v.clone());
+                }
+            }
+        }
+    }
+    if let Some(arms) = parse_fn_match(&toks[stage_impl], "label") {
+        for arm in &arms.arms {
+            for (v, _) in &arm.pattern {
+                if let Some(s) = &arm.value_str {
+                    p.stage_labels.insert(v.clone(), s.clone());
+                }
+            }
+        }
+    }
+    Ok(p)
+}
+
+/// Find `enum <name> { … }` and return its variant identifiers.
+fn parse_enum_variants(toks: &[Tok], name: &str) -> Option<Vec<(String, u32)>> {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if ident_at(toks, i) == Some("enum")
+            && ident_at(toks, i + 1) == Some(name)
+            && punct_at(toks, i + 2) == Some('{')
+        {
+            let close = matching_brace(toks, i + 2)?;
+            let mut out = Vec::new();
+            let mut j = i + 3;
+            let mut depth = 0usize;
+            let mut expect_variant = true;
+            while j < close {
+                match &toks[j].kind {
+                    TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    TokKind::Punct(',') if depth == 0 => expect_variant = true,
+                    TokKind::Punct('#') if depth == 0 && punct_at(toks, j + 1) == Some('[') => {
+                        // Variant attribute: skip `#[…]`.
+                        let mut d = 0usize;
+                        j += 1;
+                        while j < close {
+                            match &toks[j].kind {
+                                TokKind::Punct('[') => d += 1,
+                                TokKind::Punct(']') => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    TokKind::Ident(v) if depth == 0 && expect_variant => {
+                        out.push((v.clone(), toks[j].line));
+                        expect_variant = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some(out);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Find the inherent `impl <name> { … }` block and return its token range.
+fn impl_block(toks: &[Tok], name: &str) -> Option<std::ops::Range<usize>> {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if ident_at(toks, i) == Some("impl")
+            && ident_at(toks, i + 1) == Some(name)
+            && punct_at(toks, i + 2) == Some('{')
+        {
+            let close = matching_brace(toks, i + 2)?;
+            return Some(i + 3..close);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parsed `const ALL` declaration: `(declared length, entries, line)`.
+type AllConst = (usize, Vec<(String, u32)>, u32);
+
+/// Parse `const ALL: [<ty>; N] = [<ty>::A, <ty>::B, …];`.
+fn parse_all_const(toks: &[Tok], ty: &str) -> Option<AllConst> {
+    let mut i = 0;
+    while i < toks.len() {
+        if ident_at(toks, i) == Some("const") && ident_at(toks, i + 1) == Some("ALL") {
+            let line = toks[i].line;
+            // Declared length: the Lit between `;` and `]` of the type.
+            let mut len = None;
+            let mut j = i + 2;
+            while j < toks.len() && punct_at(toks, j) != Some('=') {
+                if let TokKind::Lit(text) = &toks[j].kind {
+                    len = text
+                        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
+                        .parse::<usize>()
+                        .ok();
+                }
+                j += 1;
+            }
+            // Entries: `<ty>::Variant` paths until the closing `]`.
+            let mut entries = Vec::new();
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident(t)
+                        if t == ty
+                            && depth == 1
+                            && punct_at(toks, j + 1) == Some(':')
+                            && punct_at(toks, j + 2) == Some(':') =>
+                    {
+                        if let Some(v) = ident_at(toks, j + 3) {
+                            entries.push((v.to_string(), toks[j + 3].line));
+                            j += 3;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some((len?, entries, line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// One parsed `match` arm inside a taxonomy accessor.
+#[derive(Debug)]
+struct Arm {
+    /// Variant idents on the pattern side (qualifiers stripped), with lines.
+    pattern: Vec<(String, u32)>,
+    /// True for a `_ => …` arm.
+    wildcard: bool,
+    /// String-literal arm value, if any.
+    value_str: Option<String>,
+    /// Last ident of a path arm value (`Stage::PostSyn` → `PostSyn`).
+    value_path: Option<String>,
+}
+
+struct FnMatch {
+    arms: Vec<Arm>,
+}
+
+/// Parse the single `match self { … }` inside `fn <name>`.
+fn parse_fn_match(toks: &[Tok], fn_name: &str) -> Option<FnMatch> {
+    let mut i = 0;
+    while i < toks.len() {
+        if ident_at(toks, i) == Some("fn") && ident_at(toks, i + 1) == Some(fn_name) {
+            // Find the `match` keyword, then its brace.
+            let mut j = i + 2;
+            while j < toks.len() && ident_at(toks, j) != Some("match") {
+                j += 1;
+            }
+            let mut open = j;
+            while open < toks.len() && punct_at(toks, open) != Some('{') {
+                open += 1;
+            }
+            let close = matching_brace(toks, open)?;
+            return Some(FnMatch {
+                arms: parse_arms(&toks[open + 1..close]),
+            });
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_arms(toks: &[Tok]) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // --- Pattern side: idents up to `=>`. ---
+        let mut pattern = Vec::new();
+        let mut wildcard = false;
+        while i < toks.len() {
+            if punct_at(toks, i) == Some('=') && punct_at(toks, i + 1) == Some('>') {
+                i += 2;
+                break;
+            }
+            if let Some(id) = ident_at(toks, i) {
+                if id == "_" {
+                    wildcard = true;
+                } else if punct_at(toks, i + 1) == Some(':') && punct_at(toks, i + 2) == Some(':') {
+                    // Qualifier (`Stage::` / `Signature::`): skip it.
+                } else {
+                    pattern.push((id.to_string(), toks[i].line));
+                }
+            }
+            i += 1;
+        }
+        if i >= toks.len() && pattern.is_empty() && !wildcard {
+            break;
+        }
+        // --- Value side: until a depth-0 comma. ---
+        let mut value_str = None;
+        let mut value_path = None;
+        let mut depth = 0usize;
+        while i < toks.len() {
+            match &toks[i].kind {
+                TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokKind::Punct(',') if depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokKind::Str(s) if value_str.is_none() => value_str = Some(s.clone()),
+                TokKind::Ident(id) => value_path = Some(id.clone()),
+                _ => {}
+            }
+            i += 1;
+        }
+        arms.push(Arm {
+            pattern,
+            wildcard,
+            value_str,
+            value_path,
+        });
+    }
+    arms
+}
+
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------------
+
+fn check_enum_consistency(p: &ParsedTaxonomy, findings: &mut Vec<Finding>) {
+    let declared: Vec<&str> = p.variants.iter().map(|(v, _)| v.as_str()).collect();
+
+    // ALL: declared length, order, duplicates, coverage.
+    match p.all_decl_len {
+        Some((len, line)) if len != declared.len() => findings.push(taxonomy_finding(
+            line,
+            format!(
+                "Signature::ALL declares length {len} but the enum has {} variants",
+                declared.len()
+            ),
+        )),
+        None => findings.push(taxonomy_finding(
+            0,
+            "cannot find `const ALL: [Signature; N]` in `impl Signature`".into(),
+        )),
+        _ => {}
+    }
+    let all: Vec<&str> = p.all_entries.iter().map(|(v, _)| v.as_str()).collect();
+    let mut seen = BTreeSet::new();
+    for (v, line) in &p.all_entries {
+        if !seen.insert(v.as_str()) {
+            findings.push(taxonomy_finding(
+                *line,
+                format!("Signature::ALL lists `{v}` more than once"),
+            ));
+        }
+        if !declared.contains(&v.as_str()) {
+            findings.push(taxonomy_finding(
+                *line,
+                format!("Signature::ALL lists `{v}`, which is not a declared variant"),
+            ));
+        }
+    }
+    for (v, line) in &p.variants {
+        if !all.contains(&v.as_str()) {
+            findings.push(taxonomy_finding(
+                *line,
+                format!("variant `{v}` is missing from Signature::ALL"),
+            ));
+        }
+    }
+    if seen.len() == declared.len() && all != declared {
+        findings.push(taxonomy_finding(
+            p.all_decl_len.map(|(_, l)| l).unwrap_or(0),
+            "Signature::ALL is not in declaration order (index() depends on it)".into(),
+        ));
+    }
+
+    // Accessor coverage: every variant must have an explicit arm.
+    for (what, covered, wildcard) in [
+        (
+            "label()",
+            p.labels.keys().cloned().collect::<BTreeSet<_>>(),
+            p.label_wildcard,
+        ),
+        (
+            "stage()",
+            p.stages.keys().cloned().collect::<BTreeSet<_>>(),
+            p.stage_wildcard,
+        ),
+        ("description()", p.described.clone(), p.desc_wildcard),
+        ("prior_work()", p.prior.clone(), p.prior_wildcard),
+    ] {
+        if wildcard {
+            findings.push(taxonomy_finding(
+                0,
+                format!("{what} has a wildcard `_` arm; new variants would be silently absorbed"),
+            ));
+        }
+        for (v, line) in &p.variants {
+            if !covered.contains(v) {
+                findings.push(taxonomy_finding(
+                    *line,
+                    format!("variant `{v}` has no explicit {what} arm"),
+                ));
+            }
+        }
+    }
+
+    // Labels: unique flag-sequences.
+    let mut by_label: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (v, (label, _)) in &p.labels {
+        by_label.entry(label.as_str()).or_default().push(v.as_str());
+    }
+    for (label, vs) in by_label {
+        if vs.len() > 1 {
+            findings.push(taxonomy_finding(
+                p.labels[vs[0]].1,
+                format!(
+                    "duplicate flag-sequence label {label:?} shared by variants {}",
+                    vs.join(", ")
+                ),
+            ));
+        }
+    }
+
+    // Stage values must name real Stage variants.
+    for (v, (stage, line)) in &p.stages {
+        if !p.stage_variants.iter().any(|s| s == stage) {
+            findings.push(taxonomy_finding(
+                *line,
+                format!("variant `{v}` maps to unknown stage `{stage}`"),
+            ));
+        }
+    }
+}
+
+fn check_golden(p: &ParsedTaxonomy, golden: &str, findings: &mut Vec<Finding>) {
+    // label → stage label expected for that signature.
+    let mut label_stage: BTreeMap<&str, Option<&str>> = BTreeMap::new();
+    for (v, (label, _)) in &p.labels {
+        let stage_label = p
+            .stages
+            .get(v)
+            .and_then(|(sv, _)| p.stage_labels.get(sv))
+            .map(String::as_str);
+        label_stage.insert(label.as_str(), stage_label);
+    }
+    let mut exercised: BTreeSet<&str> = BTreeSet::new();
+    for (idx, line) in golden.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let sig = json_str_field(line, "signature");
+        let stage = json_str_field(line, "stage");
+        let Some(sig) = sig else {
+            findings.push(Finding {
+                file: GOLDEN_FILE.to_string(),
+                line: lineno,
+                rule: "taxonomy",
+                message: "golden verdict has no `signature` field".into(),
+            });
+            continue;
+        };
+        let Some(sig) = sig else { continue }; // null: not tampered
+        match label_stage.get(sig.as_str()) {
+            None => findings.push(Finding {
+                file: GOLDEN_FILE.to_string(),
+                line: lineno,
+                rule: "taxonomy",
+                message: format!("golden verdict uses unknown signature label {sig:?}"),
+            }),
+            Some(expected_stage) => {
+                if let Some(k) = label_stage.keys().find(|k| **k == sig.as_str()) {
+                    exercised.insert(k);
+                }
+                let got = stage.flatten();
+                if got.as_deref() != *expected_stage {
+                    findings.push(Finding {
+                        file: GOLDEN_FILE.to_string(),
+                        line: lineno,
+                        rule: "taxonomy",
+                        message: format!(
+                            "golden verdict stage {:?} disagrees with signature.rs stage {:?} \
+                             for {sig:?}",
+                            got.as_deref().unwrap_or("null"),
+                            expected_stage.unwrap_or("?")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for (v, (label, line)) in &p.labels {
+        if !exercised.contains(label.as_str()) {
+            findings.push(Finding {
+                file: GOLDEN_FILE.to_string(),
+                line: 0,
+                rule: "taxonomy",
+                message: format!(
+                    "signature `{v}` ({label}) is never exercised by the golden corpus \
+                     (declared at {SIG_FILE}:{line})"
+                ),
+            });
+        }
+    }
+}
+
+fn check_design(p: &ParsedTaxonomy, design: &str, findings: &mut Vec<Finding>) {
+    let n = p.variants.len();
+    let wanted = [
+        format!("{n} signatures"),
+        format!("{n}-signature"),
+        format!("taxonomy of {n}"),
+    ];
+    if !wanted.iter().any(|w| design.contains(w)) {
+        findings.push(Finding {
+            file: DESIGN_FILE.to_string(),
+            line: 0,
+            rule: "taxonomy",
+            message: format!(
+                "DESIGN.md never states the taxonomy size ({n}); expected one of {wanted:?}"
+            ),
+        });
+    }
+}
+
+/// Extract a JSON string field from one flat object line.
+///
+/// Returns `None` if the key is absent, `Some(None)` for `"key":null`, and
+/// `Some(Some(value))` for a string value (decoding `\"` and `\\`).
+fn json_str_field(line: &str, key: &str) -> Option<Option<String>> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = line[at..].trim_start();
+    if rest.starts_with("null") {
+        return Some(None);
+    }
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(Some(out)),
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => break,
+            },
+            other => out.push(other),
+        }
+    }
+    Some(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_field_extraction() {
+        let line = r#"{"a":"x","signature":"⟨SYN → ∅⟩","stage":null}"#;
+        assert_eq!(
+            json_str_field(line, "signature"),
+            Some(Some("⟨SYN → ∅⟩".to_string()))
+        );
+        assert_eq!(json_str_field(line, "stage"), Some(None));
+        assert_eq!(json_str_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn parses_the_real_signature_source() {
+        let src = include_str!("../../core/src/signature.rs");
+        let p = parse_signature_source(src).expect("parse");
+        assert_eq!(p.variants.len(), 19);
+        assert_eq!(p.all_decl_len.map(|(n, _)| n), Some(19));
+        assert_eq!(p.all_entries.len(), 19);
+        assert_eq!(p.labels.len(), 19);
+        assert_eq!(p.stages.len(), 19);
+        assert_eq!(p.stage_variants.len(), 4);
+        assert_eq!(
+            p.stage_labels.get("PostData").map(String::as_str),
+            Some("Post-Multiple-Data")
+        );
+        assert_eq!(
+            p.labels.get("PshRstZero").map(|(l, _)| l.as_str()),
+            Some("⟨PSH+ACK → RST; RST₀⟩")
+        );
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: ambient clock and randomness in a pipeline crate (not compiled).
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let _t = Instant::now();
+    let _w = SystemTime::now();
+    let _r = rand::thread_rng();
+    let _x: u8 = rand::random();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

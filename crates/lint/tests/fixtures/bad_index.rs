@@ -1,0 +1,6 @@
+// Fixture: direct slice indexing on the untrusted-input surface (not compiled).
+fn parse(data: &[u8]) -> u8 {
+    let head = data[0];
+    let window = &data[4..8];
+    head ^ window.iter().sum::<u8>()
+}

@@ -1,0 +1,8 @@
+// Fixture: HashMap/HashSet in an output-producing crate (not compiled).
+use std::collections::HashMap;
+
+fn aggregate() {
+    let counts: HashMap<u32, u64> = HashMap::new();
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(counts.len());
+}

@@ -1,0 +1,12 @@
+// Fixture: panicking constructs on the untrusted-input surface (not compiled).
+fn parse(data: &[u8]) -> u8 {
+    let first = data.first().unwrap();
+    let second = data.get(1).expect("second byte");
+    if *first == 0 {
+        panic!("zero");
+    }
+    match second {
+        0 => unreachable!(),
+        n => *n,
+    }
+}

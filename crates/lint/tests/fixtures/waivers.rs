@@ -1,0 +1,13 @@
+// Fixture: waiver grammar coverage (not compiled).
+fn covered(data: &[u8]) -> u8 {
+    // tamperlint: allow(index) — length checked by the caller
+    data[0]
+}
+
+// tamperlint: allow(panic) — stale waiver with nothing to excuse
+fn unused() {}
+
+fn typo(data: &[u8]) -> u8 {
+    // tamperlint: allow(indexing) — misspelled rule name
+    data[1]
+}

@@ -85,7 +85,7 @@ impl RuleSet {
         if tls::is_client_hello(payload) {
             return tls::parse_sni(payload).ok().flatten();
         }
-        http::parse_request(payload).and_then(|r| r.host)
+        http::parse_request(payload).ok().and_then(|r| r.host)
     }
 
     /// Evaluate a first data packet (stage: request visible).

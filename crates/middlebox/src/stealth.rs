@@ -110,8 +110,7 @@ impl Hop for StealthHijacker {
                                     mechanism: Mechanism::Drop,
                                     stage: TriggerStage::FirstData,
                                 });
-                                self.snd_nxt =
-                                    pkt.tcp.seq.wrapping_add(pkt.payload.len() as u32);
+                                self.snd_nxt = pkt.tcp.seq.wrapping_add(pkt.payload.len() as u32);
                                 self.state = State::Hijacked;
                             }
                         }
@@ -163,10 +162,7 @@ impl Hop for StealthHijacker {
                     if pkt.tcp.flags.has_fin() {
                         self.rcv_nxt = pkt.tcp.seq.wrapping_add(1);
                         if let Some(ack) = self.forge(TcpFlags::ACK, 0) {
-                            out = out.with_injection_to_server(
-                                ack,
-                                SimDuration::from_micros(120),
-                            );
+                            out = out.with_injection_to_server(ack, SimDuration::from_micros(120));
                         }
                         self.state = State::Done;
                     }
@@ -181,8 +177,8 @@ impl Hop for StealthHijacker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tamper_netsim::derive_rng;
     use std::net::Ipv4Addr;
+    use tamper_netsim::derive_rng;
     use tamper_wire::tls;
 
     fn client() -> IpAddr {

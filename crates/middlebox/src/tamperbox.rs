@@ -4,12 +4,13 @@
 //! vendor-specific network-stack profile.
 
 use crate::rules::RuleSet;
-use crate::spec::{AckStrategy, InjectorStack, RstKind, RstSpec, TamperAction, TriggerStages, TtlMode};
+use crate::spec::{
+    AckStrategy, InjectorStack, RstKind, RstSpec, TamperAction, TriggerStages, TtlMode,
+};
 use rand::Rng;
 use std::net::IpAddr;
 use tamper_netsim::{
-    Direction, Hop, HopCtx, HopOutcome, IpIdGen, Mechanism, SimDuration, TamperEvent,
-    TriggerStage,
+    Direction, Hop, HopCtx, HopOutcome, IpIdGen, Mechanism, SimDuration, TamperEvent, TriggerStage,
 };
 use tamper_wire::{Packet, PacketBuilder, TcpFlags};
 
@@ -273,10 +274,7 @@ impl Hop for TamperingMiddlebox {
             Direction::ToServer => {
                 let stage_kind = if pkt.tcp.flags.has_syn() && !pkt.tcp.flags.has_ack() {
                     self.flow.client = Some((pkt.ip.src(), pkt.tcp.src_port));
-                    self.flow.server = self
-                        .flow
-                        .server
-                        .or(Some((pkt.ip.dst(), pkt.tcp.dst_port)));
+                    self.flow.server = self.flow.server.or(Some((pkt.ip.dst(), pkt.tcp.dst_port)));
                     self.flow.client_next = pkt
                         .tcp
                         .seq
@@ -285,8 +283,7 @@ impl Hop for TamperingMiddlebox {
                     StageKind::Syn
                 } else if !pkt.payload.is_empty() {
                     self.flow.data_packets += 1;
-                    self.flow.client_next =
-                        pkt.tcp.seq.wrapping_add(pkt.payload.len() as u32);
+                    self.flow.client_next = pkt.tcp.seq.wrapping_add(pkt.payload.len() as u32);
                     StageKind::Data(self.flow.data_packets)
                 } else {
                     StageKind::Other

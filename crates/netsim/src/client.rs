@@ -308,10 +308,15 @@ impl Client {
 
     fn builder(&mut self, rng: &mut StdRng) -> PacketBuilder {
         let id = self.ip_id.next(rng);
-        PacketBuilder::new(self.cfg.src, self.cfg.dst, self.cfg.src_port, self.cfg.dst_port)
-            .ttl(self.cfg.initial_ttl)
-            .ip_id(id)
-            .window(self.cfg.window)
+        PacketBuilder::new(
+            self.cfg.src,
+            self.cfg.dst,
+            self.cfg.src_port,
+            self.cfg.dst_port,
+        )
+        .ttl(self.cfg.initial_ttl)
+        .ip_id(id)
+        .window(self.cfg.window)
     }
 
     fn seg_options(&self, now: SimTime) -> Vec<tamper_wire::TcpOption> {
@@ -361,7 +366,12 @@ impl Client {
     }
 
     /// Handle a packet that arrived at the client.
-    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet, rng: &mut StdRng) -> Actions<ClientTimer> {
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> Actions<ClientTimer> {
         let mut actions = Actions::none();
         if self.state == State::Closed {
             return actions;
@@ -541,7 +551,11 @@ impl Client {
 
         // Server FIN (possibly carried with ACK).
         if pkt.tcp.flags.has_fin() {
-            self.rcv_nxt = pkt.tcp.seq.wrapping_add(pkt.payload.len() as u32).wrapping_add(1);
+            self.rcv_nxt = pkt
+                .tcp
+                .seq
+                .wrapping_add(pkt.payload.len() as u32)
+                .wrapping_add(1);
             let opts = self.seg_options(now);
             let ack = self
                 .builder(rng)
@@ -603,7 +617,12 @@ impl Client {
     }
 
     /// Handle a timer firing.
-    pub fn on_timer(&mut self, now: SimTime, timer: ClientTimer, rng: &mut StdRng) -> Actions<ClientTimer> {
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        timer: ClientTimer,
+        rng: &mut StdRng,
+    ) -> Actions<ClientTimer> {
         let mut actions = Actions::none();
         if self.state == State::Closed {
             return actions;
@@ -819,7 +838,9 @@ mod tests {
         let req = &a.emits[1].0;
         assert_eq!(req.tcp.flags, TcpFlags::PSH_ACK);
         assert_eq!(
-            tamper_wire::tls::parse_sni(&req.payload).unwrap().as_deref(),
+            tamper_wire::tls::parse_sni(&req.payload)
+                .unwrap()
+                .as_deref(),
             Some("blocked.example")
         );
         assert_eq!(req.tcp.seq, 0x1000_0001);
@@ -918,10 +939,7 @@ mod tests {
             .build();
         let a = c.on_packet(SimTime(2_000_000), &resp, &mut rng);
         assert!(a.emits.iter().any(|(p, _)| p.tcp.flags == TcpFlags::ACK));
-        assert!(a
-            .timers
-            .iter()
-            .any(|(t, _)| *t == ClientTimer::Close));
+        assert!(a.timers.iter().any(|(t, _)| *t == ClientTimer::Close));
         let close = c.on_timer(SimTime(3_000_000), ClientTimer::Close, &mut rng);
         assert_eq!(close.emits.len(), 1);
         assert!(close.emits[0].0.tcp.flags.has_fin());

@@ -52,11 +52,7 @@ impl Path {
 
     /// A path with a single middlebox splitting the given latency between
     /// the client-side and server-side segments.
-    pub fn with_hop(
-        client_side: Link,
-        hop: Box<dyn Hop>,
-        server_side: Link,
-    ) -> Path {
+    pub fn with_hop(client_side: Link, hop: Box<dyn Hop>, server_side: Link) -> Path {
         Path {
             links: vec![client_side, server_side],
             hops: vec![hop],

@@ -132,11 +132,20 @@ impl Server {
         let _ = now;
     }
 
-    fn send_response(&mut self, now: SimTime, rng: &mut StdRng, actions: &mut Actions<ServerTimer>) {
+    fn send_response(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        actions: &mut Actions<ServerTimer>,
+    ) {
         let n = self.cfg.response_segments.max(1);
         for i in 0..n {
             let last = i + 1 == n;
-            let flags = if last { TcpFlags::PSH_ACK } else { TcpFlags::ACK };
+            let flags = if last {
+                TcpFlags::PSH_ACK
+            } else {
+                TcpFlags::ACK
+            };
             let len = self.cfg.segment_len as usize;
             let body = Bytes::from(vec![b'D'; len]);
             let opts = self.seg_options(now);
@@ -159,7 +168,12 @@ impl Server {
 
     /// Handle an inbound packet (this call is also the capture point: the
     /// session driver records the packet before invoking it).
-    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet, rng: &mut StdRng) -> Actions<ServerTimer> {
+    pub fn on_packet(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+        rng: &mut StdRng,
+    ) -> Actions<ServerTimer> {
         let mut actions = Actions::none();
         if self.state == State::Closed {
             return actions;
@@ -218,7 +232,11 @@ impl Server {
                 let ack = self.rcv_nxt;
                 if let Some(b) = self.builder(rng) {
                     actions.emit(
-                        b.flags(TcpFlags::ACK).seq(seq).ack(ack).options(opts).build(),
+                        b.flags(TcpFlags::ACK)
+                            .seq(seq)
+                            .ack(ack)
+                            .options(opts)
+                            .build(),
                         SimDuration::ZERO,
                     );
                 }
@@ -230,7 +248,11 @@ impl Server {
             let ack = self.rcv_nxt;
             if let Some(b) = self.builder(rng) {
                 actions.emit(
-                    b.flags(TcpFlags::ACK).seq(seq).ack(ack).options(opts).build(),
+                    b.flags(TcpFlags::ACK)
+                        .seq(seq)
+                        .ack(ack)
+                        .options(opts)
+                        .build(),
                     SimDuration::ZERO,
                 );
             }
@@ -267,7 +289,12 @@ impl Server {
     }
 
     /// Handle a timer firing.
-    pub fn on_timer(&mut self, now: SimTime, timer: ServerTimer, rng: &mut StdRng) -> Actions<ServerTimer> {
+    pub fn on_timer(
+        &mut self,
+        now: SimTime,
+        timer: ServerTimer,
+        rng: &mut StdRng,
+    ) -> Actions<ServerTimer> {
         let mut actions = Actions::none();
         match timer {
             ServerTimer::RetransmitSynAck => {
@@ -371,11 +398,23 @@ mod tests {
         let mut s = Server::new(ServerConfig::default_edge(server, 443));
         let mut rng = derive_rng(2, 4);
         let _ = s.on_packet(SimTime::ZERO, &syn(client, server), &mut rng);
-        let a1 = s.on_timer(SimTime::from_secs(1), ServerTimer::RetransmitSynAck, &mut rng);
+        let a1 = s.on_timer(
+            SimTime::from_secs(1),
+            ServerTimer::RetransmitSynAck,
+            &mut rng,
+        );
         assert_eq!(a1.emits.len(), 1);
-        let a2 = s.on_timer(SimTime::from_secs(3), ServerTimer::RetransmitSynAck, &mut rng);
+        let a2 = s.on_timer(
+            SimTime::from_secs(3),
+            ServerTimer::RetransmitSynAck,
+            &mut rng,
+        );
         assert_eq!(a2.emits.len(), 1);
-        let a3 = s.on_timer(SimTime::from_secs(7), ServerTimer::RetransmitSynAck, &mut rng);
+        let a3 = s.on_timer(
+            SimTime::from_secs(7),
+            ServerTimer::RetransmitSynAck,
+            &mut rng,
+        );
         assert!(a3.emits.is_empty());
         assert!(s.is_closed());
     }

@@ -55,10 +55,7 @@ impl PartialOrd for Scheduled {
 impl Ord for Scheduled {
     fn cmp(&self, other: &Scheduled) -> Ordering {
         // Reverse for a min-heap on (time, seq).
-        other
-            .t
-            .cmp(&self.t)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.t.cmp(&self.t).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -282,7 +279,11 @@ pub fn run_session(params: SessionParams, path: &mut Path, rng: &mut StdRng) -> 
                                 driver.traverse(now, i + 1, pkt, next, dir, origin, rng);
                             }
                             Direction::ToClient => {
-                                let next = if i == 0 { Node::Client } else { Node::Hop(i - 1) };
+                                let next = if i == 0 {
+                                    Node::Client
+                                } else {
+                                    Node::Hop(i - 1)
+                                };
                                 driver.traverse(now, i, pkt, next, dir, origin, rng);
                             }
                         }
@@ -341,7 +342,7 @@ mod tests {
     use super::*;
     use crate::client::{ClientKind, RequestPayload, VanishStage};
     use crate::rng::derive_rng;
-    
+
     use std::net::{IpAddr, Ipv4Addr};
     use tamper_wire::TcpFlags;
 
@@ -432,7 +433,11 @@ mod tests {
             let server = ServerConfig::default_edge(dst, 443);
             let mut path = Path::direct(SimDuration::from_millis(25), 9);
             let mut rng = derive_rng(7, 3);
-            run_session(SessionParams::new(cfg, server, SimTime::ZERO), &mut path, &mut rng)
+            run_session(
+                SessionParams::new(cfg, server, SimTime::ZERO),
+                &mut path,
+                &mut rng,
+            )
         };
         let t2 = {
             let (src, dst) = addrs();
@@ -440,7 +445,11 @@ mod tests {
             let server = ServerConfig::default_edge(dst, 443);
             let mut path = Path::direct(SimDuration::from_millis(25), 9);
             let mut rng = derive_rng(7, 3);
-            run_session(SessionParams::new(cfg, server, SimTime::ZERO), &mut path, &mut rng)
+            run_session(
+                SessionParams::new(cfg, server, SimTime::ZERO),
+                &mut path,
+                &mut rng,
+            )
         };
         assert_eq!(t1.packets.len(), t2.packets.len());
         for (a, b) in t1.packets.iter().zip(&t2.packets) {
@@ -530,11 +539,16 @@ mod path_mechanics_tests {
     impl Hop for SynEcho {
         fn on_packet(&mut self, _ctx: &mut HopCtx<'_>, pkt: &Packet, dir: Direction) -> HopOutcome {
             if dir == Direction::ToServer && pkt.tcp.flags.has_syn() {
-                let rst = PacketBuilder::new(pkt.ip.src(), pkt.ip.dst(), pkt.tcp.src_port, pkt.tcp.dst_port)
-                    .flags(TcpFlags::RST)
-                    .seq(pkt.tcp.seq.wrapping_add(1))
-                    .ttl(200)
-                    .build();
+                let rst = PacketBuilder::new(
+                    pkt.ip.src(),
+                    pkt.ip.dst(),
+                    pkt.tcp.src_port,
+                    pkt.tcp.dst_port,
+                )
+                .flags(TcpFlags::RST)
+                .seq(pkt.tcp.seq.wrapping_add(1))
+                .ttl(200)
+                .build();
                 HopOutcome::pass().with_injection_to_server(rst, SimDuration::from_micros(10))
             } else {
                 HopOutcome::pass()
@@ -591,7 +605,12 @@ mod path_mechanics_tests {
         // Count via a shared cell smuggled through a static — simpler: use
         // the tamper_events vec as a counter channel.
         impl Hop for CountBoth {
-            fn on_packet(&mut self, _ctx: &mut HopCtx<'_>, _pkt: &Packet, dir: Direction) -> HopOutcome {
+            fn on_packet(
+                &mut self,
+                _ctx: &mut HopCtx<'_>,
+                _pkt: &Packet,
+                dir: Direction,
+            ) -> HopOutcome {
                 match dir {
                     Direction::ToServer => self.to_server += 1,
                     Direction::ToClient => self.to_client += 1,

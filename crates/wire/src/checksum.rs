@@ -20,7 +20,9 @@ impl Checksum {
     pub fn add_bytes(&mut self, data: &[u8]) {
         let mut chunks = data.chunks_exact(2);
         for c in &mut chunks {
-            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+            if let &[a, b] = c {
+                self.sum += u32::from(u16::from_be_bytes([a, b]));
+            }
         }
         if let [last] = chunks.remainder() {
             self.sum += u32::from(u16::from_be_bytes([*last, 0]));

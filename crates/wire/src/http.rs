@@ -3,6 +3,7 @@
 //! and the Host header — plus the User-Agent, which the paper observes
 //! often identifies commercial firewalls in Post-Data tampering.
 
+use crate::{Result, WireError};
 use bytes::Bytes;
 
 /// A parsed HTTP/1.x request head.
@@ -42,33 +43,37 @@ pub fn is_http_request(payload: &[u8]) -> bool {
     METHODS.iter().any(|m| payload.starts_with(m))
 }
 
-/// Parse the request head (request line + headers). Returns `None` when the
-/// payload is not an HTTP request or the head is malformed. Tolerates a
-/// truncated header block (parses what is there), matching what a DPI box
-/// sees in the first packet.
+/// Parse the request head (request line + headers). Returns
+/// [`WireError::Malformed`] when the payload is not an HTTP request or the
+/// request line is broken. Tolerates a truncated header block (parses what
+/// is there), matching what a DPI box sees in the first packet.
 ///
 /// ```
 /// let req = tamper_wire::http::build_get("Example.com", "/x", "demo/1.0");
 /// let parsed = tamper_wire::http::parse_request(&req).unwrap();
 /// assert_eq!(parsed.host.as_deref(), Some("example.com"));
 /// ```
-pub fn parse_request(payload: &[u8]) -> Option<HttpRequest> {
+pub fn parse_request(payload: &[u8]) -> Result<HttpRequest> {
+    const BAD: WireError = WireError::Malformed("http request line");
     if !is_http_request(payload) {
-        return None;
+        return Err(BAD);
     }
     let text = match std::str::from_utf8(payload) {
         Ok(t) => t,
         // Bodies can be binary; only the head must be UTF-8.
-        Err(e) => std::str::from_utf8(&payload[..e.valid_up_to()]).ok()?,
+        Err(e) => payload
+            .get(..e.valid_up_to())
+            .and_then(|head| std::str::from_utf8(head).ok())
+            .ok_or(WireError::Malformed("http head utf-8"))?,
     };
     let mut lines = text.split("\r\n");
-    let request_line = lines.next()?;
+    let request_line = lines.next().ok_or(BAD)?;
     let mut parts = request_line.split(' ');
-    let method = parts.next()?.to_owned();
-    let path = parts.next()?.to_owned();
-    let version = parts.next()?;
+    let method = parts.next().ok_or(BAD)?.to_owned();
+    let path = parts.next().ok_or(BAD)?.to_owned();
+    let version = parts.next().ok_or(BAD)?;
     if !version.starts_with("HTTP/") {
-        return None;
+        return Err(BAD);
     }
     let mut host = None;
     let mut user_agent = None;
@@ -85,7 +90,7 @@ pub fn parse_request(payload: &[u8]) -> Option<HttpRequest> {
             }
         }
     }
-    Some(HttpRequest {
+    Ok(HttpRequest {
         method,
         path,
         host,
@@ -130,14 +135,17 @@ mod tests {
 
     #[test]
     fn non_http_rejected() {
-        assert!(parse_request(b"\x16\x03\x01").is_none());
-        assert!(parse_request(b"").is_none());
-        assert!(parse_request(b"NOTAMETHOD / HTTP/1.1\r\n").is_none());
+        assert!(parse_request(b"\x16\x03\x01").is_err());
+        assert!(parse_request(b"").is_err());
+        assert!(parse_request(b"NOTAMETHOD / HTTP/1.1\r\n").is_err());
     }
 
     #[test]
     fn request_line_without_version_rejected() {
-        assert!(parse_request(b"GET /\r\n").is_none());
+        assert_eq!(
+            parse_request(b"GET /\r\n"),
+            Err(WireError::Malformed("http request line"))
+        );
     }
 
     #[test]

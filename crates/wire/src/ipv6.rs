@@ -2,6 +2,7 @@
 //! simulated traffic never carries them, and the classifier only needs the
 //! hop limit (the IPv6 analogue of the TTL evidence) and the addresses.
 
+use crate::reader::Reader;
 use crate::{Result, WireError};
 use bytes::{BufMut, BytesMut};
 use std::net::Ipv6Addr;
@@ -48,26 +49,28 @@ impl Ipv6Header {
         if data.len() < IPV6_HEADER_LEN {
             return Err(WireError::Truncated);
         }
-        let version = data[0] >> 4;
+        let mut r = Reader::new(data);
+        let b0 = r.u8()?;
+        let version = b0 >> 4;
         if version != 6 {
             return Err(WireError::BadVersion(version));
         }
-        let payload_len = u16::from_be_bytes([data[4], data[5]]);
+        let b1 = r.u8()?;
+        let flow_lo = r.u16()?;
+        let payload_len = r.u16()?;
         if IPV6_HEADER_LEN + payload_len as usize > data.len() {
             return Err(WireError::BadLength);
         }
-        let mut src = [0u8; 16];
-        let mut dst = [0u8; 16];
-        src.copy_from_slice(&data[8..24]);
-        dst.copy_from_slice(&data[24..40]);
+        let next_header = r.u8()?;
+        let hop_limit = r.u8()?;
+        let src: [u8; 16] = r.array()?;
+        let dst: [u8; 16] = r.array()?;
         let header = Ipv6Header {
-            traffic_class: (data[0] << 4) | (data[1] >> 4),
-            flow_label: (u32::from(data[1] & 0x0F) << 16)
-                | (u32::from(data[2]) << 8)
-                | u32::from(data[3]),
+            traffic_class: (b0 << 4) | (b1 >> 4),
+            flow_label: (u32::from(b1 & 0x0F) << 16) | u32::from(flow_lo),
             payload_len,
-            next_header: data[6],
-            hop_limit: data[7],
+            next_header,
+            hop_limit,
             src: Ipv6Addr::from(src),
             dst: Ipv6Addr::from(dst),
         };

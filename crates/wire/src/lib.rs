@@ -19,6 +19,9 @@
 //!
 //! - [`flags`] — the TCP flag byte as a typed bitset.
 //! - [`checksum`] — the one's-complement internet checksum.
+//! - [`reader`] — the bounds-checked cursor every parser reads through,
+//!   so truncated or hostile input surfaces as [`WireError::Truncated`]
+//!   instead of a panic.
 //! - [`ipv4`], [`ipv6`] — network-layer headers.
 //! - [`tcp`] — transport header plus the option kinds that matter for
 //!   tampering analysis (MSS, window scale, SACK-permitted, timestamps).
@@ -34,6 +37,7 @@ pub mod http;
 pub mod ipv4;
 pub mod ipv6;
 pub mod packet;
+pub mod reader;
 pub mod tcp;
 pub mod tls;
 
@@ -42,6 +46,7 @@ pub use flags::TcpFlags;
 pub use ipv4::Ipv4Header;
 pub use ipv6::Ipv6Header;
 pub use packet::{IpHeader, Packet, PacketBuilder};
+pub use reader::Reader;
 pub use tcp::{TcpHeader, TcpOption};
 
 /// Result alias used throughout the crate.

@@ -99,24 +99,26 @@ impl Packet {
     /// Parse a frame starting at the IP header. Verifies the IPv4 header
     /// checksum and the TCP checksum over the pseudo-header.
     pub fn parse(frame: &[u8]) -> Result<Packet> {
-        if frame.is_empty() {
-            return Err(WireError::Truncated);
-        }
-        match frame[0] >> 4 {
+        let version = frame.first().map(|b| b >> 4).ok_or(WireError::Truncated)?;
+        match version {
             4 => {
                 let (ip, off) = Ipv4Header::parse(frame)?;
                 if ip.protocol != 6 {
                     return Err(WireError::UnsupportedProtocol(ip.protocol));
                 }
-                let segment = &frame[off..ip.total_len as usize];
+                // Ipv4Header::parse guarantees off <= total_len <= frame.len().
+                let segment = frame
+                    .get(off..ip.total_len as usize)
+                    .ok_or(WireError::BadLength)?;
                 if tcp_checksum_v4(ip.src, ip.dst, segment) != 0 {
                     return Err(WireError::BadChecksum);
                 }
                 let (tcp, data_off) = TcpHeader::parse(segment)?;
+                let payload = segment.get(data_off..).ok_or(WireError::BadLength)?;
                 Ok(Packet {
                     ip: IpHeader::V4(ip),
                     tcp,
-                    payload: Bytes::copy_from_slice(&segment[data_off..]),
+                    payload: Bytes::copy_from_slice(payload),
                 })
             }
             6 => {
@@ -124,15 +126,19 @@ impl Packet {
                 if ip.next_header != 6 {
                     return Err(WireError::UnsupportedProtocol(ip.next_header));
                 }
-                let segment = &frame[off..off + ip.payload_len as usize];
+                // Ipv6Header::parse guarantees off + payload_len <= frame.len().
+                let segment = frame
+                    .get(off..off + ip.payload_len as usize)
+                    .ok_or(WireError::BadLength)?;
                 if tcp_checksum_v6(ip.src, ip.dst, segment) != 0 {
                     return Err(WireError::BadChecksum);
                 }
                 let (tcp, data_off) = TcpHeader::parse(segment)?;
+                let payload = segment.get(data_off..).ok_or(WireError::BadLength)?;
                 Ok(Packet {
                     ip: IpHeader::V6(ip),
                     tcp,
-                    payload: Bytes::copy_from_slice(&segment[data_off..]),
+                    payload: Bytes::copy_from_slice(payload),
                 })
             }
             v => Err(WireError::BadVersion(v)),
@@ -143,27 +149,28 @@ impl Packet {
     pub fn emit(&self) -> Bytes {
         let tcp_len = self.tcp.header_len() + self.payload.len();
         let mut buf = BytesMut::with_capacity(40 + tcp_len);
-        let (seg_start, src_dst): (usize, Option<(std::net::Ipv4Addr, std::net::Ipv4Addr)>);
-        match &self.ip {
+        let seg_start = match &self.ip {
             IpHeader::V4(h) => {
                 h.emit(&mut buf, tcp_len);
-                seg_start = crate::ipv4::IPV4_HEADER_LEN;
-                src_dst = Some((h.src, h.dst));
+                crate::ipv4::IPV4_HEADER_LEN
             }
             IpHeader::V6(h) => {
                 h.emit(&mut buf, tcp_len);
-                seg_start = crate::ipv6::IPV6_HEADER_LEN;
-                src_dst = None;
+                crate::ipv6::IPV6_HEADER_LEN
             }
-        }
+        };
         self.tcp.emit(&mut buf);
         buf.extend_from_slice(&self.payload);
-        let ck = match (&self.ip, src_dst) {
-            (IpHeader::V4(_), Some((s, d))) => tcp_checksum_v4(s, d, &buf[seg_start..]),
-            (IpHeader::V6(h), _) => tcp_checksum_v6(h.src, h.dst, &buf[seg_start..]),
-            _ => unreachable!(),
+        // The emitter patches the checksum into the buffer it just wrote:
+        // seg_start + 16 + 2 <= buf.len() by construction.
+        // tamperlint: allow(index) — emitter indexes into its own freshly written buffer at fixed offsets
+        let segment = &buf[seg_start..];
+        let ck = match &self.ip {
+            IpHeader::V4(h) => tcp_checksum_v4(h.src, h.dst, segment),
+            IpHeader::V6(h) => tcp_checksum_v6(h.src, h.dst, segment),
         };
         let ck_at = seg_start + 16;
+        // tamperlint: allow(index) — checksum field offset is a compile-time constant inside the emitted header
         buf[ck_at..ck_at + 2].copy_from_slice(&ck.to_be_bytes());
         buf.freeze()
     }
@@ -189,6 +196,7 @@ impl PacketBuilder {
         let ip = match (src, dst) {
             (IpAddr::V4(s), IpAddr::V4(d)) => IpHeader::V4(Ipv4Header::tcp_template(s, d)),
             (IpAddr::V6(s), IpAddr::V6(d)) => IpHeader::V6(Ipv6Header::tcp_template(s, d)),
+            // tamperlint: allow(panic) — documented builder contract; constructors only run on caller-chosen addresses, never on capture bytes
             _ => panic!("mixed address families"),
         };
         PacketBuilder {

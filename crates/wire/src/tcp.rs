@@ -7,6 +7,7 @@
 //! real stack.
 
 use crate::flags::TcpFlags;
+use crate::reader::Reader;
 use crate::{Result, WireError};
 use bytes::{BufMut, BytesMut};
 
@@ -118,42 +119,48 @@ impl TcpHeader {
     /// verified here because it needs the IP pseudo-header; see
     /// [`crate::packet::Packet::parse`].
     pub fn parse(data: &[u8]) -> Result<(TcpHeader, usize)> {
-        if data.len() < TCP_HEADER_LEN {
-            return Err(WireError::Truncated);
-        }
-        let data_offset = (data[12] >> 4) as usize * 4;
+        let mut r = Reader::new(data);
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let seq = r.u32()?;
+        let ack = r.u32()?;
+        let off_byte = r.u8()?;
+        let flags = TcpFlags::from_bits(r.u8()?);
+        let window = r.u16()?;
+        r.skip(2)?; // checksum: verified at the packet layer (pseudo-header)
+        let urgent = r.u16()?;
+        let data_offset = (off_byte >> 4) as usize * 4;
         if data_offset < TCP_HEADER_LEN || data_offset > data.len() {
             return Err(WireError::BadLength);
         }
+        let mut opts = Reader::new(r.take(data_offset - TCP_HEADER_LEN)?);
         let mut options = Vec::new();
-        let mut cursor = TCP_HEADER_LEN;
-        while cursor < data_offset {
-            let kind = data[cursor];
+        while !opts.is_empty() {
+            let kind = opts.u8()?;
             match kind {
                 0 => {
                     options.push(TcpOption::Eol);
                     break;
                 }
-                1 => {
-                    options.push(TcpOption::Nop);
-                    cursor += 1;
-                }
+                1 => options.push(TcpOption::Nop),
                 _ => {
-                    if cursor + 1 >= data_offset {
+                    let len = opts
+                        .u8()
+                        .map_err(|_| WireError::Malformed("tcp option length"))?
+                        as usize;
+                    if len < 2 {
                         return Err(WireError::Malformed("tcp option length"));
                     }
-                    let len = data[cursor + 1] as usize;
-                    if len < 2 || cursor + len > data_offset {
-                        return Err(WireError::Malformed("tcp option length"));
-                    }
-                    let body = &data[cursor + 2..cursor + len];
-                    let opt = match (kind, len) {
-                        (2, 4) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
-                        (3, 3) => TcpOption::WindowScale(body[0]),
-                        (4, 2) => TcpOption::SackPermitted,
-                        (8, 10) => TcpOption::Timestamps {
-                            tsval: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
-                            tsecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                    let body = opts
+                        .take(len - 2)
+                        .map_err(|_| WireError::Malformed("tcp option length"))?;
+                    let opt = match (kind, body) {
+                        (2, &[a, b]) => TcpOption::Mss(u16::from_be_bytes([a, b])),
+                        (3, &[s]) => TcpOption::WindowScale(s),
+                        (4, &[]) => TcpOption::SackPermitted,
+                        (8, &[a, b, c, d, e, f, g, h]) => TcpOption::Timestamps {
+                            tsval: u32::from_be_bytes([a, b, c, d]),
+                            tsecr: u32::from_be_bytes([e, f, g, h]),
                         },
                         _ => TcpOption::Unknown {
                             kind,
@@ -161,18 +168,17 @@ impl TcpHeader {
                         },
                     };
                     options.push(opt);
-                    cursor += len;
                 }
             }
         }
         let header = TcpHeader {
-            src_port: u16::from_be_bytes([data[0], data[1]]),
-            dst_port: u16::from_be_bytes([data[2], data[3]]),
-            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
-            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
-            flags: TcpFlags::from_bits(data[13]),
-            window: u16::from_be_bytes([data[14], data[15]]),
-            urgent: u16::from_be_bytes([data[18], data[19]]),
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            urgent,
             options,
         };
         Ok((header, data_offset))

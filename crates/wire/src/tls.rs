@@ -6,6 +6,7 @@
 //! TLS 1.3 with plain ClientHello is modelled; the record and handshake
 //! framing follows RFC 8446 §4 and RFC 6066 §3 for server_name.
 
+use crate::reader::Reader;
 use crate::{Result, WireError};
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -82,10 +83,9 @@ pub fn build_client_hello(sni: &str, random: [u8; 32]) -> Bytes {
 /// ClientHello. Used by middleboxes and the classifier to decide whether a
 /// data packet is "the TLS request".
 pub fn is_client_hello(payload: &[u8]) -> bool {
-    payload.len() >= 6
-        && payload[0] == CONTENT_TYPE_HANDSHAKE
-        && payload[1] == 0x03
-        && payload[5] == HANDSHAKE_CLIENT_HELLO
+    payload.first() == Some(&CONTENT_TYPE_HANDSHAKE)
+        && payload.get(1) == Some(&0x03)
+        && payload.get(5) == Some(&HANDSHAKE_CLIENT_HELLO)
 }
 
 /// Extract the SNI host name from a ClientHello payload, if present and
@@ -95,54 +95,47 @@ pub fn parse_sni(payload: &[u8]) -> Result<Option<String>> {
     if !is_client_hello(payload) {
         return Err(WireError::Malformed("tls record"));
     }
-    let record_len = u16::from_be_bytes([payload[3], payload[4]]) as usize;
-    let record = payload
-        .get(5..5 + record_len)
-        .ok_or(WireError::Truncated)?;
+    let mut rec = Reader::new(payload);
+    rec.skip(3)?; // content type + record version
+    let record_len = rec.u16()? as usize;
+    let record = rec.take(record_len)?;
     // Handshake header: type(1) + len(3).
-    if record.len() < 4 {
-        return Err(WireError::Truncated);
-    }
-    let hs_len =
-        (usize::from(record[1]) << 16) | (usize::from(record[2]) << 8) | usize::from(record[3]);
-    let body = record.get(4..4 + hs_len).ok_or(WireError::Truncated)?;
+    let mut hs = Reader::new(record);
+    hs.skip(1)?; // handshake type (checked by is_client_hello)
+    let [l0, l1, l2] = hs.array()?;
+    let hs_len = (usize::from(l0) << 16) | (usize::from(l1) << 8) | usize::from(l2);
+    let body = hs.take(hs_len)?;
 
-    let mut cur = 0usize;
-    let take = |cur: &mut usize, n: usize| -> Result<&[u8]> {
-        let s = body.get(*cur..*cur + n).ok_or(WireError::Truncated)?;
-        *cur += n;
-        Ok(s)
-    };
-    take(&mut cur, 2)?; // legacy_version
-    take(&mut cur, 32)?; // random
-    let sid_len = take(&mut cur, 1)?[0] as usize;
-    take(&mut cur, sid_len)?;
-    let cs = take(&mut cur, 2)?;
-    let cs_len = u16::from_be_bytes([cs[0], cs[1]]) as usize;
-    take(&mut cur, cs_len)?;
-    let comp_len = take(&mut cur, 1)?[0] as usize;
-    take(&mut cur, comp_len)?;
-    if cur == body.len() {
+    let mut r = Reader::new(body);
+    r.skip(2)?; // legacy_version
+    r.skip(32)?; // random
+    let sid_len = r.u8()? as usize;
+    r.skip(sid_len)?;
+    let cs_len = r.u16()? as usize;
+    r.skip(cs_len)?;
+    let comp_len = r.u8()? as usize;
+    r.skip(comp_len)?;
+    if r.is_empty() {
         return Ok(None); // no extensions block at all
     }
-    let el = take(&mut cur, 2)?;
-    let ext_total = u16::from_be_bytes([el[0], el[1]]) as usize;
-    let ext_end = cur + ext_total;
-    while cur + 4 <= ext_end.min(body.len()) {
-        let hdr = take(&mut cur, 4)?;
-        let ext_type = u16::from_be_bytes([hdr[0], hdr[1]]);
-        let ext_len = u16::from_be_bytes([hdr[2], hdr[3]]) as usize;
-        let ext = take(&mut cur, ext_len)?;
+    let ext_total = r.u16()? as usize;
+    let ext_end = r.pos() + ext_total;
+    while r.pos() + 4 <= ext_end.min(body.len()) {
+        let ext_type = r.u16()?;
+        let ext_len = r.u16()? as usize;
+        let ext = r.take(ext_len)?;
         if ext_type == EXT_SERVER_NAME {
             // list length(2) + type(1) + name length(2) + name
             if ext.len() < 5 {
                 return Err(WireError::Malformed("sni extension"));
             }
-            if ext[2] != 0 {
+            let mut e = Reader::new(ext);
+            e.skip(2)?; // server name list length
+            if e.u8()? != 0 {
                 continue; // not a host_name entry
             }
-            let name_len = u16::from_be_bytes([ext[3], ext[4]]) as usize;
-            let name = ext.get(5..5 + name_len).ok_or(WireError::Truncated)?;
+            let name_len = e.u16()? as usize;
+            let name = e.take(name_len)?;
             let s = std::str::from_utf8(name)
                 .map_err(|_| WireError::Malformed("sni utf-8"))?
                 .to_owned();

@@ -241,8 +241,7 @@ fn policy_from_json(v: Option<&Json>, ctx: &str) -> Result<Policy, ConfigError> 
                 .get("coverage")
                 .and_then(Json::as_array)
                 .is_some_and(|a| !a.is_empty());
-            if mix.is_empty() && (get_f64_or(obj, "dpi_blanket", 0.0) > 0.0 || coverage_present)
-            {
+            if mix.is_empty() && (get_f64_or(obj, "dpi_blanket", 0.0) > 0.0 || coverage_present) {
                 mix = vec![(Vendor::DataDropAll, 1.0)];
             }
             mix
@@ -331,8 +330,7 @@ mod tests {
 
     #[test]
     fn minimal_country_uses_defaults() {
-        let world =
-            world_from_json(r#"[{"code":"XX","weight":1}]"#).expect("minimal world loads");
+        let world = world_from_json(r#"[{"code":"XX","weight":1}]"#).expect("minimal world loads");
         assert_eq!(world.len(), 1);
         assert_eq!(world[0].country.code, "XX");
         assert_eq!(world[0].country.n_ases, 4);
@@ -363,10 +361,7 @@ mod tests {
         assert_eq!(p.syn_rules, vec![(Vendor::SynDropAll, 0.1)]);
         assert_eq!(
             p.dpi_mix,
-            vec![
-                (Vendor::DataDropRst { n: 2 }, 0.7),
-                (Vendor::GfwMixed, 0.3)
-            ]
+            vec![(Vendor::DataDropRst { n: 2 }, 0.7), (Vendor::GfwMixed, 0.3)]
         );
         assert_eq!(p.coverage, vec![(Category::AdultThemes, 0.5)]);
         assert_eq!(p.overblock_substrings, vec!["wn.com".to_owned()]);

@@ -206,14 +206,14 @@ impl DomainCatalog {
             let (category, name) = match parent {
                 Some(p) => {
                     let parent_dom: &Domain = &domains[p as usize];
-                    let prefix = VARIANT_PREFIXES
-                        [(splitmix64(seed ^ (u64::from(id) * 7)) % 4) as usize];
+                    let prefix =
+                        VARIANT_PREFIXES[(splitmix64(seed ^ (u64::from(id) * 7)) % 4) as usize];
                     (parent_dom.category, format!("{prefix}{}", parent_dom.name))
                 }
                 None => {
                     let category = pick_category(&mut rng);
-                    let tld =
-                        TLDS[(splitmix64(seed ^ (u64::from(id) * 31)) % TLDS.len() as u64) as usize];
+                    let tld = TLDS
+                        [(splitmix64(seed ^ (u64::from(id) * 31)) % TLDS.len() as u64) as usize];
                     // A sprinkle of names containing the substring "wn.com"
                     // to exercise over-blocking rules (paper §5.5).
                     let name = if id % 149 == 0 && tld == "com" {
@@ -269,10 +269,7 @@ impl DomainCatalog {
     /// Resolve a name back to its id (linear; used in analysis and tests,
     /// not in the hot path).
     pub fn find_by_name(&self, name: &str) -> Option<DomainId> {
-        self.domains
-            .iter()
-            .find(|d| d.name == name)
-            .map(|d| d.id)
+        self.domains.iter().find(|d| d.name == name).map(|d| d.id)
     }
 }
 
@@ -358,7 +355,12 @@ mod tests {
         assert!(!variants.is_empty());
         for v in &variants {
             let parent = cat.get(v.parent.unwrap());
-            assert!(v.name.contains(&parent.name), "{} !⊃ {}", v.name, parent.name);
+            assert!(
+                v.name.contains(&parent.name),
+                "{} !⊃ {}",
+                v.name,
+                parent.name
+            );
             assert_eq!(v.category, parent.category);
         }
     }

@@ -136,8 +136,7 @@ impl WorldSim {
             // Traffic volume peaks around 20:00 local.
             let hours: Vec<f64> = (0..24)
                 .map(|utc_h| {
-                    let local =
-                        (utc_h + spec.country.tz_offset_hours).rem_euclid(24) as f64;
+                    let local = (utc_h + spec.country.tz_offset_hours).rem_euclid(24) as f64;
                     1.0 + 0.55 * (std::f64::consts::TAU * (local - 20.0) / 24.0).cos()
                 })
                 .collect();
@@ -271,10 +270,7 @@ impl WorldSim {
         let server_ip = server_address(ipv6);
         let src_port: u16 = rng.gen_range(29_000..61_000);
 
-        if !self
-            .sampler
-            .keep(client_ip, server_ip, src_port, i)
-        {
+        if !self.sampler.keep(client_ip, server_ip, src_port, i) {
             return None;
         }
 
@@ -313,10 +309,10 @@ impl WorldSim {
         let mut vendor: Option<Vendor> = None;
         let mut is_fw = false;
         if benign.is_none() {
-            let (extra_syn, extra_dpi) = self
-                .cfg
-                .scenario
-                .overlay(day_index(ts, self.cfg.start_unix), lh, asn, country);
+            let (extra_syn, extra_dpi) =
+                self.cfg
+                    .scenario
+                    .overlay(day_index(ts, self.cfg.start_unix), lh, asn, country);
             let diurnal = 1.0
                 + spec.policy.diurnal_amp
                     * (std::f64::consts::TAU * (f64::from(lh) - 4.0) / 24.0).cos();
@@ -361,7 +357,11 @@ impl WorldSim {
                 let extra_dpi_total: f64 = extra_dpi.iter().map(|(_, r)| r).sum();
                 let p_dpi = if proto_ok {
                     ((spec.policy.dpi_blanket
-                        + if blocked { spec.policy.dpi_enforce } else { 0.0 }
+                        + if blocked {
+                            spec.policy.dpi_enforce
+                        } else {
+                            0.0
+                        }
                         + extra_dpi_total)
                         .min(1.0))
                         * m
@@ -486,11 +486,9 @@ impl WorldSim {
                 }
             }
             None => Path {
-                links: vec![Link::new(
-                    SimDuration(l1.as_nanos() + l2.as_nanos()),
-                    h1 + h2,
-                )
-                .with_loss(LOSS)],
+                links: vec![
+                    Link::new(SimDuration(l1.as_nanos() + l2.as_nanos()), h1 + h2).with_loss(LOSS),
+                ],
                 hops: Vec::new(),
             },
         };
@@ -635,7 +633,11 @@ impl WorldSim {
                 Some(id),
             )
         } else {
-            (RequestPayload::TlsClientHello { sni: name }, false, Some(id))
+            (
+                RequestPayload::TlsClientHello { sni: name },
+                false,
+                Some(id),
+            )
         }
     }
 
@@ -876,11 +878,7 @@ fn server_address(ipv6: bool) -> IpAddr {
 }
 
 /// Pick from two weighted slices treated as one distribution.
-fn pick_weighted_2(
-    a: &[(Vendor, f64)],
-    b: &[(Vendor, f64)],
-    rng: &mut StdRng,
-) -> Vendor {
+fn pick_weighted_2(a: &[(Vendor, f64)], b: &[(Vendor, f64)], rng: &mut StdRng) -> Vendor {
     let total: f64 = a.iter().chain(b.iter()).map(|(_, w)| w).sum();
     let mut u = rng.gen::<f64>() * total;
     for (v, w) in a.iter().chain(b.iter()) {

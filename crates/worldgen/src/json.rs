@@ -301,9 +301,7 @@ impl Json {
     /// Integer accessor (lossless only).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
-                Some(*v as u64)
-            }
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => Some(*v as u64),
             _ => None,
         }
     }
@@ -420,15 +418,9 @@ mod tests {
             Json::parse(r#""a\"b\\c\nd""#).unwrap(),
             Json::Str("a\"b\\c\nd".to_owned())
         );
-        assert_eq!(
-            Json::parse(r#""éA""#).unwrap(),
-            Json::Str("éA".to_owned())
-        );
+        assert_eq!(Json::parse(r#""éA""#).unwrap(), Json::Str("éA".to_owned()));
         // Surrogate pair: 😀 U+1F600.
-        assert_eq!(
-            Json::parse(r#""😀""#).unwrap(),
-            Json::Str("😀".to_owned())
-        );
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_owned()));
         // Raw multibyte UTF-8 passes through.
         assert_eq!(
             Json::parse("\"∅ and 中\"").unwrap(),
@@ -446,8 +438,19 @@ mod tests {
 
     #[test]
     fn errors_have_offsets() {
-        for bad in ["", "{", "[1,", "\"abc", "tru", "1.2.3", "{\"a\" 1}", "[1] x", "\"\\q\"",
-                    r#""\ud83d""#, "\"\u{1}\""] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "tru",
+            "1.2.3",
+            "{\"a\" 1}",
+            "[1] x",
+            "\"\\q\"",
+            r#""\ud83d""#,
+            "\"\u{1}\"",
+        ] {
             let e = Json::parse(bad).expect_err(bad);
             assert!(!e.message.is_empty());
             assert!(e.to_string().contains("JSON error"));

@@ -54,12 +54,11 @@ pub mod testlists;
 
 pub use config::{world_from_json, world_to_json, ConfigError};
 pub use countries::{local_hour, pick_asn, Asn, Country, CountryIdx};
-pub use json::{Json, JsonError};
 pub use domains::{Category, Domain, DomainCatalog, DomainId};
 pub use driver::{
-    WorldConfig, WorldSim, FIREWALL_KEYWORD, FIREWALL_USER_AGENT, JAN12_2023_UNIX,
-    SEP13_2022_UNIX,
+    WorldConfig, WorldSim, FIREWALL_KEYWORD, FIREWALL_USER_AGENT, JAN12_2023_UNIX, SEP13_2022_UNIX,
 };
+pub use json::{Json, JsonError};
 pub use meta::{BenignKind, GroundTruth, LabeledFlow, SessionMeta};
 pub use policy::{country_index, BenignRates, CountrySpec, Policy, ProtoFilter};
 pub use scenario::Scenario;

@@ -106,10 +106,7 @@ pub enum GroundTruth {
 impl GroundTruth {
     /// True if a middlebox actually fired on this session.
     pub fn was_tampered(self) -> bool {
-        matches!(
-            self,
-            GroundTruth::Tampered { fired: Some(_), .. }
-        )
+        matches!(self, GroundTruth::Tampered { fired: Some(_), .. })
     }
 }
 

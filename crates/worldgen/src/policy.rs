@@ -208,7 +208,11 @@ pub fn world_spec() -> Vec<CountrySpec> {
     pe.policy.fw_rules = vec![(V::FirewallRstAck, 0.14)];
     pe.policy.dpi_blanket = 0.02;
     pe.policy.dpi_mix = vec![(V::DataDropRstAck { n: 1 }, 0.6), (V::PshRstAck, 0.4)];
-    pe.policy.coverage = vec![(C::Advertisements, 0.62), (C::Technology, 0.09), (C::Business, 0.06)];
+    pe.policy.coverage = vec![
+        (C::Advertisements, 0.62),
+        (C::Technology, 0.09),
+        (C::Business, 0.06),
+    ];
     pe.policy.affinity = vec![(C::Advertisements, 2.2)];
     w.push(pe);
 
@@ -235,7 +239,11 @@ pub fn world_spec() -> Vec<CountrySpec> {
     sa.policy.dpi_blanket = 0.155;
     sa.policy.dpi_mix = vec![(V::DataDropRstAck { n: 1 }, 0.6), (V::PshRstAck, 0.4)];
     sa.policy.syn_rules = vec![(V::SynDropAll, 0.05)];
-    sa.policy.coverage = vec![(C::AdultThemes, 0.95), (C::Gaming, 0.2), (C::Streaming, 0.15)];
+    sa.policy.coverage = vec![
+        (C::AdultThemes, 0.95),
+        (C::Gaming, 0.2),
+        (C::Streaming, 0.15),
+    ];
     sa.policy.affinity = vec![(C::AdultThemes, 0.9)];
     w.push(sa);
 
@@ -319,7 +327,7 @@ pub fn world_spec() -> Vec<CountrySpec> {
     let mut ir = base("IR", 1.4, 3, 0.12, 9, 0.85, 0.25);
     ir.policy.syn_rules = vec![(V::SynRst { n: 1 }, 0.025), (V::SynDropAll, 0.02)];
     ir.policy.dpi_blanket = 0.11;
-        ir.policy.dpi_mix = vec![
+    ir.policy.dpi_mix = vec![
         (V::DataDropAll, 0.45),
         (V::DataDropRstAck { n: 1 }, 0.28),
         (V::DataDropRstAck { n: 2 }, 0.17),
@@ -493,7 +501,11 @@ pub fn world_spec() -> Vec<CountrySpec> {
 
     let mut vn = base("VN", 1.5, 7, 0.3, 8, 0.4, 0.3);
     vn.policy.dpi_blanket = 0.04;
-    vn.policy.dpi_mix = vec![(V::DataDropAll, 0.5), (V::PshRst, 0.3), (V::SameAckBurst { n: 2 }, 0.2)];
+    vn.policy.dpi_mix = vec![
+        (V::DataDropAll, 0.5),
+        (V::PshRst, 0.3),
+        (V::SameAckBurst { n: 2 }, 0.2),
+    ];
     vn.policy.coverage = vec![(C::News, 0.25)];
     w.push(vn);
 
@@ -627,7 +639,11 @@ mod tests {
             let p = &spec.policy;
             let syn: f64 = p.syn_rules.iter().map(|(_, r)| r).sum();
             let fw: f64 = p.fw_rules.iter().map(|(_, r)| r).sum();
-            assert!((0.0..0.5).contains(&syn), "{}: syn {syn}", spec.country.code);
+            assert!(
+                (0.0..0.5).contains(&syn),
+                "{}: syn {syn}",
+                spec.country.code
+            );
             assert!((0.0..0.5).contains(&fw), "{}: fw {fw}", spec.country.code);
             assert!((0.0..=1.0).contains(&p.dpi_blanket));
             assert!((0.0..=1.0).contains(&p.dpi_enforce));
@@ -638,7 +654,11 @@ mod tests {
             // the per-stage tamper rates need to stay below 1 (a saturated
             // blanket ban is legitimate — Turkmenistan's HTTP filter).
             let total = syn + fw;
-            assert!(total < 0.6, "{}: syn+fw {total} too large", spec.country.code);
+            assert!(
+                total < 0.6,
+                "{}: syn+fw {total} too large",
+                spec.country.code
+            );
         }
     }
 

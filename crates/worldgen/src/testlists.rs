@@ -79,8 +79,7 @@ fn popularity_tier(
     let mut scored: Vec<(u32, &str)> = catalog
         .iter()
         .map(|d| {
-            let noise =
-                (splitmix64(seed ^ u64::from(d.id)) % u64::from(rank_noise.max(1))) as u32;
+            let noise = (splitmix64(seed ^ u64::from(d.id)) % u64::from(rank_noise.max(1))) as u32;
             (d.global_rank + noise + penalty(d.category), d.name.as_str())
         })
         .collect();
@@ -122,17 +121,13 @@ pub fn generate_lists(sim: &WorldSim) -> TestLists {
     ] {
         fixed.push(TestList {
             name: label.to_owned(),
-            entries: popularity_tier(
-                catalog,
-                seed ^ 0x3B,
-                (frac * n as f64) as usize,
-                900,
-                |c| match c {
+            entries: popularity_tier(catalog, seed ^ 0x3B, (frac * n as f64) as usize, 900, |c| {
+                match c {
                     Category::AdultThemes | Category::Streaming => 2_500,
                     Category::Advertisements => 1_200,
                     _ => 0,
-                },
-            ),
+                }
+            }),
         });
     }
 
@@ -262,8 +257,16 @@ mod tests {
     fn greatfire_subset_relation() {
         let sim = small_sim();
         let lists = generate_lists(&sim);
-        let all = lists.fixed.iter().find(|l| l.name == "Greatfire_all").unwrap();
-        let d30 = lists.fixed.iter().find(|l| l.name == "Greatfire_30d").unwrap();
+        let all = lists
+            .fixed
+            .iter()
+            .find(|l| l.name == "Greatfire_all")
+            .unwrap();
+        let d30 = lists
+            .fixed
+            .iter()
+            .find(|l| l.name == "Greatfire_30d")
+            .unwrap();
         assert!(d30.len() <= all.len());
         for e in &d30.entries {
             assert!(all.entries.contains(e));

@@ -1,8 +1,11 @@
 //! Repo automation. `cargo xtask ci` is the one-command gate a PR must
-//! pass: release build, the full workspace test suite, and the engine
-//! determinism suite re-run explicitly so a scheduling-dependent failure
-//! gets a second chance to surface.
+//! pass: formatting, clippy, release build, the full workspace test suite,
+//! the engine determinism suite re-run explicitly so a scheduling-dependent
+//! failure gets a second chance to surface, and the tamperlint
+//! static-analysis gate. `cargo xtask analyze [--json]` runs tamperlint
+//! alone.
 
+use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
 fn run(step: &str, program: &str, args: &[&str]) -> Result<(), String> {
@@ -18,7 +21,48 @@ fn run(step: &str, program: &str, args: &[&str]) -> Result<(), String> {
     }
 }
 
+/// Repo root: xtask runs from anywhere inside the workspace, so resolve
+/// relative to this crate's manifest rather than the current directory.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Run the tamperlint gate in-process (xtask links tamper-lint directly).
+fn analyze(json: bool) -> Result<(), String> {
+    let analysis = tamper_lint::analyze(&repo_root());
+    if json {
+        println!("{}", analysis.render_json());
+    } else {
+        print!("{}", analysis.render_human());
+    }
+    if analysis.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "analyze: {} unwaived finding(s)",
+            analysis.findings.len()
+        ))
+    }
+}
+
 fn ci() -> Result<(), String> {
+    run("fmt", "cargo", &["fmt", "--all", "--check"])?;
+    run(
+        "clippy",
+        "cargo",
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+    )?;
     run("build", "cargo", &["build", "--release"])?;
     run("test", "cargo", &["test", "--workspace", "-q"])?;
     // The headline guarantee deserves its own gate: run the determinism
@@ -34,16 +78,24 @@ fn ci() -> Result<(), String> {
         "cargo",
         &["test", "-q", "--test", "golden_corpus"],
     )?;
+    eprintln!("==> analyze: tamperlint (in-process)");
+    analyze(false)?;
     eprintln!("==> ci: all green");
     Ok(())
 }
 
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1).unwrap_or_default();
-    let result = match task.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let task = args.first().map(String::as_str).unwrap_or_default();
+    let result = match task {
         "ci" => ci(),
+        "analyze" => analyze(args.iter().any(|a| a == "--json")),
         _ => Err(format!(
-            "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  ci    release build + workspace tests + determinism gates"
+            "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
+             ci                 fmt + clippy + release build + workspace tests + \
+             determinism gates + tamperlint\n  \
+             analyze [--json]   tamperlint static-analysis gate (determinism, \
+             panic-safety, taxonomy)"
         )),
     };
     match result {

@@ -35,7 +35,9 @@ fn main() {
         catalog_size: 2000,
         ..Default::default()
     });
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mk = || {
         Collector::new(
             ClassifierConfig::default(),
@@ -70,14 +72,18 @@ fn main() {
 
     // Headline 2: escalation — first 2 days vs the rest.
     let split = 2 * 24;
-    let early: (u64, u64) = col.sig_hour[..split].iter().zip(&col.hour_totals[..split]).fold(
-        (0, 0),
-        |(m, t), (row, total)| (m + u64::from(row[ack_none]), t + u64::from(*total)),
-    );
-    let late: (u64, u64) = col.sig_hour[split..].iter().zip(&col.hour_totals[split..]).fold(
-        (0, 0),
-        |(m, t), (row, total)| (m + u64::from(row[ack_none]), t + u64::from(*total)),
-    );
+    let early: (u64, u64) = col.sig_hour[..split]
+        .iter()
+        .zip(&col.hour_totals[..split])
+        .fold((0, 0), |(m, t), (row, total)| {
+            (m + u64::from(row[ack_none]), t + u64::from(*total))
+        });
+    let late: (u64, u64) = col.sig_hour[split..]
+        .iter()
+        .zip(&col.hour_totals[split..])
+        .fold((0, 0), |(m, t), (row, total)| {
+            (m + u64::from(row[ack_none]), t + u64::from(*total))
+        });
     println!(
         "⟨SYN; ACK → ∅⟩: {} of connections in the first two days vs {} afterwards",
         pct(early.0, early.1),
@@ -93,6 +99,11 @@ fn main() {
     per_as.sort_by_key(|(asn, _, _)| *asn);
     println!("\nper-AS match rates (AS 0 and 1 are the mobile ISPs):");
     for (asn, total, matched) in per_as {
-        println!("  AS{asn}: {} of {} connections matched ({})", matched, total, pct(matched, total));
+        println!(
+            "  AS{asn}: {} of {} connections matched ({})",
+            matched,
+            total,
+            pct(matched, total)
+        );
     }
 }

@@ -39,9 +39,12 @@ fn synthesize(path: &str) -> std::io::Result<()> {
     ];
     let mut start = SimTime::ZERO;
     for i in 0..60u32 {
-        let client_ip: std::net::IpAddr =
-            format!("203.0.113.{}", 2 + (i % 200)).parse().unwrap();
-        let sni = if i % 3 == 0 { BLOCKED } else { "fine.example.org" };
+        let client_ip: std::net::IpAddr = format!("203.0.113.{}", 2 + (i % 200)).parse().unwrap();
+        let sni = if i % 3 == 0 {
+            BLOCKED
+        } else {
+            "fine.example.org"
+        };
         let mut cfg = ClientConfig::default_tls(client_ip, server_ip, sni);
         cfg.src_port = 30_000 + (i as u16 * 13) % 20_000;
         let vendor = vendors[(i % 5) as usize];

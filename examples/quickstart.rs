@@ -6,11 +6,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tamperscope::prelude::*;
 use tamperscope::analysis::pct_f;
 use tamperscope::capture::collect;
 use tamperscope::core::{max_rst_ipid_delta, max_rst_ttl_delta};
 use tamperscope::netsim::{derive_rng, Link};
+use tamperscope::prelude::*;
 use tamperscope::worldgen::country_index;
 
 fn simulate(sni: &str, vendor: Option<Vendor>) -> FlowRecord {
@@ -69,7 +69,10 @@ fn main() {
     // 1. A connection through a GFW-style injector: the ClientHello for a
     //    blocked domain draws a double RST+ACK burst.
     let censored = simulate("blocked.example.com", Some(Vendor::GfwDoubleRstAck));
-    describe("blocked.example.com through a GFW-style middlebox", &censored);
+    describe(
+        "blocked.example.com through a GFW-style middlebox",
+        &censored,
+    );
 
     // 2. The same path, an innocent domain: clean handshake, data, FIN.
     let clean = simulate("innocent.example.org", Some(Vendor::GfwDoubleRstAck));

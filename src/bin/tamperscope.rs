@@ -203,14 +203,13 @@ fn cmd_classify(args: &Args) -> ExitCode {
         a.lines.append(&mut b.lines);
         a.matched += b.matched;
     };
-    let (mut sink, stats) =
-        match run_engine(BufReader::new(file), &cfg, init, observe, merge) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    let (mut sink, stats) = match run_engine(BufReader::new(file), &cfg, init, observe, merge) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "[{path}] {} flows / {} packets ({} non-inbound, {} unparsable frames skipped, {} threads)",
         stats.ingest.flows,
@@ -288,6 +287,7 @@ fn cmd_report(args: &Args) -> ExitCode {
             sim.config().start_unix,
         )
     };
+    // tamperlint: allow(ambient-clock) — CLI progress timing on stderr; never enters report bytes
     let t0 = std::time::Instant::now();
     let col = sim.run_sharded(threads(args), mk, |c, lf| c.observe(&lf), |a, b| a.merge(b));
     eprintln!(
@@ -348,7 +348,11 @@ fn cmd_synthesize(args: &Args) -> ExitCode {
     for i in 0..sessions {
         let client_ip: std::net::IpAddr = format!("203.0.113.{}", 2 + i % 250).parse().unwrap();
         let blocked = i % 2 == 0;
-        let sni = if blocked { "blocked.example.com" } else { "fine.example.org" };
+        let sni = if blocked {
+            "blocked.example.com"
+        } else {
+            "fine.example.org"
+        };
         let mut cfg = ClientConfig::default_tls(client_ip, server_ip, sni);
         cfg.src_port = 28_000 + (i as u16 * 17) % 30_000;
         let vendor = vendor_cycle[i as usize % vendor_cycle.len()];

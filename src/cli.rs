@@ -66,7 +66,9 @@ impl Args {
 
     /// Parse the value of `--name` as u64, falling back to `default`.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// True when `--name` appeared at all.

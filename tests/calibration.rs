@@ -41,10 +41,26 @@ fn headline_rates_match_paper_bands() {
     let shares: Vec<f64> = (0..4)
         .map(|i| col.stage_counts[i] as f64 / col.possibly_tampered as f64)
         .collect();
-    assert!((0.33..0.50).contains(&shares[0]), "Post-SYN share {}", shares[0]);
-    assert!((0.10..0.24).contains(&shares[1]), "Post-ACK share {}", shares[1]);
-    assert!((0.03..0.14).contains(&shares[2]), "Post-PSH share {}", shares[2]);
-    assert!((0.25..0.42).contains(&shares[3]), "Post-Data share {}", shares[3]);
+    assert!(
+        (0.33..0.50).contains(&shares[0]),
+        "Post-SYN share {}",
+        shares[0]
+    );
+    assert!(
+        (0.10..0.24).contains(&shares[1]),
+        "Post-ACK share {}",
+        shares[1]
+    );
+    assert!(
+        (0.03..0.14).contains(&shares[2]),
+        "Post-PSH share {}",
+        shares[2]
+    );
+    assert!(
+        (0.25..0.42).contains(&shares[3]),
+        "Post-Data share {}",
+        shares[3]
+    );
 
     // Overall signature coverage: paper 86.9%.
     let matched: u64 = col.stage_matched.iter().sum();
@@ -149,10 +165,7 @@ fn ipv4_ipv6_slope_near_unity_with_outliers() {
     for c in 0..world.len() {
         let [(t4, m4), (t6, m6)] = col.country_ipver[c];
         if t4 >= 150 && t6 >= 150 {
-            points.push((
-                100.0 * m4 as f64 / t4 as f64,
-                100.0 * m6 as f64 / t6 as f64,
-            ));
+            points.push((100.0 * m4 as f64 / t4 as f64, 100.0 * m6 as f64 / t6 as f64));
         }
     }
     let slope = tamper_analysis::slope_through_origin(&points);
@@ -179,7 +192,10 @@ fn ground_truth_recall_high() {
     assert!(col.truth.recall() > 0.97, "recall {}", col.truth.recall());
     // Most truly tampered flows match a *specific* signature too.
     let sig_rate = col.truth.matched_signature as f64 / col.truth.true_positive as f64;
-    assert!(sig_rate > 0.9, "signature rate on true positives {sig_rate}");
+    assert!(
+        sig_rate > 0.9,
+        "signature rate on true positives {sig_rate}"
+    );
 }
 
 #[test]
@@ -188,10 +204,7 @@ fn diurnal_night_peaks() {
     // Figure 6: tampering share peaks between midnight and 8 AM local.
     for code in ["CN", "IR", "IN"] {
         let (night, day) = report::diurnal_contrast(&col, &sim, code).unwrap();
-        assert!(
-            night > day,
-            "{code}: night {night} should exceed day {day}"
-        );
+        assert!(night > day, "{code}: night {night} should exceed day {day}");
     }
 }
 

@@ -28,7 +28,11 @@ fn synthesize_then_classify_round_trip() {
         .args(["synthesize", pcap.to_str().unwrap(), "--sessions", "120"])
         .output()
         .expect("synthesize");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["classify", pcap.to_str().unwrap()])
@@ -68,7 +72,11 @@ fn classify_accepts_flags_in_any_position() {
         .args(["synthesize", pcap.to_str().unwrap(), "--sessions", "60"])
         .output()
         .expect("synthesize");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let flag_first = bin()
         .args(["classify", "--jsonl", pcap.to_str().unwrap()])
@@ -84,23 +92,44 @@ fn classify_accepts_flags_in_any_position() {
         .output()
         .expect("classify flag-last");
     assert!(flag_last.status.success());
-    assert_eq!(flag_first.stdout, flag_last.stdout, "flag position changed output");
+    assert_eq!(
+        flag_first.stdout, flag_last.stdout,
+        "flag position changed output"
+    );
 
     // The engine path: thread count must not change a single output byte,
     // and --json-summary appends the summary + perf lines.
     let t1 = bin()
-        .args(["classify", pcap.to_str().unwrap(), "--jsonl", "--threads", "1"])
+        .args([
+            "classify",
+            pcap.to_str().unwrap(),
+            "--jsonl",
+            "--threads",
+            "1",
+        ])
         .output()
         .expect("threads 1");
     let t4 = bin()
-        .args(["classify", "--threads", "4", "--jsonl", pcap.to_str().unwrap()])
+        .args([
+            "classify",
+            "--threads",
+            "4",
+            "--jsonl",
+            pcap.to_str().unwrap(),
+        ])
         .output()
         .expect("threads 4");
     assert!(t1.status.success() && t4.status.success());
     assert_eq!(t1.stdout, t4.stdout, "verdicts differ across thread counts");
 
     let summary = bin()
-        .args(["classify", pcap.to_str().unwrap(), "--json-summary", "--threads", "2"])
+        .args([
+            "classify",
+            pcap.to_str().unwrap(),
+            "--json-summary",
+            "--threads",
+            "2",
+        ])
         .output()
         .expect("summary");
     assert!(summary.status.success());
@@ -114,10 +143,21 @@ fn classify_accepts_flags_in_any_position() {
 #[test]
 fn report_json_summary_is_valid_shape() {
     let out = bin()
-        .args(["report", "--sessions", "4000", "--days", "2", "--json-summary"])
+        .args([
+            "report",
+            "--sessions",
+            "4000",
+            "--days",
+            "2",
+            "--json-summary",
+        ])
         .output()
         .expect("report");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     let line = text.trim();
     assert!(line.starts_with('{') && line.ends_with('}'));
@@ -135,7 +175,10 @@ fn world_spec_emits_one_json_line_per_country() {
     for line in &lines {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"country\":"));
-        assert!(!line.contains("-0,") && !line.ends_with("-0}"), "negative zero leaked: {line}");
+        assert!(
+            !line.contains("-0,") && !line.ends_with("-0}"),
+            "negative zero leaked: {line}"
+        );
     }
     assert!(text.contains("\"country\":\"TM\""));
 }
@@ -180,7 +223,11 @@ fn custom_world_round_trips_through_cli() {
         ])
         .output()
         .expect("report");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("\"possibly_tampered\":"));
     let _ = std::fs::remove_file(&spec_path);
@@ -213,7 +260,11 @@ fn single_country_world_runs() {
         ])
         .output()
         .expect("report");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     // Half the country is GFW'd: the possibly-tampered rate must be far
     // above the benign floor.
@@ -236,7 +287,11 @@ fn single_country_world_runs() {
 #[test]
 fn malformed_world_fails_with_context() {
     let spec_path = tmp("bad.json");
-    std::fs::write(&spec_path, r#"[{"code":"X","weight":1,"policy":{"dpi_mix":[{"vendor":"Nope","rate":1}]}}]"#).unwrap();
+    std::fs::write(
+        &spec_path,
+        r#"[{"code":"X","weight":1,"policy":{"dpi_mix":[{"vendor":"Nope","rate":1}]}}]"#,
+    )
+    .unwrap();
     let out = bin()
         .args(["report", "--world", spec_path.to_str().unwrap()])
         .output()

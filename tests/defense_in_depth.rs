@@ -3,6 +3,7 @@
 //! triggers first shapes the server-side signature, and ground truth
 //! attributes the firing hop.
 
+use std::net::{IpAddr, Ipv4Addr};
 use tamper_capture::{collect, CollectorConfig};
 use tamper_core::{classify, ClassifierConfig, Signature};
 use tamper_middlebox::{RuleSet, Vendor};
@@ -10,7 +11,6 @@ use tamper_netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
     SimTime,
 };
-use std::net::{IpAddr, Ipv4Addr};
 
 const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 44));
 const SERVER: IpAddr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));

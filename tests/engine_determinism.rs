@@ -50,13 +50,22 @@ fn synth_capture(n_flows: u32) -> Vec<u8> {
         let sport = 20_000 + (i % 40_000) as u16;
         let dport = if i % 3 == 0 { 80 } else { 443 };
         let t = 100 + i; // staggered starts
-        let f = |flags, seq, ack, payload: &[u8]| frame(client, sport, dport, flags, seq, ack, payload);
+        let f =
+            |flags, seq, ack, payload: &[u8]| frame(client, sport, dport, flags, seq, ack, payload);
         match i % 8 {
             // Clean request/teardown.
             0 => {
                 timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
                 timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
-                timed.push((t + 1, f(TcpFlags::PSH_ACK, 101, 500, b"GET / HTTP/1.1\r\nHost: ok.example\r\n\r\n")));
+                timed.push((
+                    t + 1,
+                    f(
+                        TcpFlags::PSH_ACK,
+                        101,
+                        500,
+                        b"GET / HTTP/1.1\r\nHost: ok.example\r\n\r\n",
+                    ),
+                ));
                 timed.push((t + 2, f(TcpFlags::FIN_ACK, 137, 900, b"")));
             }
             // Lone SYN, then silence.
@@ -91,7 +100,10 @@ fn synth_capture(n_flows: u32) -> Vec<u8> {
                 timed.push((t, f(TcpFlags::SYN, 100, 0, b"")));
                 timed.push((t, f(TcpFlags::ACK, 101, 500, b"")));
                 for k in 0..12u32 {
-                    timed.push((t + 1 + k / 6, f(TcpFlags::PSH_ACK, 101 + k * 8, 500, b"chunk!!!")));
+                    timed.push((
+                        t + 1 + k / 6,
+                        f(TcpFlags::PSH_ACK, 101 + k * 8, 500, b"chunk!!!"),
+                    ));
                 }
             }
             // Two data packets, then RST+ACK.
@@ -140,7 +152,8 @@ fn engine_output(bytes: &[u8], threads: usize) -> (String, Collector, EngineStat
             let lf = label_capture_flow(closed.flow);
             let analysis = sink.clf.classify(&lf.flow);
             sink.col.observe_analyzed(&lf, &analysis);
-            sink.lines.push((first_index, flow_to_jsonl(&lf.flow, &analysis)));
+            sink.lines
+                .push((first_index, flow_to_jsonl(&lf.flow, &analysis)));
         },
         |a, mut b| {
             a.col.merge(b.col);
@@ -160,8 +173,7 @@ fn engine_output(bytes: &[u8], threads: usize) -> (String, Collector, EngineStat
 
 /// The legacy buffered path, producing the same verdict-line format.
 fn legacy_output(bytes: &[u8]) -> (String, Collector) {
-    let (flows, _stats) =
-        flows_from_pcap(bytes, &OfflineConfig::default()).expect("legacy parse");
+    let (flows, _stats) = flows_from_pcap(bytes, &OfflineConfig::default()).expect("legacy parse");
     let clf_cfg = ClassifierConfig::default();
     let mut clf = Classifier::new(clf_cfg);
     let mut col = capture_collector(clf_cfg, 0);
@@ -211,7 +223,10 @@ fn verdicts_are_byte_identical_across_thread_counts() {
     // stat paths — otherwise the determinism claim is vacuous.
     assert!(stats1.evicted_timeout > 0, "no timeout evictions happened");
     assert!(stats1.drained_eof > 0, "no EOF drains happened");
-    assert!(stats1.ingest.truncated_packets > 0, "no truncation happened");
+    assert!(
+        stats1.ingest.truncated_packets > 0,
+        "no truncation happened"
+    );
 }
 
 #[test]
@@ -237,5 +252,8 @@ fn corpus_hits_multiple_signatures() {
     assert!(counts[Signature::AckRstAck.index()] > 0);
     assert!(counts[Signature::PshRstEq.index()] > 0);
     let distinct = counts.iter().filter(|&&c| c > 0).count();
-    assert!(distinct >= 4, "only {distinct} distinct signatures: {counts:?}");
+    assert!(
+        distinct >= 4,
+        "only {distinct} distinct signatures: {counts:?}"
+    );
 }

@@ -9,6 +9,7 @@
 //! 2. §4.3: injectors that copy the client's IP-ID/TTL defeat the
 //!    header-discontinuity *evidence* — but not the signature itself.
 
+use std::net::{IpAddr, Ipv4Addr};
 use tamper_capture::{collect, CollectorConfig};
 use tamper_core::{classify, Classification, ClassifierConfig, Signature};
 use tamper_core::{max_rst_ipid_delta, max_rst_ttl_delta};
@@ -17,7 +18,6 @@ use tamper_netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
     SimTime,
 };
-use std::net::{IpAddr, Ipv4Addr};
 
 const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 60));
 const SERVER: IpAddr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));

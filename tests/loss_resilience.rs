@@ -2,13 +2,13 @@
 //! recover clean sessions from single packet losses, and the classifier
 //! must degrade predictably when losses hit the teardown evidence itself.
 
+use std::net::{IpAddr, Ipv4Addr};
 use tamper_capture::{collect, CollectorConfig};
 use tamper_core::{classify, Classification, ClassifierConfig};
 use tamper_netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
     SimTime,
 };
-use std::net::{IpAddr, Ipv4Addr};
 
 const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 91));
 const SERVER: IpAddr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
@@ -36,10 +36,7 @@ fn most_sessions_survive_two_percent_loss() {
     let total = 300;
     for seed in 0..total {
         let trace = run_with_loss(0.02, seed);
-        if trace
-            .inbound()
-            .any(|p| p.packet.tcp.flags.has_fin())
-        {
+        if trace.inbound().any(|p| p.packet.tcp.flags.has_fin()) {
             graceful += 1;
         }
     }
@@ -113,5 +110,8 @@ fn duplicate_syn_from_retransmission_is_clean() {
             break;
         }
     }
-    assert!(found, "no duplicate-SYN-with-FIN session found in 4000 seeds");
+    assert!(
+        found,
+        "no duplicate-SYN-with-FIN session found in 4000 seeds"
+    );
 }

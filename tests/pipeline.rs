@@ -3,6 +3,7 @@
 //! timestamp quantization does not change verdicts (ablation A3), and the
 //! 10-packet window ablation behaves as DESIGN.md predicts (A2).
 
+use std::net::{IpAddr, Ipv4Addr};
 use tamper_analysis::Collector;
 use tamper_capture::{
     collect, flows_from_records, CollectorConfig, OfflineConfig, PcapRecord, Sampler,
@@ -14,7 +15,6 @@ use tamper_netsim::{
     SimTime,
 };
 use tamper_worldgen::{WorldConfig, WorldSim};
-use std::net::{IpAddr, Ipv4Addr};
 
 fn tampered_trace(vendor: Vendor, seed: u64) -> tamper_netsim::SessionTrace {
     let client = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 77));
@@ -25,11 +25,17 @@ fn tampered_trace(vendor: Vendor, seed: u64) -> tamper_netsim::SessionTrace {
             Link::new(SimDuration::from_millis(10), 4),
             Link::new(SimDuration::from_millis(40), 9),
         ],
-        hops: vec![Box::new(vendor.build(RuleSet::domains(["blocked.example.com"])))],
+        hops: vec![Box::new(
+            vendor.build(RuleSet::domains(["blocked.example.com"])),
+        )],
     };
     let mut rng = derive_rng(seed, 0);
     run_session(
-        SessionParams::new(cfg, ServerConfig::default_edge(server, 443), SimTime::from_secs(10)),
+        SessionParams::new(
+            cfg,
+            ServerConfig::default_edge(server, 443),
+            SimTime::from_secs(10),
+        ),
         &mut path,
         &mut rng,
     )
@@ -155,7 +161,9 @@ fn packet_window_ablation_hides_late_tampering() {
     };
     cfg.dst_port = 80;
     let mut rules = RuleSet::default();
-    rules.keywords.push(tamper_worldgen::FIREWALL_KEYWORD.into());
+    rules
+        .keywords
+        .push(tamper_worldgen::FIREWALL_KEYWORD.into());
     let mut path = Path {
         links: vec![
             Link::new(SimDuration::from_millis(10), 4),
@@ -200,7 +208,9 @@ fn sampling_ablation_preserves_proportions() {
             sample_denominator: denominator,
             ..Default::default()
         });
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         sim.run_sharded(
             threads,
             || {

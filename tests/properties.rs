@@ -124,6 +124,86 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Application-layer parsers: hostile bytes must produce typed errors,
+// never panics. These are the payloads a middlebox deliberately mangles.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The IPv6 header parser survives arbitrary bytes of any length.
+    #[test]
+    fn ipv6_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..120)) {
+        let _ = tamper_wire::Ipv6Header::parse(&data); // must not panic
+    }
+
+    /// ... and mutated-but-realistic v6 frames parse or fail cleanly.
+    #[test]
+    fn ipv6_parse_survives_mutated_frames(
+        flip_at in any::<u16>(),
+        flip_bits in 1u8..=255,
+        cut in any::<u16>(),
+    ) {
+        let pkt = PacketBuilder::new(
+            IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)),
+            IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2)),
+            40000,
+            443,
+        )
+        .flags(TcpFlags::SYN)
+        .build();
+        let mut frame = pkt.emit().to_vec();
+        let idx = usize::from(flip_at) % frame.len();
+        frame[idx] ^= flip_bits;
+        frame.truncate(usize::from(cut) % (frame.len() + 1));
+        let _ = tamper_wire::Ipv6Header::parse(&frame); // must not panic
+    }
+
+    /// The SNI extractor survives arbitrary bytes.
+    #[test]
+    fn sni_parsers_never_panic(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = tamper_wire::tls::is_client_hello(&data);
+        let _ = tamper_wire::tls::parse_sni(&data); // must not panic
+    }
+
+    /// ... and corrupted real ClientHellos yield Ok or a typed error.
+    #[test]
+    fn sni_parse_survives_mutated_hellos(
+        flip_at in any::<u16>(),
+        flip_bits in 1u8..=255,
+        cut in any::<u16>(),
+    ) {
+        let hello = tamper_wire::tls::build_client_hello("blocked.example.com", [7u8; 32]);
+        let mut data = hello.to_vec();
+        let idx = usize::from(flip_at) % data.len();
+        data[idx] ^= flip_bits;
+        data.truncate(usize::from(cut) % (data.len() + 1));
+        let _ = tamper_wire::tls::parse_sni(&data); // must not panic
+    }
+
+    /// The HTTP request parser survives arbitrary bytes (including invalid
+    /// UTF-8) and always returns a typed result.
+    #[test]
+    fn http_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = tamper_wire::http::is_http_request(&data);
+        let _ = tamper_wire::http::parse_request(&data); // must not panic
+    }
+
+    /// ... and corrupted real requests parse or fail cleanly.
+    #[test]
+    fn http_parse_survives_mutated_requests(
+        flip_at in any::<u16>(),
+        flip_bits in 1u8..=255,
+        cut in any::<u16>(),
+    ) {
+        let req = tamper_wire::http::build_get("example.com", "/watch?v=1", "curl/8.0");
+        let mut data = req.to_vec();
+        let idx = usize::from(flip_at) % data.len();
+        data[idx] ^= flip_bits;
+        data.truncate(usize::from(cut) % (data.len() + 1));
+        let _ = tamper_wire::http::parse_request(&data); // must not panic
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Order reconstruction and classifier invariance
 // ---------------------------------------------------------------------------
 
@@ -146,11 +226,11 @@ fn rec(ts: u64, flags: TcpFlags, seq: u32, ack: u32, payload_len: u32) -> Packet
 /// suffix chosen by the strategy.
 fn arb_flow() -> impl Strategy<Value = FlowRecord> {
     (
-        0usize..=2,                       // data packets
-        0usize..=3,                       // teardown RSTs
-        proptest::bool::ANY,              // RST vs RST+ACK
-        proptest::bool::ANY,              // include FIN
-        0u64..4,                          // seconds spread
+        0usize..=2,          // data packets
+        0usize..=3,          // teardown RSTs
+        proptest::bool::ANY, // RST vs RST+ACK
+        proptest::bool::ANY, // include FIN
+        0u64..4,             // seconds spread
     )
         .prop_map(|(n_data, n_rst, pure, fin, spread)| {
             let mut packets = vec![rec(100, TcpFlags::SYN, 1000, 0, 0)];
@@ -170,7 +250,11 @@ fn arb_flow() -> impl Strategy<Value = FlowRecord> {
                 packets.push(rec(100 + spread, TcpFlags::FIN_ACK, seq, 900, 0));
             }
             for i in 0..n_rst {
-                let flags = if pure { TcpFlags::RST } else { TcpFlags::RST_ACK };
+                let flags = if pure {
+                    TcpFlags::RST
+                } else {
+                    TcpFlags::RST_ACK
+                };
                 packets.push(rec(100 + spread, flags, seq, 700 + i as u32, 0));
             }
             FlowRecord {
@@ -314,7 +398,9 @@ fn small_capture(n: u8) -> Vec<u8> {
     w.into_inner()
 }
 
-fn run_collecting(bytes: &[u8]) -> Result<(Vec<ClosedFlow>, tamper_capture::EngineStats), tamper_capture::PcapError> {
+fn run_collecting(
+    bytes: &[u8],
+) -> Result<(Vec<ClosedFlow>, tamper_capture::EngineStats), tamper_capture::PcapError> {
     let cfg = EngineConfig {
         offline: OfflineConfig::default(),
         threads: 2,
@@ -350,7 +436,7 @@ proptest! {
                 // a record boundary is a clean EOF. All records in this
                 // capture are the same size, so derive it.
                 let rec_size = (full.len() - 24) / usize::from(n_flows);
-                let at_boundary = (cut - 24) % rec_size == 0;
+                let at_boundary = (cut - 24).is_multiple_of(rec_size);
                 prop_assert_eq!(stats.corrupt_tail, !at_boundary);
                 prop_assert!(stats.records <= u64::from(n_flows));
                 prop_assert_eq!(flows.len() as u64, stats.records);

@@ -3,15 +3,15 @@
 //! through the constrained collection pipeline, classifies as exactly the
 //! Table 1 signature the paper associates with that behaviour.
 
+use std::net::{IpAddr, Ipv4Addr};
 use tamper_capture::{collect, CollectorConfig};
 use tamper_core::{classify, ClassifierConfig, Signature};
 use tamper_middlebox::{RuleSet, Vendor};
 use tamper_netsim::{
-    derive_rng, run_session, ClientConfig, Link, Path, RequestPayload, ServerConfig,
-    SessionParams, SimDuration, SimTime,
+    derive_rng, run_session, ClientConfig, Link, Path, RequestPayload, ServerConfig, SessionParams,
+    SimDuration, SimTime,
 };
 use tamper_worldgen::FIREWALL_KEYWORD;
-use std::net::{IpAddr, Ipv4Addr};
 
 const CLIENT: IpAddr = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 50));
 const SERVER: IpAddr = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1));
@@ -151,7 +151,9 @@ fn http_host_triggers_like_sni() {
             Link::new(SimDuration::from_millis(8), 4),
             Link::new(SimDuration::from_millis(35), 9),
         ],
-        hops: vec![Box::new(Vendor::GfwMixed.build(RuleSet::domains([BLOCKED])))],
+        hops: vec![Box::new(
+            Vendor::GfwMixed.build(RuleSet::domains([BLOCKED])),
+        )],
     };
     let mut rng = derive_rng(11, 1);
     let trace = run_session(

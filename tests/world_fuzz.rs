@@ -6,9 +6,7 @@ use proptest::prelude::*;
 use tamper_analysis::Collector;
 use tamper_core::ClassifierConfig;
 use tamper_middlebox::Vendor;
-use tamper_worldgen::{
-    Category, Country, CountrySpec, Policy, ProtoFilter, WorldConfig, WorldSim,
-};
+use tamper_worldgen::{Category, Country, CountrySpec, Policy, ProtoFilter, WorldConfig, WorldSim};
 
 fn arb_vendor() -> impl Strategy<Value = Vendor> {
     prop_oneof![

@@ -131,7 +131,10 @@ where
     } else {
         Duration::ZERO
     };
-    let mut line = format!("{name:<40} time: [{per_iter:>12.3?}/iter, {} iters]", b.iters);
+    let mut line = format!(
+        "{name:<40} time: [{per_iter:>12.3?}/iter, {} iters]",
+        b.iters
+    );
     if let Some(t) = throughput {
         let secs = per_iter.as_secs_f64();
         if secs > 0.0 {

@@ -271,10 +271,7 @@ mod tests {
     fn scoped_threads_fan_out_and_join() {
         let data = [1u64, 2, 3, 4];
         let total = super::thread::scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&v| s.spawn(move |_| v * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
         })
         .unwrap();
