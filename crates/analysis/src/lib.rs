@@ -11,6 +11,7 @@ pub mod capture;
 pub mod collector;
 pub mod fmt;
 pub mod jsonl;
+pub mod metrics;
 pub mod paper;
 pub mod report;
 pub mod stats;
@@ -24,6 +25,7 @@ pub use collector::{
 };
 pub use fmt::{pct, pct_f, Table};
 pub use jsonl::{escape_json, flow_to_jsonl, summary_to_json, JsonObject};
+pub use metrics::{metrics_to_json, write_metrics_json};
 pub use paper::{comparison_table, comparisons, Comparison};
 pub use stats::{ols_slope, slope_through_origin, Cdf};
 pub use tamper_worldgen::TestList;

@@ -27,9 +27,12 @@
 //!    table against that stamp, so the timeout-vs-end-of-capture split is
 //!    also deterministic.
 //!
-//! The only scheduling-dependent outputs are the perf counters
-//! ([`EngineStats::channel_stalls`], [`EngineStats::threads`]), which
-//! callers must keep out of any byte-compared report.
+//! The only scheduling- or shard-count-dependent outputs are the perf
+//! counters ([`EngineStats::channel_stalls`], [`EngineStats::threads`],
+//! [`EngineStats::max_live_flows`]) and anything published to an attached
+//! [`tamper_obs::Registry`]; callers must keep both out of any
+//! byte-compared report. [`run_engine_observed`] wires the registry
+//! through the reader, every shard, and the merge step.
 //!
 //! # Memory bound
 //!
@@ -46,6 +49,7 @@ use crossbeam::channel::{bounded, Receiver, TrySendError};
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
 use tamper_netsim::splitmix64;
+use tamper_obs::{Registry, ScopeMetrics};
 use tamper_wire::Packet;
 
 /// Configuration for [`run_engine`].
@@ -122,8 +126,11 @@ pub struct EngineStats {
     /// Times the reader found a shard channel full and had to block
     /// (scheduling-dependent; exclude from byte-compared output).
     pub channel_stalls: u64,
-    /// Sum of per-shard live-flow high-water marks — the engine's actual
-    /// peak table occupancy.
+    /// Largest per-shard live-flow high-water mark — the engine's actual
+    /// peak table occupancy, a true maximum across shards. (The per-shard
+    /// sum, if wanted, is the `sum_high_water` gauge in the `merge`
+    /// metrics scope.) Depends on the shard count via routing, so keep it
+    /// out of byte-compared output.
     pub max_live_flows: u64,
     /// Worker shards used (scheduling-dependent when auto-detected;
     /// exclude from byte-compared output).
@@ -198,7 +205,8 @@ fn run_shard<T, FO>(
     final_stamp: &AtomicU64,
     mut acc: T,
     observe: &FO,
-) -> ShardOutcome<T>
+    mut sm: ScopeMetrics,
+) -> (ShardOutcome<T>, ScopeMetrics)
 where
     FO: Fn(&mut T, ClosedFlow),
 {
@@ -209,44 +217,66 @@ where
     let mut evicted_cap = 0u64;
     let mut drained_eof = 0u64;
 
-    let mut fold = |acc: &mut T, closed: &mut Vec<ClosedFlow>| {
+    let mut fold = |acc: &mut T, closed: &mut Vec<ClosedFlow>, sm: &mut ScopeMetrics| {
         for cf in closed.drain(..) {
             match cf.cause {
                 EvictionCause::Timeout => evicted_timeout += 1,
                 EvictionCause::CapPressure => evicted_cap += 1,
                 EvictionCause::EndOfCapture => drained_eof += 1,
             }
+            sm.count("flows_closed", 1);
+            let sw = sm.start();
             observe(acc, cf);
+            // One clock read feeds both the stage timer and the latency
+            // histogram.
+            if let Some(ns) = sw.elapsed_ns() {
+                sm.record_timer("classify", ns);
+                sm.record_hist("classify_latency_ns", ns);
+            }
         }
     };
 
     for batch in rx.iter() {
+        sm.count("batches", 1);
         for msg in batch {
-            match Packet::parse(&msg.frame) {
+            sm.count("records", 1);
+            let sw = sm.start();
+            let parsed = Packet::parse(&msg.frame);
+            sm.stop("parse", sw);
+            match parsed {
                 Err(_) => ingest.unparsable += 1,
                 Ok(pkt) => {
                     if !cfg.server_ports.contains(&pkt.tcp.dst_port) {
                         ingest.not_inbound += 1;
                     } else {
+                        let sw = sm.start();
                         table.absorb(msg.index, msg.ts, msg.stamp, &pkt, &mut ingest, &mut closed);
-                        fold(&mut acc, &mut closed);
+                        sm.stop("absorb_evict", sw);
+                        fold(&mut acc, &mut closed, &mut sm);
+                        sm.gauge_max("live_flows", table.live() as u64);
                     }
                 }
             }
         }
     }
     // Channel closed: the reader has published the final capture stamp.
+    let sw = sm.start();
     table.drain(final_stamp.load(Ordering::Acquire), &mut closed);
-    fold(&mut acc, &mut closed);
+    sm.stop("drain", sw);
+    fold(&mut acc, &mut closed, &mut sm);
+    sm.gauge_max("high_water", table.high_water() as u64);
 
-    ShardOutcome {
-        acc,
-        ingest,
-        evicted_timeout,
-        evicted_cap,
-        drained_eof,
-        high_water: table.high_water(),
-    }
+    (
+        ShardOutcome {
+            acc,
+            ingest,
+            evicted_timeout,
+            evicted_cap,
+            drained_eof,
+            high_water: table.high_water(),
+        },
+        sm,
+    )
 }
 
 /// Run the streaming engine over a pcap stream.
@@ -263,6 +293,38 @@ where
 pub fn run_engine<R, T, FI, FO, FM>(
     input: R,
     cfg: &EngineConfig,
+    init: FI,
+    observe: FO,
+    merge: FM,
+) -> Result<(T, EngineStats), PcapError>
+where
+    R: Read,
+    T: Send,
+    FI: Fn() -> T + Sync,
+    FO: Fn(&mut T, ClosedFlow) + Sync,
+    FM: FnMut(&mut T, T),
+{
+    run_engine_observed(input, cfg, None, init, observe, merge)
+}
+
+/// [`run_engine`] with an optional [`Registry`] attached.
+///
+/// When `obs` is `Some`, the run publishes a `reader` scope (framing and
+/// routing counters, channel stall accounting, whole-read timer), one
+/// `shard<i>` scope per worker (parse/absorb/classify/drain stage timers,
+/// a classify-latency histogram, live-flow occupancy gauges), and a
+/// `merge` scope (merge timer, `sum_high_water` / `max_live_flows`
+/// gauges). When `obs` is `None` every instrument is disabled and the hot
+/// path performs no clock reads — [`run_engine`] is exactly this with
+/// `None`.
+///
+/// Metric values are wall-clock and scheduling dependent; they ride the
+/// registry only, never the returned accumulator or [`EngineStats`], so
+/// attaching a registry cannot perturb byte-compared output.
+pub fn run_engine_observed<R, T, FI, FO, FM>(
+    input: R,
+    cfg: &EngineConfig,
+    obs: Option<&Registry>,
     init: FI,
     observe: FO,
     mut merge: FM,
@@ -291,12 +353,21 @@ where
     let init_ref = &init;
     let observe_ref = &observe;
 
-    let outcomes: Vec<ShardOutcome<T>> = crossbeam::thread::scope(|s| {
+    let mut rm = match obs {
+        Some(r) => r.scope("reader"),
+        None => ScopeMetrics::disabled(),
+    };
+
+    let outcomes: Vec<(ShardOutcome<T>, ScopeMetrics)> = crossbeam::thread::scope(|s| {
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for i in 0..threads {
             let (tx, rx) = bounded::<Vec<RecordMsg>>(channel_capacity);
             senders.push(tx);
+            let sm = match obs {
+                Some(r) => r.scope(format!("shard{i}")),
+                None => ScopeMetrics::disabled(),
+            };
             handles.push(s.spawn(move |_| {
                 run_shard(
                     rx,
@@ -305,29 +376,38 @@ where
                     final_ref,
                     init_ref(),
                     observe_ref,
+                    sm,
                 )
             }));
         }
 
         // ---- reader loop (this thread) ----
+        let read_sw = rm.start();
         let mut batches: Vec<Vec<RecordMsg>> = (0..threads).map(|_| Vec::new()).collect();
         let mut index = 0u64;
         let mut stamp = 0u64;
-        let flush = |shard: usize, batches: &mut Vec<Vec<RecordMsg>>, stats: &mut EngineStats| {
+        let flush = |shard: usize,
+                     batches: &mut Vec<Vec<RecordMsg>>,
+                     stats: &mut EngineStats,
+                     rm: &mut ScopeMetrics| {
             // tamperlint: allow(index) — shard < threads == batches.len() by the route_hash modulo
             let batch = std::mem::take(&mut batches[shard]);
             if batch.is_empty() {
                 return;
             }
+            rm.count("batches_sent", 1);
             // tamperlint: allow(index) — shard < threads == senders.len() by the route_hash modulo
             match senders[shard].try_send(batch) {
                 Ok(()) => {}
                 Err(TrySendError::Full(batch)) => {
                     stats.channel_stalls += 1;
+                    rm.count("channel_stalls", 1);
                     // Worker threads only exit when senders drop, so a
                     // blocking send can only fail on worker panic.
+                    let sw = rm.start();
                     // tamperlint: allow(index) — same in-bounds shard as the try_send above
                     let _ = senders[shard].send(batch);
+                    rm.stop("stalled", sw);
                 }
                 Err(TrySendError::Disconnected(_)) => {}
             }
@@ -336,6 +416,7 @@ where
             match reader.next_record() {
                 Ok(Some(rec)) => {
                     stats.records += 1;
+                    rm.count("records", 1);
                     let ts = u64::from(rec.ts_sec);
                     stamp = stamp.max(ts);
                     match route_hash(&rec.frame) {
@@ -350,10 +431,13 @@ where
                             });
                             // tamperlint: allow(index) — same in-bounds shard as the push above
                             if batches[shard].len() >= batch_size {
-                                flush(shard, &mut batches, &mut stats);
+                                flush(shard, &mut batches, &mut stats, &mut rm);
                             }
                         }
-                        None => stats.ingest.unparsable += 1,
+                        None => {
+                            stats.ingest.unparsable += 1;
+                            rm.count("unroutable", 1);
+                        }
                     }
                     index += 1;
                 }
@@ -362,15 +446,17 @@ where
                     // Corrupt or truncated tail: keep everything read so
                     // far, record the damage, stop reading.
                     stats.corrupt_tail = true;
+                    rm.count("corrupt_tail", 1);
                     break;
                 }
             }
         }
         for shard in 0..threads {
-            flush(shard, &mut batches, &mut stats);
+            flush(shard, &mut batches, &mut stats, &mut rm);
         }
         final_stamp.store(stamp, Ordering::Release);
         drop(senders);
+        rm.stop("read", read_sw);
 
         handles
             .into_iter()
@@ -382,10 +468,22 @@ where
     .expect("engine thread scope panicked");
 
     // Merge shard accumulators and counters in shard order — deterministic.
-    let mut it = outcomes.into_iter();
+    let mut mm = match obs {
+        Some(r) => r.scope("merge"),
+        None => ScopeMetrics::disabled(),
+    };
+    let merge_sw = mm.start();
+    let mut shard_scopes: Vec<ScopeMetrics> = Vec::with_capacity(threads);
+    let mut shard_outcomes: Vec<ShardOutcome<T>> = Vec::with_capacity(threads);
+    for (o, sm) in outcomes {
+        shard_outcomes.push(o);
+        shard_scopes.push(sm);
+    }
+    let mut it = shard_outcomes.into_iter();
     // tamperlint: allow(panic) — threads is clamped to >= 1 above, so one shard always exists
     let first = it.next().expect("at least one shard");
-    let fold_stats = |stats: &mut EngineStats, o: &ShardOutcome<T>| {
+    let mut sum_high_water = 0u64;
+    let mut fold_stats = |stats: &mut EngineStats, o: &ShardOutcome<T>| {
         stats.ingest.flows += o.ingest.flows;
         stats.ingest.packets += o.ingest.packets;
         stats.ingest.truncated_packets += o.ingest.truncated_packets;
@@ -394,13 +492,28 @@ where
         stats.evicted_timeout += o.evicted_timeout;
         stats.evicted_cap += o.evicted_cap;
         stats.drained_eof += o.drained_eof;
-        stats.max_live_flows += o.high_water as u64;
+        // The engine's peak table occupancy is the *largest* per-shard
+        // high-water mark, not the sum of them (the per-shard sum rides
+        // the merge scope's `sum_high_water` gauge instead).
+        stats.max_live_flows = stats.max_live_flows.max(o.high_water as u64);
+        sum_high_water += o.high_water as u64;
     };
     fold_stats(&mut stats, &first);
     let mut acc = first.acc;
     for o in it {
         fold_stats(&mut stats, &o);
         merge(&mut acc, o.acc);
+    }
+    mm.stop("merge", merge_sw);
+    mm.gauge_set("threads", threads as u64);
+    mm.gauge_max("sum_high_water", sum_high_water);
+    mm.gauge_max("max_live_flows", stats.max_live_flows);
+    if let Some(r) = obs {
+        for sm in shard_scopes {
+            r.publish(sm);
+        }
+        r.publish(rm);
+        r.publish(mm);
     }
 
     Ok((acc, stats))
@@ -522,11 +635,16 @@ mod tests {
         };
         let (_, stats) = collect_flows(&bytes, &cfg);
         assert!(stats.evicted_cap > 0, "cap must have engaged");
+        // max_live_flows is the largest per-shard high-water mark, so with
+        // threads=4 and max_flows=64 it is bounded by the per-shard cap of
+        // 16, not by the global 64.
+        assert_eq!(cfg.per_shard_cap(), 16);
         assert!(
-            stats.max_live_flows <= 64,
-            "peak live flows {} exceeded the bound",
+            stats.max_live_flows <= 16,
+            "peak live flows {} exceeded the per-shard cap",
             stats.max_live_flows
         );
+        assert!(stats.max_live_flows > 0, "peak occupancy must be observed");
         // Every opened flow is still accounted for exactly once.
         assert_eq!(
             stats.ingest.flows,
@@ -571,6 +689,50 @@ mod tests {
         );
         assert_eq!(stats.ingest.unparsable, 2);
         assert_eq!(stats.ingest.flows, 1);
+    }
+
+    #[test]
+    fn observed_run_publishes_scopes_without_changing_output() {
+        let bytes = capture(100);
+        let cfg = EngineConfig {
+            threads: 3,
+            ..EngineConfig::default()
+        };
+        let (plain_flows, plain_stats) = collect_flows(&bytes, &cfg);
+
+        let reg = Registry::new();
+        let (mut flows, stats) = run_engine_observed(
+            &bytes[..],
+            &cfg,
+            Some(&reg),
+            Vec::new,
+            |acc: &mut Vec<ClosedFlow>, cf| acc.push(cf),
+            |a, mut b| a.append(&mut b),
+        )
+        .unwrap();
+        flows.sort_unstable_by_key(|cf| cf.first_index);
+        assert_eq!(flows.len(), plain_flows.len());
+        assert_eq!(stats, plain_stats, "registry must not perturb stats");
+
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.scopes.iter().map(|s| s.scope.as_str()).collect();
+        assert_eq!(names, vec!["merge", "reader", "shard0", "shard1", "shard2"]);
+        let reader = snap.scope("reader").unwrap();
+        assert_eq!(reader.counter("records"), stats.records);
+        assert!(reader.timer("read").is_some());
+        // Every routed record reaches some shard exactly once.
+        assert_eq!(snap.counter_sum("shard", "records"), stats.records);
+        assert_eq!(
+            snap.counter_sum("shard", "flows_closed"),
+            stats.ingest.flows
+        );
+        let merge = snap.scope("merge").unwrap();
+        assert_eq!(merge.gauge("threads"), 3);
+        assert_eq!(merge.gauge("max_live_flows"), stats.max_live_flows);
+        assert!(merge.gauge("sum_high_water") >= merge.gauge("max_live_flows"));
+        let shard0 = snap.scope("shard0").unwrap();
+        assert!(shard0.histogram("classify_latency_ns").is_some());
+        assert!(shard0.timer("parse").is_some());
     }
 
     #[test]

@@ -15,10 +15,10 @@ pub mod pipeline;
 pub mod record;
 pub mod sampler;
 
-pub use engine::{run_engine, EngineConfig, EngineStats};
+pub use engine::{run_engine, run_engine_observed, EngineConfig, EngineStats};
 pub use offline::{
-    flows_from_pcap, flows_from_records, ClosedFlow, EvictionCause, FlowKey, FlowTable,
-    IngestStats, OfflineConfig,
+    flows_from_pcap, flows_from_pcap_observed, flows_from_records, flows_from_records_observed,
+    ClosedFlow, EvictionCause, FlowKey, FlowTable, IngestStats, OfflineConfig,
 };
 pub use pcap::{write_session_trace, PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use pipeline::{collect, CollectorConfig};

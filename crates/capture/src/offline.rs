@@ -10,6 +10,7 @@ use crate::record::{FlowRecord, PacketRecord};
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::IpAddr;
+use tamper_obs::{Registry, ScopeMetrics};
 use tamper_wire::Packet;
 
 /// A connection key: client/server addresses and ports.
@@ -261,15 +262,40 @@ pub fn flows_from_records(
     records: &[PcapRecord],
     cfg: &OfflineConfig,
 ) -> (Vec<FlowRecord>, IngestStats) {
+    flows_from_records_observed(records, cfg, None)
+}
+
+/// [`flows_from_records`] with an optional metrics registry attached.
+///
+/// When `obs` is `Some`, the pass publishes an `offline` scope: record and
+/// skip counters, parse/absorb stage timers, and a live-flow occupancy
+/// gauge. With `None` every instrument is disabled and no clock is read —
+/// [`flows_from_records`] is exactly this with `None`. Metrics never feed
+/// the returned flows or statistics, so attaching a registry cannot
+/// perturb byte-compared output.
+pub fn flows_from_records_observed(
+    records: &[PcapRecord],
+    cfg: &OfflineConfig,
+    obs: Option<&Registry>,
+) -> (Vec<FlowRecord>, IngestStats) {
+    let mut sm = match obs {
+        Some(r) => r.scope("offline"),
+        None => ScopeMetrics::disabled(),
+    };
     let mut stats = IngestStats::default();
     let mut table = FlowTable::new(*cfg, 0);
     let mut closed = Vec::new();
     let mut stamp = 0u64;
 
+    let ingest_sw = sm.start();
     for (index, rec) in records.iter().enumerate() {
+        sm.count("records", 1);
         let ts = u64::from(rec.ts_sec);
         stamp = stamp.max(ts);
-        let pkt = match Packet::parse(&rec.frame) {
+        let parse_sw = sm.start();
+        let parsed = Packet::parse(&rec.frame);
+        sm.stop("parse", parse_sw);
+        let pkt = match parsed {
             Ok(p) => p,
             Err(_) => {
                 stats.unparsable += 1;
@@ -280,9 +306,18 @@ pub fn flows_from_records(
             stats.not_inbound += 1;
             continue;
         }
+        let absorb_sw = sm.start();
         table.absorb(index as u64, ts, stamp, &pkt, &mut stats, &mut closed);
+        sm.stop("absorb_evict", absorb_sw);
+        sm.gauge_max("live_flows", table.live() as u64);
     }
     table.drain(stamp, &mut closed);
+    sm.stop("ingest", ingest_sw);
+    sm.count("flows_closed", closed.len() as u64);
+    sm.gauge_max("high_water", table.high_water() as u64);
+    if let Some(r) = obs {
+        r.publish(sm);
+    }
     closed.sort_unstable_by_key(|cf| cf.first_index);
     (closed.into_iter().map(|cf| cf.flow).collect(), stats)
 }
@@ -292,9 +327,19 @@ pub fn flows_from_pcap<R: Read>(
     reader: R,
     cfg: &OfflineConfig,
 ) -> Result<(Vec<FlowRecord>, IngestStats), PcapError> {
+    flows_from_pcap_observed(reader, cfg, None)
+}
+
+/// [`flows_from_pcap`] with an optional metrics registry attached (see
+/// [`flows_from_records_observed`]).
+pub fn flows_from_pcap_observed<R: Read>(
+    reader: R,
+    cfg: &OfflineConfig,
+    obs: Option<&Registry>,
+) -> Result<(Vec<FlowRecord>, IngestStats), PcapError> {
     let mut pcap = PcapReader::new(reader)?;
     let records = pcap.read_all()?;
-    Ok(flows_from_records(&records, cfg))
+    Ok(flows_from_records_observed(&records, cfg, obs))
 }
 
 /// Counters from an offline ingestion pass.

@@ -99,20 +99,27 @@ pub fn max_consecutive_ttl_delta(flow: &FlowRecord) -> Option<i16> {
 /// The three scanner properties of Hiesgen et al. evaluated in §4.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScannerMarks {
-    /// Every packet lacked TCP options.
+    /// Every packet lacked TCP options (vacuously false on an empty flow).
     pub no_tcp_options: bool,
     /// Some packet carried a TTL ≥ 200.
     pub high_ttl: bool,
-    /// All IPv4 packets shared one fixed, nonzero IP-ID.
+    /// At least two IPv4 packets shared one fixed, nonzero IP-ID.
     pub fixed_nonzero_ipid: bool,
 }
 
 /// Evaluate the scanner heuristics on a flow.
+///
+/// Both universally quantified marks need enough packets to mean
+/// anything: `all()` over zero packets is vacuously true, and a single
+/// IP-ID is trivially "fixed" — neither says scanner, so both marks
+/// require the evidence to actually exist (≥1 packet for the options
+/// mark, ≥2 IP-IDs for the fixed-IP-ID mark).
 pub fn scanner_marks(flow: &FlowRecord) -> ScannerMarks {
-    let no_tcp_options = flow.packets.iter().all(|p| !p.has_tcp_options);
+    let no_tcp_options =
+        !flow.packets.is_empty() && flow.packets.iter().all(|p| !p.has_tcp_options);
     let high_ttl = flow.packets.iter().any(|p| p.ttl >= HIGH_TTL);
     let ids: Vec<u16> = flow.packets.iter().filter_map(|p| p.ip_id).collect();
-    let fixed_nonzero_ipid = !ids.is_empty() && ids[0] != 0 && ids.iter().all(|&i| i == ids[0]);
+    let fixed_nonzero_ipid = ids.len() >= 2 && ids[0] != 0 && ids.iter().all(|&i| i == ids[0]);
     ScannerMarks {
         no_tcp_options,
         high_ttl,
@@ -250,7 +257,32 @@ mod tests {
         let m = scanner_marks(&normal);
         assert!(!m.no_tcp_options);
         assert!(!m.high_ttl);
-        assert!(m.fixed_nonzero_ipid); // single packet: trivially fixed
+        // A single packet can't establish a *fixed* IP-ID.
+        assert!(!m.fixed_nonzero_ipid);
+    }
+
+    #[test]
+    fn degenerate_flows_carry_no_scanner_marks() {
+        // Zero packets: `all(no options)` would be vacuously true.
+        let empty = flow(vec![]);
+        let m = scanner_marks(&empty);
+        assert!(!m.no_tcp_options);
+        assert!(!m.high_ttl);
+        assert!(!m.fixed_nonzero_ipid);
+
+        // One packet: a lone IP-ID is trivially "fixed" — not evidence.
+        let single = flow(vec![rec(0, TcpFlags::SYN, 1, Some(ZMAP_IP_ID), 255, false)]);
+        let m = scanner_marks(&single);
+        assert!(m.no_tcp_options, "one option-less packet is real evidence");
+        assert!(m.high_ttl);
+        assert!(!m.fixed_nonzero_ipid);
+
+        // Two packets sharing a nonzero IP-ID: the mark is back.
+        let double = flow(vec![
+            rec(0, TcpFlags::SYN, 1, Some(ZMAP_IP_ID), 255, false),
+            rec(0, TcpFlags::RST, 2, Some(ZMAP_IP_ID), 255, false),
+        ]);
+        assert!(scanner_marks(&double).fixed_nonzero_ipid);
     }
 
     #[test]

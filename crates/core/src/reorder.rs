@@ -54,6 +54,18 @@ pub fn reconstruct_order_into(packets: &[PacketRecord], idx: &mut Vec<usize>) {
         .map(|p| p.seq)
         .or_else(|| packets.iter().map(|p| p.seq).min())
         .unwrap_or(0);
+    // Ack numbers need the same relative treatment as sequence numbers:
+    // the server's ISN can sit just below the u32 wrap, so raw acks would
+    // scramble the tie-break. Anchor at the first nonzero ack logged; the
+    // offset is *signed* because the log may present a later ack first —
+    // acks just before the anchor must sort just before it, not 4 GiB
+    // after. (Acks of 0 are pre-handshake and keep sorting first, via the
+    // bool key.)
+    let ack0 = packets
+        .iter()
+        .find(|p| p.ack != 0)
+        .map(|p| p.ack)
+        .unwrap_or(0);
 
     idx.clear();
     idx.extend(0..packets.len());
@@ -64,7 +76,7 @@ pub fn reconstruct_order_into(packets: &[PacketRecord], idx: &mut Vec<usize>) {
             rank(p),
             p.seq.wrapping_sub(isn),
             p.has_payload(), // the handshake ACK precedes its request
-            p.ack,
+            (p.ack != 0, p.ack.wrapping_sub(ack0) as i32),
             p.flags.has_fin(), // the final data ACK precedes the FIN
             i,
         )
@@ -141,6 +153,28 @@ mod tests {
         ];
         let order = reconstruct_order(&packets);
         assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn ack_tiebreak_survives_wraparound() {
+        // Two pure ACKs at the same seq cursor whose ack numbers straddle
+        // the u32 wrap: the server ISN sits just below u32::MAX, so the
+        // later ACK has the numerically *smaller* raw ack. Sorting raw
+        // acks put it first; relative acks keep capture order.
+        let server_isn = u32::MAX - 2;
+        let mut early = rec(4, TcpFlags::ACK, 101, 0);
+        early.ack = server_isn.wrapping_add(1); // 4294967294
+        let mut late = rec(4, TcpFlags::ACK, 101, 0);
+        late.ack = server_isn.wrapping_add(600); // wrapped: 597
+        let packets = vec![late.clone(), early.clone()];
+        let order = reconstruct_order(&packets);
+        assert_eq!(order, vec![1, 0], "earlier ack must sort first");
+
+        // And an ack of 0 (pre-handshake) still sorts before both.
+        let handshake = rec(4, TcpFlags::ACK, 101, 0); // ack == 0
+        let packets = vec![late, handshake, early];
+        let order = reconstruct_order(&packets);
+        assert_eq!(order, vec![1, 2, 0]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! |----------------|-------------------------------------|---------|
 //! | `map-iter`     | `crates/analysis`, `crates/core`    | `HashMap`/`HashSet` |
 //! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` |
+//! | `clock-containment` | all pipeline crates (obs exempt) | any other `Instant`/`SystemTime` mention; clocks only via `tamper-obs` |
 //! | `ambient-rng`  | all pipeline crates                 | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` |
 //! | `panic`        | `wire/*`, capture parse surface     | `.unwrap()`, `.expect()`, `panic!`, `unreachable!` |
 //! | `index`        | `wire/*`, capture parse surface     | direct slice indexing |

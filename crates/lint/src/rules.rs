@@ -16,9 +16,10 @@ use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// All lint rules, in reporting order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "map-iter",
     "ambient-clock",
+    "clock-containment",
     "ambient-rng",
     "panic",
     "index",
@@ -116,12 +117,15 @@ impl Scope {
 /// Compute the rule scope for one repo-relative path.
 pub fn scope_for(path: &str) -> Scope {
     // Ambient time/randomness: every first-party pipeline crate. Benchmarks,
-    // repo automation, and the linter itself measure wall-clock by design.
+    // repo automation, and the linter itself measure wall-clock by design;
+    // tamper-obs is the one sanctioned home for wall-clock reads (the
+    // `clock-containment` rule routes everyone else through it).
     let first_party =
         (path.starts_with("crates/") && path.contains("/src/")) || path.starts_with("src/");
     let exempt = path.starts_with("crates/bench/")
         || path.starts_with("crates/xtask/")
-        || path.starts_with("crates/lint/");
+        || path.starts_with("crates/lint/")
+        || path.starts_with("crates/obs/");
     Scope {
         // Determinism: anything that feeds report bytes.
         map_iter: path.starts_with("crates/analysis/src/") || path.starts_with("crates/core/src/"),
@@ -236,6 +240,20 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
                         "{}::now() reads the ambient clock; thread timestamps through \
                          the simulated clock instead",
                         ident(i).unwrap_or_default()
+                    ),
+                );
+            } else if let Some(name @ ("Instant" | "SystemTime")) = ident(i) {
+                // Any other mention of the clock types (use statements,
+                // struct fields, signatures) smuggles a clock handle into
+                // a pipeline crate. `tamper-obs` is the one sanctioned
+                // home for wall-clock reads; the `::now` form above is
+                // already the ambient-clock rule's finding.
+                push_at(
+                    line,
+                    "clock-containment",
+                    format!(
+                        "{name} in a pipeline crate; reach clocks only through \
+                         tamper_obs (Stopwatch / ScopeMetrics timers)"
                     ),
                 );
             }

@@ -1,0 +1,12 @@
+// Fixture: clock types smuggled into a pipeline crate (not compiled).
+use std::time::Instant;
+
+struct Stage {
+    started: Option<Instant>,
+}
+
+fn observe(s: &Stage) -> u64 {
+    let t0 = Instant::now();
+    let _ = &s.started;
+    t0.elapsed().as_nanos() as u64
+}

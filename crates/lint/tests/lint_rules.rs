@@ -35,13 +35,37 @@ fn ambient_rules_fire_outside_cfg_test() {
     assert_eq!(
         fired(&lint.findings),
         vec![
-            ("ambient-clock", 5), // Instant::now()
-            ("ambient-clock", 6), // SystemTime::now()
-            ("ambient-rng", 7),   // thread_rng()
-            ("ambient-rng", 8),   // rand::random()
+            ("clock-containment", 2), // use …::Instant
+            ("clock-containment", 2), // use …::SystemTime
+            ("ambient-clock", 5),     // Instant::now()
+            ("ambient-clock", 6),     // SystemTime::now()
+            ("ambient-rng", 7),       // thread_rng()
+            ("ambient-rng", 8),       // rand::random()
         ]
     );
     // The same clock call inside `#[cfg(test)] mod tests` did not fire.
+}
+
+#[test]
+fn clock_containment_fires_on_smuggled_clock_types_but_not_on_now() {
+    let lint = lint_source(NETSIM, include_str!("fixtures/bad_clock.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("clock-containment", 2), // use …::Instant
+            ("clock-containment", 5), // Option<Instant> struct field
+            ("ambient-clock", 9),     // Instant::now() — the now-form is
+                                      // ambient-clock's finding alone
+        ]
+    );
+    assert!(lint.findings[0].message.contains("tamper_obs"));
+
+    // tamper-obs itself is the sanctioned home: same source, no findings.
+    let obs = lint_source(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/bad_clock.rs"),
+    );
+    assert!(obs.findings.is_empty(), "{:?}", obs.findings);
 }
 
 #[test]

@@ -22,6 +22,7 @@ use tamper_netsim::{
     derive_rng, run_session, splitmix64, ClientConfig, ClientKind, IpIdMode, Link, Path,
     RequestPayload, ServerConfig, SessionParams, SimDuration, SimTime, VanishStage,
 };
+use tamper_obs::{Registry, ScopeMetrics};
 
 /// 2023-01-12 00:00:00 UTC — the start of the paper's two-week window.
 pub const JAN12_2023_UNIX: u64 = 1_673_481_600;
@@ -653,9 +654,26 @@ impl WorldSim {
     /// Run across `threads` shards. Each shard folds into its own
     /// accumulator `T`; accumulators are merged in shard order, so results
     /// are identical to a serial run for order-insensitive accumulators.
-    pub fn run_sharded<T, FI, FO, FM>(
+    pub fn run_sharded<T, FI, FO, FM>(&self, threads: usize, init: FI, observe: FO, merge: FM) -> T
+    where
+        T: Send,
+        FI: Fn() -> T + Sync,
+        FO: Fn(&mut T, LabeledFlow) + Sync,
+        FM: FnMut(&mut T, T),
+    {
+        self.run_sharded_observed(threads, None, init, observe, merge)
+    }
+
+    /// [`WorldSim::run_sharded`] with an optional metrics registry
+    /// attached. Every shard publishes into one folded `worldgen` scope:
+    /// session/flow counters, a per-shard generation timer, and a thread
+    /// gauge. With `None` every instrument is disabled (no clock reads);
+    /// metrics never feed the merged accumulator, so attaching a registry
+    /// cannot perturb byte-compared output.
+    pub fn run_sharded_observed<T, FI, FO, FM>(
         &self,
         threads: usize,
+        obs: Option<&Registry>,
         init: FI,
         observe: FO,
         mut merge: FM,
@@ -677,21 +695,38 @@ impl WorldSim {
                 let hi = ((t as u64 + 1) * chunk).min(n);
                 let init = &init;
                 let observe = &observe;
+                let mut sm = match obs {
+                    Some(r) => r.scope("worldgen"),
+                    None => ScopeMetrics::disabled(),
+                };
                 handles.push(scope.spawn(move |_| {
+                    let gen_sw = sm.start();
                     let mut acc = init();
                     for i in lo..hi {
+                        sm.count("sessions", 1);
                         if let Some(lf) = self.gen_session(i) {
+                            sm.count("flows", 1);
                             observe(&mut acc, lf);
                         }
                     }
-                    acc
+                    sm.stop("gen", gen_sw);
+                    (acc, sm)
                 }));
             }
             for (t, h) in handles.into_iter().enumerate() {
-                results[t] = Some(h.join().expect("shard panicked"));
+                let (acc, sm) = h.join().expect("shard panicked");
+                if let Some(r) = obs {
+                    r.publish(sm);
+                }
+                results[t] = Some(acc);
             }
         })
         .expect("scope");
+        if let Some(r) = obs {
+            let mut sm = r.scope("worldgen");
+            sm.gauge_set("threads", threads as u64);
+            r.publish(sm);
+        }
         let mut iter = results.into_iter().flatten();
         let mut first = iter.next().expect("at least one shard");
         for rest in iter {

@@ -1,9 +1,10 @@
 //! Repo automation. `cargo xtask ci` is the one-command gate a PR must
 //! pass: formatting, clippy, release build, the full workspace test suite,
 //! the engine determinism suite re-run explicitly so a scheduling-dependent
-//! failure gets a second chance to surface, and the tamperlint
-//! static-analysis gate. `cargo xtask analyze [--json]` runs tamperlint
-//! alone.
+//! failure gets a second chance to surface, a smoke run of
+//! `classify --metrics-json` on the golden fixture pcap, and the
+//! tamperlint static-analysis gate. `cargo xtask analyze [--json]` runs
+//! tamperlint alone.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -49,6 +50,69 @@ fn analyze(json: bool) -> Result<(), String> {
     }
 }
 
+/// Smoke-run `tamperscope classify --metrics-json` on the golden fixture
+/// pcap. The run must succeed, the metrics file must exist and parse with
+/// the workspace JSON parser, and it must report a nonzero number of
+/// classified flows — otherwise the observability surface has silently
+/// rotted and the step fails the gate.
+fn metrics_smoke() -> Result<(), String> {
+    let root = repo_root();
+    let pcap = root.join("tests").join("fixtures").join("golden.pcap");
+    let metrics = root.join("target").join("xtask-metrics-smoke.json");
+    // Stale output from an earlier run must not mask a binary that no
+    // longer writes the file.
+    let _ = std::fs::remove_file(&metrics);
+    eprintln!(
+        "==> metrics smoke: tamperscope classify {} --metrics-json {}",
+        pcap.display(),
+        metrics.display()
+    );
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "--quiet",
+            "--bin",
+            "tamperscope",
+            "--",
+            "classify",
+        ])
+        .arg(&pcap)
+        .arg("--metrics-json")
+        .arg(&metrics)
+        .current_dir(&root)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .map_err(|e| format!("metrics smoke: failed to spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("metrics smoke: classify exited with {status}"));
+    }
+    let text = std::fs::read_to_string(&metrics).map_err(|e| {
+        format!(
+            "metrics smoke: metrics file {} missing after classify: {e}",
+            metrics.display()
+        )
+    })?;
+    let doc = tamper_worldgen::json::Json::parse(text.trim())
+        .map_err(|e| format!("metrics smoke: metrics file does not parse: {e}"))?;
+    if doc.get("kind").and_then(|v| v.as_str()) != Some("metrics") {
+        return Err("metrics smoke: document kind is not \"metrics\"".into());
+    }
+    let flows = doc
+        .get("flows_closed")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| "metrics smoke: no numeric flows_closed field".to_string())?;
+    if flows == 0 {
+        return Err("metrics smoke: zero classified flows on the golden fixture".into());
+    }
+    let scopes = doc
+        .get("scopes")
+        .and_then(|v| v.as_array())
+        .map_or(0, <[_]>::len);
+    eprintln!("==> metrics smoke: {flows} flow(s) classified, {scopes} scope(s) published");
+    Ok(())
+}
+
 fn ci() -> Result<(), String> {
     run("fmt", "cargo", &["fmt", "--all", "--check"])?;
     run(
@@ -78,6 +142,7 @@ fn ci() -> Result<(), String> {
         "cargo",
         &["test", "-q", "--test", "golden_corpus"],
     )?;
+    metrics_smoke()?;
     eprintln!("==> analyze: tamperlint (in-process)");
     analyze(false)?;
     eprintln!("==> ci: all green");
@@ -93,7 +158,7 @@ fn main() -> ExitCode {
         _ => Err(format!(
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
-             determinism gates + tamperlint\n  \
+             determinism gates + metrics smoke + tamperlint\n  \
              analyze [--json]   tamperlint static-analysis gate (determinism, \
              panic-safety, taxonomy)"
         )),

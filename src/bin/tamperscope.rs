@@ -19,9 +19,9 @@ use std::process::ExitCode;
 
 use tamperscope::analysis::{
     capture_collector, capture_summary_to_json, engine_perf_to_json, flow_to_jsonl,
-    label_capture_flow, pct, report, summary_to_json, Collector,
+    label_capture_flow, pct, report, summary_to_json, write_metrics_json, Collector,
 };
-use tamperscope::capture::{run_engine, EngineConfig, OfflineConfig, PcapWriter};
+use tamperscope::capture::{run_engine_observed, EngineConfig, OfflineConfig, PcapWriter};
 use tamperscope::cli::Args;
 use tamperscope::core::{Classifier, ClassifierConfig};
 use tamperscope::middlebox::{RuleSet, Vendor, ALL_VENDORS};
@@ -29,6 +29,7 @@ use tamperscope::netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
     SimTime,
 };
+use tamperscope::obs::{Registry, ScopeMetrics, Stopwatch};
 use tamperscope::worldgen::{generate_lists, Scenario, WorldConfig, WorldSim, SEP13_2022_UNIX};
 
 fn usage() -> ExitCode {
@@ -37,9 +38,9 @@ fn usage() -> ExitCode {
 
 USAGE:
     tamperscope classify <capture.pcap> [--jsonl | --explain] [--threads T]
-                         [--max-flows M] [--json-summary]
+                         [--max-flows M] [--json-summary] [--metrics-json m.json]
     tamperscope report   [--sessions N] [--days D] [--seed S] [--threads T]
-                         [--json-summary] [--world spec.json]
+                         [--json-summary] [--world spec.json] [--metrics-json m.json]
     tamperscope iran     [--sessions N] [--seed S]
     tamperscope synthesize <out.pcap> [--sessions N] [--seed S]
     tamperscope signatures
@@ -203,7 +204,19 @@ fn cmd_classify(args: &Args) -> ExitCode {
         a.lines.append(&mut b.lines);
         a.matched += b.matched;
     };
-    let (mut sink, stats) = match run_engine(BufReader::new(file), &cfg, init, observe, merge) {
+    // Metrics ride a side registry and land in their own file, so the
+    // verdict/summary bytes stay identical with or without `--metrics-json`
+    // (and across thread counts).
+    let metrics_path = args.get("metrics-json");
+    let registry = metrics_path.map(|_| Registry::new());
+    let (mut sink, stats) = match run_engine_observed(
+        BufReader::new(file),
+        &cfg,
+        registry.as_ref(),
+        init,
+        observe,
+        merge,
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
@@ -232,6 +245,13 @@ fn cmd_classify(args: &Args) -> ExitCode {
         let _ = writeln!(out, "{}", engine_perf_to_json(&stats));
     }
     drop(out);
+    if let (Some(mpath), Some(reg)) = (metrics_path, &registry) {
+        if let Err(e) = write_metrics_json(mpath, &reg.snapshot()) {
+            eprintln!("cannot write {mpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{mpath}] engine metrics written");
+    }
     eprintln!(
         "{} of {} flows match a tampering signature ({})",
         sink.matched,
@@ -287,20 +307,43 @@ fn cmd_report(args: &Args) -> ExitCode {
             sim.config().start_unix,
         )
     };
-    // tamperlint: allow(ambient-clock) — CLI progress timing on stderr; never enters report bytes
-    let t0 = std::time::Instant::now();
-    let col = sim.run_sharded(threads(args), mk, |c, lf| c.observe(&lf), |a, b| a.merge(b));
-    eprintln!(
-        "[world] {} flows in {:.1}s",
-        col.total,
-        t0.elapsed().as_secs_f64()
+    let metrics_path = args.get("metrics-json");
+    let registry = metrics_path.map(|_| Registry::new());
+    // Stderr progress timing goes through the obs stopwatch — the one
+    // sanctioned wall-clock entry point — and never enters report bytes.
+    let run_sw = Stopwatch::start();
+    let col = sim.run_sharded_observed(
+        threads(args),
+        registry.as_ref(),
+        mk,
+        |c, lf| c.observe(&lf),
+        |a, b| a.merge(b),
     );
+    let run_ns = run_sw.elapsed_ns().unwrap_or(0);
+    eprintln!("[world] {} flows in {:.1}s", col.total, run_ns as f64 / 1e9);
+    let mut rep = match &registry {
+        Some(r) => r.scope("report"),
+        None => ScopeMetrics::disabled(),
+    };
+    rep.record_timer("worldgen_run", run_ns);
+    rep.count("flows", col.total);
     if args.has("json-summary") {
         println!("{}", summary_to_json(&col));
-        return ExitCode::SUCCESS;
+    } else {
+        let render_sw = rep.start();
+        let lists = generate_lists(&sim);
+        let text = report::full_report(&col, &sim, &lists);
+        rep.stop("render", render_sw);
+        println!("{text}");
     }
-    let lists = generate_lists(&sim);
-    println!("{}", report::full_report(&col, &sim, &lists));
+    if let (Some(mpath), Some(reg)) = (metrics_path, &registry) {
+        reg.publish(rep);
+        if let Err(e) = write_metrics_json(mpath, &reg.snapshot()) {
+            eprintln!("cannot write {mpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{mpath}] pipeline metrics written");
+    }
     ExitCode::SUCCESS
 }
 

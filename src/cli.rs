@@ -16,6 +16,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "world",
     "port",
     "max-flows",
+    "metrics-json",
     "tamper-share",
 ];
 

@@ -47,6 +47,9 @@ pub mod cli;
 /// Wire formats: IP/TCP headers, TLS ClientHello, HTTP requests.
 pub use tamper_wire as wire;
 
+/// Observability: counters, gauges, stage timers, latency histograms.
+pub use tamper_obs as obs;
+
 /// Deterministic discrete-event session simulator.
 pub use tamper_netsim as netsim;
 

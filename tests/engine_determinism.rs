@@ -7,12 +7,15 @@
 use std::net::{IpAddr, Ipv4Addr};
 
 use tamperscope::analysis::{
-    capture_collector, capture_summary_to_json, flow_to_jsonl, label_capture_flow, Collector,
+    capture_collector, capture_summary_to_json, flow_to_jsonl, label_capture_flow, metrics_to_json,
+    Collector,
 };
 use tamperscope::capture::{
-    flows_from_pcap, run_engine, ClosedFlow, EngineConfig, EngineStats, OfflineConfig, PcapWriter,
+    flows_from_pcap, run_engine_observed, ClosedFlow, EngineConfig, EngineStats, OfflineConfig,
+    PcapWriter,
 };
 use tamperscope::core::{Classifier, ClassifierConfig, Signature};
+use tamperscope::obs::Registry;
 use tamperscope::wire::{PacketBuilder, TcpFlags};
 
 fn server() -> IpAddr {
@@ -133,15 +136,26 @@ struct Sink {
 /// Run the engine at a given shard count; return the concatenated verdict
 /// lines (global order) and the collector.
 fn engine_output(bytes: &[u8], threads: usize) -> (String, Collector, EngineStats) {
+    engine_output_observed(bytes, threads, None)
+}
+
+/// Same, with an optional metrics registry attached — observation must be
+/// a pure spectator.
+fn engine_output_observed(
+    bytes: &[u8],
+    threads: usize,
+    obs: Option<&Registry>,
+) -> (String, Collector, EngineStats) {
     let cfg = EngineConfig {
         offline: OfflineConfig::default(),
         threads,
         ..EngineConfig::default()
     };
     let clf_cfg = ClassifierConfig::default();
-    let (mut sink, stats) = run_engine(
+    let (mut sink, stats) = run_engine_observed(
         bytes,
         &cfg,
+        obs,
         || Sink {
             clf: Classifier::new(clf_cfg),
             col: capture_collector(clf_cfg, 0),
@@ -256,4 +270,67 @@ fn corpus_hits_multiple_signatures() {
         distinct >= 4,
         "only {distinct} distinct signatures: {counts:?}"
     );
+}
+
+#[test]
+fn sharding_cannot_increase_max_live_flows() {
+    // max_live_flows is the max per-shard high-water mark. Each shard sees
+    // a subset of the flows under the same eviction clock, so splitting the
+    // capture across 8 shards can only shrink (or keep) the single-shard
+    // high water — it must never report the shards' sum.
+    let bytes = synth_capture(120);
+    let (_, _, stats1) = engine_output(&bytes, 1);
+    let (_, _, stats8) = engine_output(&bytes, 8);
+    assert!(stats1.max_live_flows > 0);
+    assert!(
+        stats8.max_live_flows <= stats1.max_live_flows,
+        "8-shard high water {} exceeds single-shard {}",
+        stats8.max_live_flows,
+        stats1.max_live_flows
+    );
+}
+
+#[test]
+fn metrics_observation_never_perturbs_deterministic_output() {
+    let bytes = synth_capture(120);
+    let mut summaries = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let (plain_text, plain_col, plain_stats) = engine_output(&bytes, threads);
+        let registry = Registry::new();
+        let (obs_text, obs_col, obs_stats) =
+            engine_output_observed(&bytes, threads, Some(&registry));
+
+        // Attaching the registry changes neither the verdict lines nor the
+        // deterministic summary, byte for byte.
+        assert_eq!(
+            plain_text, obs_text,
+            "verdicts diverged at {threads} threads"
+        );
+        let plain_summary = capture_summary_to_json(&plain_col, &plain_stats);
+        let obs_summary = capture_summary_to_json(&obs_col, &obs_stats);
+        assert_eq!(
+            plain_summary, obs_summary,
+            "summary diverged at {threads} threads"
+        );
+
+        // Metrics live in their own document; none of its scheduling-
+        // dependent vocabulary leaks into the summary bytes.
+        let metrics = metrics_to_json(&registry.snapshot());
+        assert!(metrics.contains("\"kind\":\"metrics\""));
+        for leak in [
+            "\"kind\":\"metrics\"",
+            "histograms",
+            "bounds_ns",
+            "channel_stalls",
+        ] {
+            assert!(
+                !plain_summary.contains(leak),
+                "summary leaked metrics vocabulary {leak:?}"
+            );
+        }
+        summaries.push(obs_summary);
+    }
+    // And the observed summary itself is thread-count-invariant.
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[0], summaries[2]);
 }
