@@ -1,58 +1,66 @@
 //! The streaming, sharded classification engine.
 //!
-//! One reader thread pulls records off the pcap stream and fans them out
-//! over bounded channels to N worker shards keyed by `hash(FlowKey) % N`.
-//! Each shard owns its slice of the flow table ([`FlowTable`]), applies
-//! the paper's collection constraints, evicts flows on the inactivity
-//! timeout *as the capture streams*, and folds every closed flow into a
-//! caller-supplied accumulator. The per-shard accumulators are merged in
-//! shard order at the end — the same fold/merge shape `worldgen::driver`
-//! uses — so the result is byte-identical for any thread count.
+//! One reader thread pulls work items off a [`FlowSource`] and fans them
+//! out over bounded channels to N worker shards chosen by the source's
+//! pure routing function. Each shard owns the source's worker-side state
+//! (for pcap: a slice of the flow table, see [`FlowTable`]), turns items
+//! into finished flows *as the stream runs*, and folds every emitted flow
+//! into a caller-supplied accumulator. The per-shard accumulators are
+//! merged in shard order at the end, so the result is byte-identical for
+//! any thread count.
+//!
+//! The front-ends live in [`crate::source`]: [`PcapSource`] (raw capture
+//! bytes), [`crate::source::RecordSource`] (assembled [`crate::FlowRecord`]
+//! streams), and [`crate::source::SimSource`] (deterministic generators —
+//! `worldgen` worlds stream straight in with no intermediate pcap and no
+//! second sharding implementation).
+//!
+//! [`FlowTable`]: crate::offline::FlowTable
 //!
 //! # Determinism
 //!
 //! Three choices make the engine's output independent of thread count and
 //! scheduling:
 //!
-//! 1. **A single capture clock.** The reader stamps every record with the
-//!    running maximum timestamp seen so far. Shards evict on the predicate
-//!    `last_packet_ts + timeout < stamp`, evaluated against the stamp of
-//!    the record being absorbed — a pure function of the capture bytes,
-//!    not of which shard saw which record when.
-//! 2. **Stable flow ordering.** The reader assigns each record a global
-//!    index; a flow remembers the index of the packet that opened it, and
-//!    callers that need first-seen order sort closed flows by that index.
-//! 3. **End-of-stream flush.** The reader publishes the final stamp
-//!    through an atomic before closing the channels; each shard drains its
-//!    table against that stamp, so the timeout-vs-end-of-capture split is
-//!    also deterministic.
+//! 1. **A single capture clock.** The pcap source stamps every record
+//!    with the running maximum timestamp seen so far. Shards evict on the
+//!    predicate `last_packet_ts + timeout < stamp`, evaluated against the
+//!    stamp of the record being absorbed — a pure function of the capture
+//!    bytes, not of which shard saw which record when.
+//! 2. **Stable routing and ordering.** The reader assigns each item a
+//!    global index; [`FlowSource::route`] is a pure function of the item,
+//!    so a given shard count always yields the same partition, and
+//!    callers that need first-seen order sort emitted flows by index.
+//! 3. **End-of-stream flush.** The reader publishes the source's final
+//!    stamp through an atomic before closing the channels; each shard
+//!    flushes its buffered state against that stamp, so the
+//!    timeout-vs-end-of-capture split is also deterministic.
 //!
 //! The only scheduling- or shard-count-dependent outputs are the perf
 //! counters ([`EngineStats::channel_stalls`], [`EngineStats::threads`],
 //! [`EngineStats::max_live_flows`]) and anything published to an attached
 //! [`tamper_obs::Registry`]; callers must keep both out of any
-//! byte-compared report. [`run_engine_observed`] wires the registry
+//! byte-compared report. [`run_source_observed`] wires the registry
 //! through the reader, every shard, and the merge step.
 //!
 //! # Memory bound
 //!
-//! With `max_flows = M` and `threads = N`, each shard caps its live table
-//! at `max(1, M / N)` flows and sheds least-recently-active flows past
-//! that (counted in [`EngineStats::evicted_cap`]), so live flows never
-//! exceed `N * max(1, M / N)` — at most `M` whenever `N ≤ M`. Channels
-//! are bounded, so a slow shard backpressures the reader instead of
-//! growing a queue.
+//! With `max_flows = M` and `threads = N`, each pcap shard caps its live
+//! table at `max(1, M / N)` flows and sheds least-recently-active flows
+//! past that (counted in [`EngineStats::evicted_cap`]), so live flows
+//! never exceed `N * max(1, M / N)` — at most `M` whenever `N ≤ M`.
+//! Channels are bounded, so a slow shard backpressures the reader instead
+//! of growing a queue.
 
-use crate::offline::{ClosedFlow, EvictionCause, FlowTable, IngestStats, OfflineConfig};
-use crate::pcap::{PcapError, PcapReader};
+use crate::offline::{ClosedFlow, IngestStats, OfflineConfig};
+use crate::pcap::PcapError;
+use crate::source::{FlowSource, PcapSource, ShardStats, SourceShard};
 use crossbeam::channel::{bounded, Receiver, TrySendError};
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use tamper_netsim::splitmix64;
 use tamper_obs::{Registry, ScopeMetrics};
-use tamper_wire::Packet;
 
-/// Configuration for [`run_engine`].
+/// Configuration for [`run_engine`] / [`run_source`].
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Flow-assembly constraints (ports, packet cap, timeout).
@@ -104,11 +112,12 @@ impl EngineConfig {
 /// Per-stage counters from one engine run.
 ///
 /// Everything except `channel_stalls` and `threads` is a pure function of
-/// the capture bytes and the [`EngineConfig`] flow parameters — identical
+/// the source stream and the [`EngineConfig`] flow parameters — identical
 /// for any thread count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Records read off the pcap stream.
+    /// Items pulled off the source (pcap records, flow records, or
+    /// generator indices).
     pub records: u64,
     /// Flow-assembly counters (flows, packets kept, truncated, unparsable,
     /// not-inbound) — same meanings as the legacy single-pass path.
@@ -137,96 +146,39 @@ pub struct EngineStats {
     pub threads: usize,
 }
 
-/// One record in flight to a shard.
-struct RecordMsg {
+/// One item in flight to a shard, tagged with its global index.
+struct Routed<I> {
     index: u64,
-    ts: u64,
-    stamp: u64,
-    frame: Vec<u8>,
+    item: I,
 }
 
 /// What one shard hands back when its channel drains.
 struct ShardOutcome<T> {
     acc: T,
-    ingest: IngestStats,
-    evicted_timeout: u64,
-    evicted_cap: u64,
-    drained_eof: u64,
+    stats: ShardStats,
     high_water: usize,
 }
 
-/// Route a raw IP frame to a shard by hashing its 4-tuple, without a full
-/// (checksum-validating) parse. Returns `None` for frames that cannot be
-/// TCP/IP — every such frame would also fail [`Packet::parse`], so the
-/// reader counts it as unparsable without shipping it anywhere.
-fn route_hash(frame: &[u8]) -> Option<u64> {
-    fn mix(h: u64, v: u64) -> u64 {
-        splitmix64(h ^ v)
-    }
-    fn word(b: &[u8], at: usize) -> u64 {
-        // Callers guard the frame length, but stay bounds-checked anyway:
-        // a short read hashes as zero instead of panicking.
-        let mut w = [0u8; 4];
-        if let Some(s) = b.get(at..at + 4) {
-            w.copy_from_slice(s);
-        }
-        u64::from(u32::from_be_bytes(w))
-    }
-    let first = *frame.first()?;
-    match first >> 4 {
-        4 => {
-            // The wire parser only accepts a 20-byte header (IHL 5) and
-            // protocol 6; anything else fails full parse too.
-            if frame.len() < 24 || (first & 0x0f) != 5 || frame.get(9) != Some(&6) {
-                return None;
-            }
-            let mut h = mix(0x7461_6d70_6572_0004, word(frame, 12)); // src
-            h = mix(h, word(frame, 16)); // dst
-            Some(mix(h, word(frame, 20))) // ports
-        }
-        6 => {
-            if frame.len() < 44 || frame.get(6) != Some(&6) {
-                return None;
-            }
-            let mut h = 0x7461_6d70_6572_0006;
-            for off in (8..40).step_by(4) {
-                h = mix(h, word(frame, off)); // src + dst
-            }
-            Some(mix(h, word(frame, 40))) // ports
-        }
-        _ => None,
-    }
-}
-
-fn run_shard<T, FO>(
-    rx: Receiver<Vec<RecordMsg>>,
-    cfg: OfflineConfig,
-    per_shard_cap: usize,
+fn run_shard<W, T, FO>(
+    rx: Receiver<Vec<Routed<W::Item>>>,
+    mut worker: W,
     final_stamp: &AtomicU64,
     mut acc: T,
     observe: &FO,
     mut sm: ScopeMetrics,
 ) -> (ShardOutcome<T>, ScopeMetrics)
 where
-    FO: Fn(&mut T, ClosedFlow),
+    W: SourceShard,
+    FO: Fn(&mut T, W::Out),
 {
-    let mut table = FlowTable::new(cfg, per_shard_cap);
-    let mut ingest = IngestStats::default();
-    let mut closed: Vec<ClosedFlow> = Vec::new();
-    let mut evicted_timeout = 0u64;
-    let mut evicted_cap = 0u64;
-    let mut drained_eof = 0u64;
+    let mut stats = ShardStats::default();
+    let mut emit: Vec<W::Out> = Vec::new();
 
-    let mut fold = |acc: &mut T, closed: &mut Vec<ClosedFlow>, sm: &mut ScopeMetrics| {
-        for cf in closed.drain(..) {
-            match cf.cause {
-                EvictionCause::Timeout => evicted_timeout += 1,
-                EvictionCause::CapPressure => evicted_cap += 1,
-                EvictionCause::EndOfCapture => drained_eof += 1,
-            }
+    let fold = |acc: &mut T, emit: &mut Vec<W::Out>, sm: &mut ScopeMetrics| {
+        for out in emit.drain(..) {
             sm.count("flows_closed", 1);
             let sw = sm.start();
-            observe(acc, cf);
+            observe(acc, out);
             // One clock read feeds both the stage timer and the latency
             // histogram.
             if let Some(ns) = sw.elapsed_ns() {
@@ -240,40 +192,24 @@ where
         sm.count("batches", 1);
         for msg in batch {
             sm.count("records", 1);
-            let sw = sm.start();
-            let parsed = Packet::parse(&msg.frame);
-            sm.stop("parse", sw);
-            match parsed {
-                Err(_) => ingest.unparsable += 1,
-                Ok(pkt) => {
-                    if !cfg.server_ports.contains(&pkt.tcp.dst_port) {
-                        ingest.not_inbound += 1;
-                    } else {
-                        let sw = sm.start();
-                        table.absorb(msg.index, msg.ts, msg.stamp, &pkt, &mut ingest, &mut closed);
-                        sm.stop("absorb_evict", sw);
-                        fold(&mut acc, &mut closed, &mut sm);
-                        sm.gauge_max("live_flows", table.live() as u64);
-                    }
-                }
-            }
+            worker.absorb(msg.index, msg.item, &mut stats, &mut emit, &mut sm);
+            fold(&mut acc, &mut emit, &mut sm);
         }
     }
     // Channel closed: the reader has published the final capture stamp.
-    let sw = sm.start();
-    table.drain(final_stamp.load(Ordering::Acquire), &mut closed);
-    sm.stop("drain", sw);
-    fold(&mut acc, &mut closed, &mut sm);
-    sm.gauge_max("high_water", table.high_water() as u64);
+    worker.finish(
+        final_stamp.load(Ordering::Acquire),
+        &mut stats,
+        &mut emit,
+        &mut sm,
+    );
+    fold(&mut acc, &mut emit, &mut sm);
 
     (
         ShardOutcome {
             acc,
-            ingest,
-            evicted_timeout,
-            evicted_cap,
-            drained_eof,
-            high_water: table.high_water(),
+            stats,
+            high_water: worker.high_water(),
         },
         sm,
     )
@@ -307,27 +243,19 @@ where
     run_engine_observed(input, cfg, None, init, observe, merge)
 }
 
-/// [`run_engine`] with an optional [`Registry`] attached.
+/// [`run_engine`] with an optional [`Registry`] attached — the pcap
+/// instantiation of [`run_source_observed`].
 ///
-/// When `obs` is `Some`, the run publishes a `reader` scope (framing and
-/// routing counters, channel stall accounting, whole-read timer), one
-/// `shard<i>` scope per worker (parse/absorb/classify/drain stage timers,
-/// a classify-latency histogram, live-flow occupancy gauges), and a
-/// `merge` scope (merge timer, `sum_high_water` / `max_live_flows`
-/// gauges). When `obs` is `None` every instrument is disabled and the hot
-/// path performs no clock reads — [`run_engine`] is exactly this with
-/// `None`.
-///
-/// Metric values are wall-clock and scheduling dependent; they ride the
-/// registry only, never the returned accumulator or [`EngineStats`], so
-/// attaching a registry cannot perturb byte-compared output.
+/// A malformed global header aborts with the error; a corrupt record
+/// mid-stream ends reading with [`EngineStats::corrupt_tail`] set and
+/// everything before it processed normally.
 pub fn run_engine_observed<R, T, FI, FO, FM>(
     input: R,
     cfg: &EngineConfig,
     obs: Option<&Registry>,
     init: FI,
     observe: FO,
-    mut merge: FM,
+    merge: FM,
 ) -> Result<(T, EngineStats), PcapError>
 where
     R: Read,
@@ -336,19 +264,72 @@ where
     FO: Fn(&mut T, ClosedFlow) + Sync,
     FM: FnMut(&mut T, T),
 {
-    let mut reader = PcapReader::new(input)?;
+    let src = PcapSource::new(input)?;
+    Ok(run_source_observed(src, cfg, obs, init, observe, merge))
+}
+
+/// Run the streaming engine over any [`FlowSource`].
+///
+/// Equivalent to [`run_source_observed`] with no registry: every
+/// instrument is disabled and the hot path performs no clock reads.
+pub fn run_source<S, T, FI, FO, FM>(
+    src: S,
+    cfg: &EngineConfig,
+    init: FI,
+    observe: FO,
+    merge: FM,
+) -> (T, EngineStats)
+where
+    S: FlowSource,
+    T: Send,
+    FI: Fn() -> T + Sync,
+    FO: Fn(&mut T, S::Out) + Sync,
+    FM: FnMut(&mut T, T),
+{
+    run_source_observed(src, cfg, None, init, observe, merge)
+}
+
+/// Run the streaming engine over any [`FlowSource`], with an optional
+/// [`Registry`] attached.
+///
+/// When `obs` is `Some`, the run publishes a `reader` scope (pull and
+/// routing counters, channel stall accounting, whole-read timer), one
+/// `shard<i>` scope per worker (source stage timers — parse/absorb for
+/// pcap, gen for simulators — classify timing with a latency histogram,
+/// occupancy gauges for table-backed sources), and a `merge` scope
+/// (merge timer, `sum_high_water` / `max_live_flows` gauges). When `obs`
+/// is `None` every instrument is disabled and the hot path performs no
+/// clock reads.
+///
+/// Metric values are wall-clock and scheduling dependent; they ride the
+/// registry only, never the returned accumulator or [`EngineStats`], so
+/// attaching a registry cannot perturb byte-compared output.
+pub fn run_source_observed<S, T, FI, FO, FM>(
+    mut src: S,
+    cfg: &EngineConfig,
+    obs: Option<&Registry>,
+    init: FI,
+    observe: FO,
+    mut merge: FM,
+) -> (T, EngineStats)
+where
+    S: FlowSource,
+    T: Send,
+    FI: Fn() -> T + Sync,
+    FO: Fn(&mut T, S::Out) + Sync,
+    FM: FnMut(&mut T, T),
+{
     let threads = cfg.resolved_threads();
-    let per_shard_cap = cfg.per_shard_cap();
     let batch_size = cfg.batch_size.max(1);
     let channel_capacity = cfg.channel_capacity.max(1);
     let final_stamp = AtomicU64::new(0);
+    src.prepare(threads);
 
     let mut stats = EngineStats {
         threads,
         ..EngineStats::default()
     };
 
-    let offline = cfg.offline;
     let final_ref = &final_stamp;
     let init_ref = &init;
     let observe_ref = &observe;
@@ -362,41 +343,34 @@ where
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
-            let (tx, rx) = bounded::<Vec<RecordMsg>>(channel_capacity);
+            let (tx, rx) = bounded::<Vec<Routed<S::Item>>>(channel_capacity);
             senders.push(tx);
             let sm = match obs {
                 Some(r) => r.scope(format!("shard{i}")),
                 None => ScopeMetrics::disabled(),
             };
-            handles.push(s.spawn(move |_| {
-                run_shard(
-                    rx,
-                    offline,
-                    per_shard_cap,
-                    final_ref,
-                    init_ref(),
-                    observe_ref,
-                    sm,
-                )
-            }));
+            let worker = src.shard(cfg);
+            handles.push(
+                s.spawn(move |_| run_shard(rx, worker, final_ref, init_ref(), observe_ref, sm)),
+            );
         }
 
         // ---- reader loop (this thread) ----
         let read_sw = rm.start();
-        let mut batches: Vec<Vec<RecordMsg>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut batches: Vec<Vec<Routed<S::Item>>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut pulled: Vec<S::Item> = Vec::with_capacity(batch_size);
         let mut index = 0u64;
-        let mut stamp = 0u64;
         let flush = |shard: usize,
-                     batches: &mut Vec<Vec<RecordMsg>>,
+                     batches: &mut Vec<Vec<Routed<S::Item>>>,
                      stats: &mut EngineStats,
                      rm: &mut ScopeMetrics| {
-            // tamperlint: allow(index) — shard < threads == batches.len() by the route_hash modulo
+            // tamperlint: allow(index) — shard < threads == batches.len(): routes are clamped below
             let batch = std::mem::take(&mut batches[shard]);
             if batch.is_empty() {
                 return;
             }
             rm.count("batches_sent", 1);
-            // tamperlint: allow(index) — shard < threads == senders.len() by the route_hash modulo
+            // tamperlint: allow(index) — shard < threads == senders.len(): routes are clamped below
             match senders[shard].try_send(batch) {
                 Ok(()) => {}
                 Err(TrySendError::Full(batch)) => {
@@ -413,48 +387,43 @@ where
             }
         };
         loop {
-            match reader.next_record() {
-                Ok(Some(rec)) => {
-                    stats.records += 1;
-                    rm.count("records", 1);
-                    let ts = u64::from(rec.ts_sec);
-                    stamp = stamp.max(ts);
-                    match route_hash(&rec.frame) {
-                        Some(h) => {
-                            let shard = (h % threads as u64) as usize;
-                            // tamperlint: allow(index) — shard < threads == batches.len() by construction
-                            batches[shard].push(RecordMsg {
-                                index,
-                                ts,
-                                stamp,
-                                frame: rec.frame,
-                            });
-                            // tamperlint: allow(index) — same in-bounds shard as the push above
-                            if batches[shard].len() >= batch_size {
-                                flush(shard, &mut batches, &mut stats, &mut rm);
-                            }
-                        }
-                        None => {
-                            stats.ingest.unparsable += 1;
-                            rm.count("unroutable", 1);
+            pulled.clear();
+            let more = src.fill(&mut pulled, batch_size);
+            for item in pulled.drain(..) {
+                stats.records += 1;
+                rm.count("records", 1);
+                match src.route(index, &item, threads) {
+                    Some(t) => {
+                        // Sources contract to route in 0..threads; clamp
+                        // so a misbehaving impl degrades instead of
+                        // panicking.
+                        let shard = t.min(threads - 1);
+                        // tamperlint: allow(index) — shard < threads == batches.len() by the clamp above
+                        batches[shard].push(Routed { index, item });
+                        // tamperlint: allow(index) — same in-bounds shard as the push above
+                        if batches[shard].len() >= batch_size {
+                            flush(shard, &mut batches, &mut stats, &mut rm);
                         }
                     }
-                    index += 1;
+                    None => {
+                        stats.ingest.unparsable += 1;
+                        rm.count("unroutable", 1);
+                    }
                 }
-                Ok(None) => break,
-                Err(_) => {
-                    // Corrupt or truncated tail: keep everything read so
-                    // far, record the damage, stop reading.
-                    stats.corrupt_tail = true;
-                    rm.count("corrupt_tail", 1);
-                    break;
-                }
+                index += 1;
+            }
+            if !more {
+                break;
             }
         }
         for shard in 0..threads {
             flush(shard, &mut batches, &mut stats, &mut rm);
         }
-        final_stamp.store(stamp, Ordering::Release);
+        stats.corrupt_tail = src.corrupt_tail();
+        if stats.corrupt_tail {
+            rm.count("corrupt_tail", 1);
+        }
+        final_stamp.store(src.final_stamp(), Ordering::Release);
         drop(senders);
         rm.stop("read", read_sw);
 
@@ -484,14 +453,14 @@ where
     let first = it.next().expect("at least one shard");
     let mut sum_high_water = 0u64;
     let mut fold_stats = |stats: &mut EngineStats, o: &ShardOutcome<T>| {
-        stats.ingest.flows += o.ingest.flows;
-        stats.ingest.packets += o.ingest.packets;
-        stats.ingest.truncated_packets += o.ingest.truncated_packets;
-        stats.ingest.unparsable += o.ingest.unparsable;
-        stats.ingest.not_inbound += o.ingest.not_inbound;
-        stats.evicted_timeout += o.evicted_timeout;
-        stats.evicted_cap += o.evicted_cap;
-        stats.drained_eof += o.drained_eof;
+        stats.ingest.flows += o.stats.ingest.flows;
+        stats.ingest.packets += o.stats.ingest.packets;
+        stats.ingest.truncated_packets += o.stats.ingest.truncated_packets;
+        stats.ingest.unparsable += o.stats.ingest.unparsable;
+        stats.ingest.not_inbound += o.stats.ingest.not_inbound;
+        stats.evicted_timeout += o.stats.evicted_timeout;
+        stats.evicted_cap += o.stats.evicted_cap;
+        stats.drained_eof += o.stats.drained_eof;
         // The engine's peak table occupancy is the *largest* per-shard
         // high-water mark, not the sum of them (the per-shard sum rides
         // the merge scope's `sum_high_water` gauge instead).
@@ -516,13 +485,15 @@ where
         r.publish(mm);
     }
 
-    Ok((acc, stats))
+    (acc, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::offline::EvictionCause;
     use crate::pcap::PcapWriter;
+    use crate::source::{RecordSource, SimSource};
     use bytes::Bytes;
     use std::net::{IpAddr, Ipv4Addr};
     use tamper_wire::{PacketBuilder, TcpFlags};
@@ -736,14 +707,62 @@ mod tests {
     }
 
     #[test]
-    fn route_hash_is_stable_per_flow() {
-        let a = frame(client(1), 4000, TcpFlags::SYN, 1, b"");
-        let b = frame(client(1), 4000, TcpFlags::PSH_ACK, 2, b"payload");
-        assert_eq!(route_hash(&a), route_hash(&b));
-        assert!(route_hash(&a).is_some());
-        let c = frame(client(2), 4000, TcpFlags::SYN, 1, b"");
-        assert_ne!(route_hash(&a), route_hash(&c));
-        assert_eq!(route_hash(&[]), None);
-        assert_eq!(route_hash(&[0x12, 0x34]), None);
+    fn record_source_replays_assembled_flows_through_the_engine() {
+        // Assemble flows once from pcap, then replay the records through
+        // RecordSource: same flows come out, at any shard count.
+        let bytes = capture(60);
+        let (reference, _) = collect_flows(
+            &bytes,
+            &EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let records: Vec<_> = reference.iter().map(|cf| cf.flow.clone()).collect();
+        for threads in [1, 3] {
+            let cfg = EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            };
+            let (mut replayed, stats) = run_source(
+                RecordSource::from_vec(records.clone()),
+                &cfg,
+                Vec::new,
+                |acc: &mut Vec<ClosedFlow>, cf| acc.push(cf),
+                |a: &mut Vec<ClosedFlow>, mut b| a.append(&mut b),
+            );
+            replayed.sort_unstable_by_key(|cf| cf.first_index);
+            assert_eq!(stats.records, records.len() as u64);
+            assert_eq!(stats.ingest.flows, records.len() as u64);
+            assert_eq!(stats.drained_eof, records.len() as u64);
+            let got: Vec<_> = replayed.iter().map(|cf| cf.flow.clone()).collect();
+            assert_eq!(got, records, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sim_source_preserves_serial_fold_order_at_any_shard_count() {
+        // A generator that drops every 7th index; the engine must fold the
+        // survivors in exactly serial order for any thread count, because
+        // shards own contiguous chunks merged in shard order.
+        let total = 1000u64;
+        let gen = |i: u64| -> Option<u64> { (!i.is_multiple_of(7)).then_some(i * 3 + 1) };
+        let serial: Vec<u64> = (0..total).filter_map(gen).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let cfg = EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            };
+            let (got, stats) = run_source(
+                SimSource::new(total, &gen),
+                &cfg,
+                Vec::new,
+                |acc: &mut Vec<u64>, v| acc.push(v),
+                |a: &mut Vec<u64>, mut b| a.append(&mut b),
+            );
+            assert_eq!(got, serial, "threads={threads}");
+            assert_eq!(stats.records, total);
+            assert_eq!(stats.ingest.flows, serial.len() as u64);
+        }
     }
 }

@@ -14,8 +14,11 @@ pub mod pcap;
 pub mod pipeline;
 pub mod record;
 pub mod sampler;
+pub mod source;
 
-pub use engine::{run_engine, run_engine_observed, EngineConfig, EngineStats};
+pub use engine::{
+    run_engine, run_engine_observed, run_source, run_source_observed, EngineConfig, EngineStats,
+};
 pub use offline::{
     flows_from_pcap, flows_from_pcap_observed, flows_from_records, flows_from_records_observed,
     ClosedFlow, EvictionCause, FlowKey, FlowTable, IngestStats, OfflineConfig,
@@ -24,3 +27,7 @@ pub use pcap::{write_session_trace, PcapError, PcapReader, PcapRecord, PcapWrite
 pub use pipeline::{collect, CollectorConfig};
 pub use record::{FlowRecord, PacketRecord};
 pub use sampler::Sampler;
+pub use source::{
+    FlowSource, PcapItem, PcapShard, PcapSource, RecordShard, RecordSource, ShardStats, SimShard,
+    SimSource, SourceShard,
+};

@@ -1,0 +1,693 @@
+//! Pluggable front-ends for the streaming engine: the [`FlowSource`]
+//! trait and its three implementations.
+//!
+//! The engine in [`crate::engine`] is one reader thread fanning batches
+//! out to N shard workers over bounded channels. Everything specific to
+//! *where the stream comes from* lives behind [`FlowSource`]:
+//!
+//! * [`PcapSource`] — classic pcap bytes; items are raw frames stamped
+//!   with the capture clock, shards parse and assemble flows in a
+//!   [`FlowTable`].
+//! * [`RecordSource`] — already-assembled [`FlowRecord`]s from memory (or
+//!   any decoder — e.g. a JSONL reader — driving an iterator); shards
+//!   just account and emit.
+//! * [`SimSource`] — indexes into a deterministic generator such as
+//!   `worldgen::WorldSim::gen_session`; generation itself runs on the
+//!   shards so simulated worlds parallelize without an intermediate pcap.
+//!
+//! # Contract
+//!
+//! The reader pulls items with [`FlowSource::fill`], assigns each a
+//! global index in pull order, and asks [`FlowSource::route`] which shard
+//! owns it. Routing must be a pure function of the item (never of
+//! scheduling), so the partition of work — and therefore every
+//! deterministic output — is identical for a given shard count.
+//! [`SourceShard::absorb`] and [`SourceShard::finish`] run on worker
+//! threads; they fold per-shard counters into a [`ShardStats`] and push
+//! finished units of work into `emit`, which the engine hands to the
+//! caller's observe closure in emission order.
+
+use crate::engine::EngineConfig;
+use crate::offline::{ClosedFlow, EvictionCause, FlowTable, IngestStats};
+use crate::pcap::{PcapError, PcapReader};
+use crate::record::FlowRecord;
+use std::io::Read;
+use std::marker::PhantomData;
+use std::net::IpAddr;
+use tamper_netsim::splitmix64;
+use tamper_obs::ScopeMetrics;
+use tamper_wire::Packet;
+
+/// Deterministic per-shard counters, merged into
+/// [`crate::engine::EngineStats`] in shard order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Flow-assembly counters (flows, packets kept, truncated,
+    /// unparsable, not-inbound).
+    pub ingest: IngestStats,
+    /// Flows evicted because their inactivity timeout elapsed mid-stream.
+    pub evicted_timeout: u64,
+    /// Flows shed by the live-flow cap (memory pressure).
+    pub evicted_cap: u64,
+    /// Flows drained at end of stream, inside their timeout window.
+    pub drained_eof: u64,
+}
+
+/// A pull-based, shardable stream of work for the engine.
+///
+/// Implementations are driven from the reader thread; the shards they
+/// build via [`FlowSource::shard`] are moved onto worker threads.
+pub trait FlowSource {
+    /// One unit of work in flight from the reader to a shard.
+    type Item: Send;
+    /// The finished unit a shard emits (what the caller's observe
+    /// closure receives).
+    type Out;
+    /// Per-shard worker state.
+    type Shard: SourceShard<Item = Self::Item, Out = Self::Out> + Send;
+
+    /// Called once, before any [`FlowSource::fill`], with the resolved
+    /// shard count. Sources whose pull order or routing depends on the
+    /// shard count set it up here.
+    fn prepare(&mut self, _shards: usize) {}
+
+    /// Pull up to `max` items, appending to `out`. Returns `false` once
+    /// the stream is exhausted (items may still have been appended on
+    /// that final call).
+    fn fill(&mut self, out: &mut Vec<Self::Item>, max: usize) -> bool;
+
+    /// The shard owning `item`, in `0..shards` — a pure function of the
+    /// item so the partition is reproducible. `None` marks the item
+    /// unroutable: the reader drops it and counts it as unparsable.
+    fn route(&self, index: u64, item: &Self::Item, shards: usize) -> Option<usize>;
+
+    /// Build one shard worker.
+    fn shard(&self, cfg: &EngineConfig) -> Self::Shard;
+
+    /// The capture clock at end of stream (the running-max timestamp).
+    /// Shards receive it in [`SourceShard::finish`] to split
+    /// timeout-expired flows from end-of-stream drains deterministically.
+    fn final_stamp(&self) -> u64 {
+        0
+    }
+
+    /// True if the stream ended in a corrupt or truncated record; the
+    /// items pulled before the damage were still processed.
+    fn corrupt_tail(&self) -> bool {
+        false
+    }
+}
+
+/// Worker-side half of a [`FlowSource`]: turns routed items into emitted
+/// outputs, deterministically for a fixed item sequence.
+pub trait SourceShard {
+    /// Mirrors [`FlowSource::Item`].
+    type Item: Send;
+    /// Mirrors [`FlowSource::Out`].
+    type Out;
+
+    /// Absorb one item (with its global `index`), updating `stats` and
+    /// appending any outputs that became final to `emit`.
+    fn absorb(
+        &mut self,
+        index: u64,
+        item: Self::Item,
+        stats: &mut ShardStats,
+        emit: &mut Vec<Self::Out>,
+        sm: &mut ScopeMetrics,
+    );
+
+    /// The channel closed: flush everything still buffered against the
+    /// stream's final capture stamp.
+    fn finish(
+        &mut self,
+        final_stamp: u64,
+        stats: &mut ShardStats,
+        emit: &mut Vec<Self::Out>,
+        sm: &mut ScopeMetrics,
+    );
+
+    /// Peak buffered-state occupancy (live-flow high-water mark for
+    /// table-backed shards; 0 for stateless ones).
+    fn high_water(&self) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// PcapSource — raw pcap bytes, parsed and assembled on the shards.
+// ---------------------------------------------------------------------
+
+/// One pcap record in flight: its own timestamp plus the capture clock
+/// (running max) at the moment it was read.
+pub struct PcapItem {
+    /// Record timestamp (seconds).
+    pub ts: u64,
+    /// Capture clock: running maximum timestamp up to this record.
+    pub stamp: u64,
+    /// Raw IP frame bytes.
+    pub frame: Vec<u8>,
+}
+
+/// [`FlowSource`] over a pcap byte stream — the engine's original diet.
+///
+/// The reader-side half frames records and maintains the capture clock;
+/// the shard-side half ([`PcapShard`]) does the checksum-validating parse,
+/// applies the inbound port filter, and assembles flows in a
+/// [`FlowTable`] with streaming timeout/cap eviction.
+pub struct PcapSource<R: Read> {
+    reader: PcapReader<R>,
+    stamp: u64,
+    corrupt: bool,
+    done: bool,
+}
+
+impl<R: Read> PcapSource<R> {
+    /// Open a pcap stream. Fails only on a malformed global header;
+    /// mid-stream corruption is reported via [`FlowSource::corrupt_tail`].
+    pub fn new(input: R) -> Result<PcapSource<R>, PcapError> {
+        Ok(PcapSource {
+            reader: PcapReader::new(input)?,
+            stamp: 0,
+            corrupt: false,
+            done: false,
+        })
+    }
+}
+
+impl<R: Read> FlowSource for PcapSource<R> {
+    type Item = PcapItem;
+    type Out = ClosedFlow;
+    type Shard = PcapShard;
+
+    fn fill(&mut self, out: &mut Vec<PcapItem>, max: usize) -> bool {
+        while out.len() < max && !self.done {
+            match self.reader.next_record() {
+                Ok(Some(rec)) => {
+                    let ts = u64::from(rec.ts_sec);
+                    self.stamp = self.stamp.max(ts);
+                    out.push(PcapItem {
+                        ts,
+                        stamp: self.stamp,
+                        frame: rec.frame,
+                    });
+                }
+                Ok(None) => self.done = true,
+                Err(_) => {
+                    // Corrupt or truncated tail: keep everything read so
+                    // far, record the damage, stop reading.
+                    self.corrupt = true;
+                    self.done = true;
+                }
+            }
+        }
+        !self.done
+    }
+
+    fn route(&self, _index: u64, item: &PcapItem, shards: usize) -> Option<usize> {
+        route_hash(&item.frame).map(|h| (h % shards as u64) as usize)
+    }
+
+    fn shard(&self, cfg: &EngineConfig) -> PcapShard {
+        PcapShard {
+            cfg: cfg.offline,
+            table: FlowTable::new(cfg.offline, cfg.per_shard_cap()),
+            closed: Vec::new(),
+        }
+    }
+
+    fn final_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    fn corrupt_tail(&self) -> bool {
+        self.corrupt
+    }
+}
+
+/// Shard worker for [`PcapSource`]: parse, filter, assemble, evict.
+pub struct PcapShard {
+    cfg: crate::offline::OfflineConfig,
+    table: FlowTable,
+    closed: Vec<ClosedFlow>,
+}
+
+impl PcapShard {
+    /// Move freshly closed flows to `emit`, splitting the eviction-cause
+    /// counters on the way.
+    fn hand_off(&mut self, stats: &mut ShardStats, emit: &mut Vec<ClosedFlow>) {
+        for cf in self.closed.drain(..) {
+            match cf.cause {
+                EvictionCause::Timeout => stats.evicted_timeout += 1,
+                EvictionCause::CapPressure => stats.evicted_cap += 1,
+                EvictionCause::EndOfCapture => stats.drained_eof += 1,
+            }
+            emit.push(cf);
+        }
+    }
+}
+
+impl SourceShard for PcapShard {
+    type Item = PcapItem;
+    type Out = ClosedFlow;
+
+    fn absorb(
+        &mut self,
+        index: u64,
+        item: PcapItem,
+        stats: &mut ShardStats,
+        emit: &mut Vec<ClosedFlow>,
+        sm: &mut ScopeMetrics,
+    ) {
+        let sw = sm.start();
+        let parsed = Packet::parse(&item.frame);
+        sm.stop("parse", sw);
+        match parsed {
+            Err(_) => stats.ingest.unparsable += 1,
+            Ok(pkt) => {
+                if !self.cfg.server_ports.contains(&pkt.tcp.dst_port) {
+                    stats.ingest.not_inbound += 1;
+                } else {
+                    let sw = sm.start();
+                    self.table.absorb(
+                        index,
+                        item.ts,
+                        item.stamp,
+                        &pkt,
+                        &mut stats.ingest,
+                        &mut self.closed,
+                    );
+                    sm.stop("absorb_evict", sw);
+                    self.hand_off(stats, emit);
+                    sm.gauge_max("live_flows", self.table.live() as u64);
+                }
+            }
+        }
+    }
+
+    fn finish(
+        &mut self,
+        final_stamp: u64,
+        stats: &mut ShardStats,
+        emit: &mut Vec<ClosedFlow>,
+        sm: &mut ScopeMetrics,
+    ) {
+        let sw = sm.start();
+        self.table.drain(final_stamp, &mut self.closed);
+        sm.stop("drain", sw);
+        self.hand_off(stats, emit);
+        sm.gauge_max("high_water", self.table.high_water() as u64);
+    }
+
+    fn high_water(&self) -> usize {
+        self.table.high_water()
+    }
+}
+
+/// Route a raw IP frame to a shard by hashing its 4-tuple, without a full
+/// (checksum-validating) parse. Returns `None` for frames that cannot be
+/// TCP/IP — every such frame would also fail [`Packet::parse`], so the
+/// reader counts it as unparsable without shipping it anywhere.
+pub(crate) fn route_hash(frame: &[u8]) -> Option<u64> {
+    fn word(b: &[u8], at: usize) -> u64 {
+        // Callers guard the frame length, but stay bounds-checked anyway:
+        // a short read hashes as zero instead of panicking.
+        let mut w = [0u8; 4];
+        if let Some(s) = b.get(at..at + 4) {
+            w.copy_from_slice(s);
+        }
+        u64::from(u32::from_be_bytes(w))
+    }
+    let first = *frame.first()?;
+    match first >> 4 {
+        4 => {
+            // The wire parser only accepts a 20-byte header (IHL 5) and
+            // protocol 6; anything else fails full parse too.
+            if frame.len() < 24 || (first & 0x0f) != 5 || frame.get(9) != Some(&6) {
+                return None;
+            }
+            let mut h = mix(0x7461_6d70_6572_0004, word(frame, 12)); // src
+            h = mix(h, word(frame, 16)); // dst
+            Some(mix(h, word(frame, 20))) // ports
+        }
+        6 => {
+            if frame.len() < 44 || frame.get(6) != Some(&6) {
+                return None;
+            }
+            let mut h = 0x7461_6d70_6572_0006;
+            for off in (8..40).step_by(4) {
+                h = mix(h, word(frame, off)); // src + dst
+            }
+            Some(mix(h, word(frame, 40))) // ports
+        }
+        _ => None,
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+// ---------------------------------------------------------------------
+// RecordSource — already-assembled FlowRecords.
+// ---------------------------------------------------------------------
+
+/// [`FlowSource`] over a stream of already-assembled [`FlowRecord`]s —
+/// in-memory vectors, or any decoder (e.g. a JSONL reader) driving an
+/// iterator. Each record is one finished flow, so shards only account
+/// and emit; routing hashes the flow 4-tuple so a fixed shard count
+/// always produces the same partition.
+pub struct RecordSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = FlowRecord>> RecordSource<I> {
+    /// Wrap an iterator of flow records.
+    pub fn new(iter: I) -> RecordSource<I> {
+        RecordSource { iter }
+    }
+}
+
+impl RecordSource<std::vec::IntoIter<FlowRecord>> {
+    /// Convenience for an in-memory batch.
+    pub fn from_vec(records: Vec<FlowRecord>) -> RecordSource<std::vec::IntoIter<FlowRecord>> {
+        RecordSource::new(records.into_iter())
+    }
+}
+
+impl<I: Iterator<Item = FlowRecord>> FlowSource for RecordSource<I> {
+    type Item = FlowRecord;
+    type Out = ClosedFlow;
+    type Shard = RecordShard;
+
+    fn fill(&mut self, out: &mut Vec<FlowRecord>, max: usize) -> bool {
+        while out.len() < max {
+            match self.iter.next() {
+                Some(r) => out.push(r),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn route(&self, _index: u64, item: &FlowRecord, shards: usize) -> Option<usize> {
+        Some((flow_tuple_hash(item) % shards as u64) as usize)
+    }
+
+    fn shard(&self, _cfg: &EngineConfig) -> RecordShard {
+        RecordShard
+    }
+}
+
+/// Shard worker for [`RecordSource`]: counts the record and emits it as a
+/// flow closed at end of stream.
+pub struct RecordShard;
+
+impl SourceShard for RecordShard {
+    type Item = FlowRecord;
+    type Out = ClosedFlow;
+
+    fn absorb(
+        &mut self,
+        index: u64,
+        item: FlowRecord,
+        stats: &mut ShardStats,
+        emit: &mut Vec<ClosedFlow>,
+        _sm: &mut ScopeMetrics,
+    ) {
+        stats.ingest.flows += 1;
+        stats.ingest.packets += item.packets.len() as u64;
+        stats.drained_eof += 1;
+        emit.push(ClosedFlow {
+            flow: item,
+            first_index: index,
+            cause: EvictionCause::EndOfCapture,
+        });
+    }
+
+    fn finish(
+        &mut self,
+        _final_stamp: u64,
+        _stats: &mut ShardStats,
+        _emit: &mut Vec<ClosedFlow>,
+        _sm: &mut ScopeMetrics,
+    ) {
+    }
+}
+
+/// Stable 4-tuple hash for assembled records — the same role
+/// [`route_hash`] plays for raw frames, over parsed addresses.
+fn flow_tuple_hash(r: &FlowRecord) -> u64 {
+    fn ip(h: u64, addr: &IpAddr) -> u64 {
+        match addr {
+            IpAddr::V4(v4) => mix(h, u64::from(u32::from_be_bytes(v4.octets()))),
+            IpAddr::V6(v6) => {
+                let v = u128::from_be_bytes(v6.octets());
+                mix(mix(h, (v >> 64) as u64), v as u64)
+            }
+        }
+    }
+    let mut h = ip(0x7461_6d70_6572_0007, &r.client_ip);
+    h = ip(h, &r.server_ip);
+    mix(h, (u64::from(r.src_port) << 16) | u64::from(r.dst_port))
+}
+
+// ---------------------------------------------------------------------
+// SimSource — deterministic generators (worldgen sessions).
+// ---------------------------------------------------------------------
+
+/// [`FlowSource`] over a deterministic indexed generator: item `i` is
+/// just the index, and the expensive generation call runs on the shards,
+/// so simulated worlds parallelize through the same engine as captures.
+///
+/// # Partition and order
+///
+/// Shard `t` owns the contiguous index chunk
+/// `[t * ceil(total / shards), ...)` — exactly the partition the legacy
+/// `worldgen` shard loop used — so the shard-order merge reproduces the
+/// serial fold order even for order-sensitive accumulators, at any shard
+/// count. To keep every shard busy despite chunked ownership, the reader
+/// pulls indices interleaved across chunks (first index of each chunk,
+/// then the second of each, ...); within a shard, indices still arrive
+/// in ascending order.
+pub struct SimSource<'g, F, O> {
+    gen: &'g F,
+    total: u64,
+    shards: u64,
+    chunk: u64,
+    cursor: u64,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<'g, F, O> SimSource<'g, F, O>
+where
+    F: Fn(u64) -> Option<O> + Sync,
+    O: Send,
+{
+    /// A source over indices `0..total`, generating via `gen` on the
+    /// shards. `gen` must be a pure function of the index (derive any
+    /// randomness from it) — that is what makes the run reproducible.
+    pub fn new(total: u64, gen: &'g F) -> SimSource<'g, F, O> {
+        SimSource {
+            gen,
+            total,
+            shards: 1,
+            chunk: total.max(1),
+            cursor: 0,
+            _out: PhantomData,
+        }
+    }
+
+    /// Total cursor positions: `chunk * shards`, which covers `0..total`
+    /// plus the padding slots of the last (possibly short) chunk.
+    fn span(&self) -> u64 {
+        self.chunk.saturating_mul(self.shards)
+    }
+}
+
+impl<'g, F, O> FlowSource for SimSource<'g, F, O>
+where
+    F: Fn(u64) -> Option<O> + Sync,
+    O: Send,
+{
+    type Item = u64;
+    type Out = O;
+    type Shard = SimShard<'g, F, O>;
+
+    fn prepare(&mut self, shards: usize) {
+        self.shards = shards.max(1) as u64;
+        self.chunk = self.total.div_ceil(self.shards).max(1);
+        self.cursor = 0;
+    }
+
+    fn fill(&mut self, out: &mut Vec<u64>, max: usize) -> bool {
+        let span = self.span();
+        while out.len() < max && self.cursor < span {
+            // Interleave across chunks: cursor c visits index
+            // (c % shards) * chunk + c / shards.
+            let i = (self.cursor % self.shards)
+                .saturating_mul(self.chunk)
+                .saturating_add(self.cursor / self.shards);
+            self.cursor += 1;
+            if i < self.total {
+                out.push(i);
+            }
+        }
+        self.cursor < span
+    }
+
+    fn route(&self, _index: u64, item: &u64, shards: usize) -> Option<usize> {
+        Some(((item / self.chunk) as usize).min(shards.saturating_sub(1)))
+    }
+
+    fn shard(&self, _cfg: &EngineConfig) -> SimShard<'g, F, O> {
+        SimShard {
+            gen: self.gen,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// Shard worker for [`SimSource`]: runs the generator for each owned
+/// index and emits whatever it produces.
+pub struct SimShard<'g, F, O> {
+    gen: &'g F,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<'g, F, O> SourceShard for SimShard<'g, F, O>
+where
+    F: Fn(u64) -> Option<O> + Sync,
+    O: Send,
+{
+    type Item = u64;
+    type Out = O;
+
+    fn absorb(
+        &mut self,
+        _index: u64,
+        item: u64,
+        stats: &mut ShardStats,
+        emit: &mut Vec<O>,
+        sm: &mut ScopeMetrics,
+    ) {
+        let sw = sm.start();
+        let produced = (self.gen)(item);
+        sm.stop("gen", sw);
+        if let Some(out) = produced {
+            stats.ingest.flows += 1;
+            emit.push(out);
+        }
+    }
+
+    fn finish(
+        &mut self,
+        _final_stamp: u64,
+        _stats: &mut ShardStats,
+        _emit: &mut Vec<O>,
+        _sm: &mut ScopeMetrics,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_wire::{PacketBuilder, TcpFlags};
+
+    fn frame(last_octet: u8, sport: u16, flags: TcpFlags) -> Vec<u8> {
+        PacketBuilder::new(
+            IpAddr::V4(Ipv4Addr::new(203, 0, 113, last_octet)),
+            IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            sport,
+            443,
+        )
+        .flags(flags)
+        .seq(1)
+        .payload(Bytes::from_static(b""))
+        .build()
+        .emit()
+        .to_vec()
+    }
+
+    #[test]
+    fn route_hash_is_stable_per_flow() {
+        let a = frame(1, 4000, TcpFlags::SYN);
+        let b = frame(1, 4000, TcpFlags::PSH_ACK);
+        assert_eq!(route_hash(&a), route_hash(&b));
+        assert!(route_hash(&a).is_some());
+        let c = frame(2, 4000, TcpFlags::SYN);
+        assert_ne!(route_hash(&a), route_hash(&c));
+        assert_eq!(route_hash(&[]), None);
+        assert_eq!(route_hash(&[0x12, 0x34]), None);
+    }
+
+    #[test]
+    fn sim_source_walks_every_index_once_interleaved() {
+        for (total, shards) in [(0u64, 3usize), (1, 4), (7, 3), (12, 4), (100, 8), (5, 1)] {
+            let gen = |_i: u64| -> Option<u64> { None };
+            let mut src: SimSource<'_, _, u64> = SimSource::new(total, &gen);
+            src.prepare(shards);
+            let mut seen = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                buf.clear();
+                let more = src.fill(&mut buf, 5);
+                seen.extend(buf.iter().copied());
+                if !more {
+                    break;
+                }
+            }
+            // Every index exactly once...
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..total).collect::<Vec<u64>>(), "{total}/{shards}");
+            // ...routed to its contiguous chunk, ascending within a shard.
+            let chunk = total.div_ceil(shards as u64).max(1);
+            let mut last: Vec<Option<u64>> = vec![None; shards];
+            for i in &seen {
+                let t = src.route(0, i, shards).unwrap();
+                assert_eq!(t, ((i / chunk) as usize).min(shards - 1));
+                assert!(last[t].is_none_or(|p| p < *i), "{total}/{shards}");
+                last[t] = Some(*i);
+            }
+        }
+    }
+
+    #[test]
+    fn record_source_batches_and_exhausts() {
+        let rec = |sport: u16| FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            src_port: sport,
+            dst_port: 443,
+            packets: Vec::new(),
+            observation_end_sec: 0,
+            truncated: false,
+        };
+        let mut src = RecordSource::from_vec((0..10u16).map(rec).collect());
+        let mut buf = Vec::new();
+        assert!(src.fill(&mut buf, 4));
+        assert_eq!(buf.len(), 4);
+        // Routing is per-flow stable and in range.
+        for r in &buf {
+            let t = src.route(0, r, 4).unwrap();
+            assert!(t < 4);
+            assert_eq!(src.route(9, r, 4), Some(t));
+        }
+        // Drain the rest the way the engine does: a cleared batch buffer
+        // per round, until fill reports end-of-stream.
+        let mut total = buf.len();
+        loop {
+            buf.clear();
+            let more = src.fill(&mut buf, 4);
+            total += buf.len();
+            if !more {
+                break;
+            }
+        }
+        assert_eq!(total, 10);
+    }
+}

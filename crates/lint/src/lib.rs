@@ -17,6 +17,7 @@
 //! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` |
 //! | `clock-containment` | all pipeline crates (obs exempt) | any other `Instant`/`SystemTime` mention; clocks only via `tamper-obs` |
 //! | `ambient-rng`  | all pipeline crates                 | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` |
+//! | `thread-containment` | all pipeline crates (engine exempt) | `crossbeam`, `thread::spawn`, `thread::scope`; sharding only via `capture::engine` |
 //! | `panic`        | `wire/*`, capture parse surface     | `.unwrap()`, `.expect()`, `panic!`, `unreachable!` |
 //! | `index`        | `wire/*`, capture parse surface     | direct slice indexing |
 //! | `taxonomy`     | signature.rs / golden / DESIGN.md   | drift between the three |

@@ -16,11 +16,12 @@ use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// All lint rules, in reporting order.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "map-iter",
     "ambient-clock",
     "clock-containment",
     "ambient-rng",
+    "thread-containment",
     "panic",
     "index",
     "taxonomy",
@@ -103,6 +104,10 @@ pub struct Scope {
     pub map_iter: bool,
     /// `ambient-clock` / `ambient-rng`: the deterministic pipeline.
     pub ambient: bool,
+    /// `thread-containment`: pipeline crates that must route parallel
+    /// work through `capture::engine` instead of spawning their own
+    /// threads.
+    pub thread_containment: bool,
     /// `panic` / `index`: the untrusted-input parsing surface.
     pub panic_index: bool,
 }
@@ -110,7 +115,7 @@ pub struct Scope {
 impl Scope {
     /// True if no rule family applies (the file can be skipped entirely).
     pub fn is_empty(self) -> bool {
-        !(self.map_iter || self.ambient || self.panic_index)
+        !(self.map_iter || self.ambient || self.thread_containment || self.panic_index)
     }
 }
 
@@ -130,6 +135,11 @@ pub fn scope_for(path: &str) -> Scope {
         // Determinism: anything that feeds report bytes.
         map_iter: path.starts_with("crates/analysis/src/") || path.starts_with("crates/core/src/"),
         ambient: first_party && !exempt,
+        // One sharding implementation: `capture::engine` owns the reader/
+        // shard/merge thread topology; everything else plugs in through a
+        // FlowSource. The worldgen driver once carried a second crossbeam
+        // shard loop — this rule keeps it from coming back.
+        thread_containment: first_party && !exempt && path != "crates/capture/src/engine.rs",
         // Panic-safety: bytes-off-the-wire parsing surface.
         panic_index: path.starts_with("crates/wire/src/")
             || matches!(
@@ -137,6 +147,7 @@ pub fn scope_for(path: &str) -> Scope {
                 "crates/capture/src/pcap.rs"
                     | "crates/capture/src/offline.rs"
                     | "crates/capture/src/engine.rs"
+                    | "crates/capture/src/source.rs"
             ),
     }
 }
@@ -269,6 +280,27 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
                     line,
                     "ambient-rng",
                     "rand::random draws ambient randomness; use a seeded generator".to_string(),
+                );
+            }
+        }
+
+        if scope.thread_containment {
+            if ident(i) == Some("crossbeam") {
+                push_at(
+                    line,
+                    "thread-containment",
+                    "crossbeam outside capture::engine: the engine owns the only \
+                     shard/merge thread topology; plug in through a FlowSource"
+                        .to_string(),
+                );
+            }
+            if path_pair(i, "thread", "spawn") || path_pair(i, "thread", "scope") {
+                push_at(
+                    line,
+                    "thread-containment",
+                    "thread spawning outside capture::engine: route parallel work \
+                     through the unified engine instead of a bespoke pool"
+                        .to_string(),
                 );
             }
         }
@@ -425,6 +457,19 @@ mod tests {
             }
         ";
         assert!(rules_fired(WIRE, src).is_empty());
+    }
+
+    #[test]
+    fn thread_containment_flags_pipeline_crates_but_not_the_engine() {
+        let src = "fn f() { crossbeam::thread::scope(|s| { s.spawn(|_| {}); }); }";
+        assert!(rules_fired("crates/worldgen/src/driver.rs", src).contains(&"thread-containment"));
+        let std_src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(rules_fired("crates/analysis/src/x.rs", std_src).contains(&"thread-containment"));
+        // The engine is the one sanctioned home for the thread topology.
+        assert!(!rules_fired("crates/capture/src/engine.rs", src).contains(&"thread-containment"));
+        // Reading the core count is not spawning.
+        let par = "fn f() { let _ = std::thread::available_parallelism(); }";
+        assert!(!rules_fired("crates/worldgen/src/driver.rs", par).contains(&"thread-containment"));
     }
 
     #[test]

@@ -1,0 +1,16 @@
+// Fixture: bespoke thread topology outside capture::engine.
+use crossbeam::channel::bounded;
+
+fn shard_by_hand() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|_s| {});
+    crossbeam::thread::scope(|_s| {}).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn threads_in_tests_are_fine() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}

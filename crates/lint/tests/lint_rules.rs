@@ -89,6 +89,37 @@ fn index_rule_fires_on_direct_indexing() {
 }
 
 #[test]
+fn thread_containment_fires_everywhere_but_the_engine() {
+    let lint = lint_source(ANALYSIS, include_str!("fixtures/bad_thread.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("thread-containment", 2), // use crossbeam::…
+            ("thread-containment", 5), // std::thread::spawn
+            ("thread-containment", 6), // std::thread::scope
+            ("thread-containment", 7), // crossbeam ident…
+            ("thread-containment", 7), // …and its thread::scope
+        ]
+    );
+    assert!(lint.findings[0].message.contains("FlowSource"));
+    // The spawn inside `#[cfg(test)] mod tests` did not fire.
+
+    // capture::engine is the one sanctioned home for the thread topology.
+    let engine = lint_source(
+        "crates/capture/src/engine.rs",
+        include_str!("fixtures/bad_thread.rs"),
+    );
+    assert!(
+        engine
+            .findings
+            .iter()
+            .all(|f| f.rule != "thread-containment"),
+        "{:?}",
+        engine.findings
+    );
+}
+
+#[test]
 fn panicky_code_is_clean_outside_the_untrusted_surface() {
     // The same bad code linted under an out-of-scope path: no findings.
     let lint = lint_source(

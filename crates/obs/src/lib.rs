@@ -4,7 +4,7 @@
 //!
 //! The pipeline's observability layer: named counters, gauges, monotonic
 //! stage timers, and fixed-bucket latency histograms, grouped into
-//! per-component **scopes** (`reader`, `shard<i>`, `merge`, `worldgen`,
+//! per-component **scopes** (`reader`, `shard<i>`, `merge`, `offline`,
 //! `report`).
 //!
 //! # Determinism containment
@@ -157,7 +157,7 @@ impl Histogram {
 }
 
 /// The metrics of one pipeline scope (`reader`, `shard<i>`, `merge`,
-/// `worldgen`, `report`), owned by a single thread and published to a
+/// `offline`, `report`), owned by a single thread and published to a
 /// [`Registry`] when the scope's work is done.
 #[derive(Debug)]
 pub struct ScopeMetrics {

@@ -16,13 +16,15 @@ use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
-use tamper_capture::{collect, CollectorConfig, Sampler};
+use tamper_capture::{
+    collect, run_source_observed, CollectorConfig, EngineConfig, Sampler, SimSource,
+};
 use tamper_middlebox::{ForcedStage, RuleSet, Vendor};
 use tamper_netsim::{
     derive_rng, run_session, splitmix64, ClientConfig, ClientKind, IpIdMode, Link, Path,
     RequestPayload, ServerConfig, SessionParams, SimDuration, SimTime, VanishStage,
 };
-use tamper_obs::{Registry, ScopeMetrics};
+use tamper_obs::Registry;
 
 /// 2023-01-12 00:00:00 UTC — the start of the paper's two-week window.
 pub const JAN12_2023_UNIX: u64 = 1_673_481_600;
@@ -651,9 +653,11 @@ impl WorldSim {
         }
     }
 
-    /// Run across `threads` shards. Each shard folds into its own
-    /// accumulator `T`; accumulators are merged in shard order, so results
-    /// are identical to a serial run for order-insensitive accumulators.
+    /// Run across `threads` shards of the unified capture engine. Each
+    /// shard owns a contiguous chunk of session indices and folds into
+    /// its own accumulator `T`; accumulators are merged in shard order,
+    /// so results are byte-identical to a serial run — even for
+    /// order-sensitive accumulators — at any thread count.
     pub fn run_sharded<T, FI, FO, FM>(&self, threads: usize, init: FI, observe: FO, merge: FM) -> T
     where
         T: Send,
@@ -665,18 +669,21 @@ impl WorldSim {
     }
 
     /// [`WorldSim::run_sharded`] with an optional metrics registry
-    /// attached. Every shard publishes into one folded `worldgen` scope:
-    /// session/flow counters, a per-shard generation timer, and a thread
-    /// gauge. With `None` every instrument is disabled (no clock reads);
-    /// metrics never feed the merged accumulator, so attaching a registry
-    /// cannot perturb byte-compared output.
+    /// attached — a thin shim over [`tamper_capture::run_source_observed`]
+    /// with a [`SimSource`] front-end; the driver has no sharding or
+    /// merging machinery of its own. The engine publishes its uniform
+    /// `reader` / `shard<i>` / `merge` scopes (per-shard `gen` stage
+    /// timers, session/flow counters, a thread gauge on `merge`). With
+    /// `None` every instrument is disabled (no clock reads); metrics
+    /// never feed the merged accumulator, so attaching a registry cannot
+    /// perturb byte-compared output.
     pub fn run_sharded_observed<T, FI, FO, FM>(
         &self,
         threads: usize,
         obs: Option<&Registry>,
         init: FI,
         observe: FO,
-        mut merge: FM,
+        merge: FM,
     ) -> T
     where
         T: Send,
@@ -684,55 +691,20 @@ impl WorldSim {
         FO: Fn(&mut T, LabeledFlow) + Sync,
         FM: FnMut(&mut T, T),
     {
-        let threads = threads.max(1);
-        let n = self.cfg.sessions;
-        let chunk = n.div_ceil(threads as u64);
-        let mut results: Vec<Option<T>> = (0..threads).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..threads {
-                let lo = t as u64 * chunk;
-                let hi = ((t as u64 + 1) * chunk).min(n);
-                let init = &init;
-                let observe = &observe;
-                let mut sm = match obs {
-                    Some(r) => r.scope("worldgen"),
-                    None => ScopeMetrics::disabled(),
-                };
-                handles.push(scope.spawn(move |_| {
-                    let gen_sw = sm.start();
-                    let mut acc = init();
-                    for i in lo..hi {
-                        sm.count("sessions", 1);
-                        if let Some(lf) = self.gen_session(i) {
-                            sm.count("flows", 1);
-                            observe(&mut acc, lf);
-                        }
-                    }
-                    sm.stop("gen", gen_sw);
-                    (acc, sm)
-                }));
-            }
-            for (t, h) in handles.into_iter().enumerate() {
-                let (acc, sm) = h.join().expect("shard panicked");
-                if let Some(r) = obs {
-                    r.publish(sm);
-                }
-                results[t] = Some(acc);
-            }
-        })
-        .expect("scope");
-        if let Some(r) = obs {
-            let mut sm = r.scope("worldgen");
-            sm.gauge_set("threads", threads as u64);
-            r.publish(sm);
-        }
-        let mut iter = results.into_iter().flatten();
-        let mut first = iter.next().expect("at least one shard");
-        for rest in iter {
-            merge(&mut first, rest);
-        }
-        first
+        let cfg = EngineConfig {
+            threads: threads.max(1),
+            ..EngineConfig::default()
+        };
+        let gen = |i: u64| self.gen_session(i);
+        let (acc, _stats) = run_source_observed(
+            SimSource::new(self.cfg.sessions, &gen),
+            &cfg,
+            obs,
+            init,
+            observe,
+            merge,
+        );
+        acc
     }
 }
 

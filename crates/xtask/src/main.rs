@@ -2,9 +2,10 @@
 //! pass: formatting, clippy, release build, the full workspace test suite,
 //! the engine determinism suite re-run explicitly so a scheduling-dependent
 //! failure gets a second chance to surface, a smoke run of
-//! `classify --metrics-json` on the golden fixture pcap, and the
-//! tamperlint static-analysis gate. `cargo xtask analyze [--json]` runs
-//! tamperlint alone.
+//! `classify --metrics-json` on the golden fixture pcap, a cross-thread
+//! byte-identity smoke of `report` (`--threads 1` vs `--threads 2`), and
+//! the tamperlint static-analysis gate. `cargo xtask analyze [--json]`
+//! runs tamperlint alone.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -113,6 +114,61 @@ fn metrics_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Cross-thread-count byte-identity smoke: `report` on a small world must
+/// emit identical stdout at `--threads 1` and `--threads 2`. Any diff means
+/// the sharded engine leaked scheduling into report bytes — fail the gate.
+fn report_determinism_smoke() -> Result<(), String> {
+    let root = repo_root();
+    let run_at = |threads: &str| -> Result<Vec<u8>, String> {
+        eprintln!(
+            "==> report smoke: tamperscope report --sessions 4000 --days 2 \
+             --seed 20230112 --threads {threads}"
+        );
+        let out = Command::new("cargo")
+            .args([
+                "run",
+                "--release",
+                "--quiet",
+                "--bin",
+                "tamperscope",
+                "--",
+                "report",
+                "--sessions",
+                "4000",
+                "--days",
+                "2",
+                "--seed",
+                "20230112",
+                "--threads",
+                threads,
+            ])
+            .current_dir(&root)
+            .output()
+            .map_err(|e| format!("report smoke: failed to spawn cargo: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "report smoke: report --threads {threads} exited with {}:\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        Ok(out.stdout)
+    };
+    let one = run_at("1")?;
+    let two = run_at("2")?;
+    if one.is_empty() {
+        return Err("report smoke: report produced no output".into());
+    }
+    if one != two {
+        return Err("report smoke: --threads 1 and --threads 2 report bytes differ".into());
+    }
+    eprintln!(
+        "==> report smoke: {} byte(s), identical at 1 and 2 threads",
+        one.len()
+    );
+    Ok(())
+}
+
 fn ci() -> Result<(), String> {
     run("fmt", "cargo", &["fmt", "--all", "--check"])?;
     run(
@@ -143,6 +199,7 @@ fn ci() -> Result<(), String> {
         &["test", "-q", "--test", "golden_corpus"],
     )?;
     metrics_smoke()?;
+    report_determinism_smoke()?;
     eprintln!("==> analyze: tamperlint (in-process)");
     analyze(false)?;
     eprintln!("==> ci: all green");
@@ -158,7 +215,7 @@ fn main() -> ExitCode {
         _ => Err(format!(
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
-             determinism gates + metrics smoke + tamperlint\n  \
+             determinism gates + metrics + report smokes + tamperlint\n  \
              analyze [--json]   tamperlint static-analysis gate (determinism, \
              panic-safety, taxonomy)"
         )),

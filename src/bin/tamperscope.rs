@@ -21,7 +21,9 @@ use tamperscope::analysis::{
     capture_collector, capture_summary_to_json, engine_perf_to_json, flow_to_jsonl,
     label_capture_flow, pct, report, summary_to_json, write_metrics_json, Collector,
 };
-use tamperscope::capture::{run_engine_observed, EngineConfig, OfflineConfig, PcapWriter};
+use tamperscope::capture::{
+    run_engine_observed, run_source_observed, EngineConfig, OfflineConfig, PcapWriter, SimSource,
+};
 use tamperscope::cli::Args;
 use tamperscope::core::{Classifier, ClassifierConfig};
 use tamperscope::middlebox::{RuleSet, Vendor, ALL_VENDORS};
@@ -41,12 +43,27 @@ USAGE:
                          [--max-flows M] [--json-summary] [--metrics-json m.json]
     tamperscope report   [--sessions N] [--days D] [--seed S] [--threads T]
                          [--json-summary] [--world spec.json] [--metrics-json m.json]
-    tamperscope iran     [--sessions N] [--seed S]
-    tamperscope synthesize <out.pcap> [--sessions N] [--seed S]
+    tamperscope iran     [--sessions N] [--seed S] [--threads T] [--metrics-json m.json]
+    tamperscope synthesize <out.pcap> [--sessions N] [--seed S] [--threads T]
+                         [--metrics-json m.json]
     tamperscope signatures
     tamperscope world-spec [--full]   (--full emits the loadable JSON schema)"
     );
     ExitCode::from(2)
+}
+
+/// Parse a numeric `--flag` strictly: a typo is a usage error, not a
+/// silently different run.
+macro_rules! flag_u64 {
+    ($args:expr, $name:expr, $default:expr) => {
+        match $args.get_u64_strict($name, $default) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("tamperscope: {e}");
+                return usage();
+            }
+        }
+    };
 }
 
 fn main() -> ExitCode {
@@ -156,8 +173,8 @@ fn cmd_classify(args: &Args) -> ExitCode {
     };
     let cfg = EngineConfig {
         offline: OfflineConfig::default(),
-        threads: args.get_u64("threads", 0) as usize,
-        max_flows: args.get_u64("max-flows", 0) as usize,
+        threads: flag_u64!(args, "threads", 0) as usize,
+        max_flows: flag_u64!(args, "max-flows", 0) as usize,
         ..EngineConfig::default()
     };
     let clf_cfg = ClassifierConfig::default();
@@ -261,20 +278,25 @@ fn cmd_classify(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn threads(args: &Args) -> usize {
-    args.get_u64(
-        "threads",
-        std::thread::available_parallelism()
-            .map(|n| n.get() as u64)
-            .unwrap_or(4),
-    ) as usize
+fn threads(args: &Args) -> Result<usize, String> {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(4);
+    Ok(args.get_u64_strict("threads", default)? as usize)
 }
 
 fn cmd_report(args: &Args) -> ExitCode {
+    let threads = match threads(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tamperscope: {e}");
+            return usage();
+        }
+    };
     let cfg = WorldConfig {
-        sessions: args.get_u64("sessions", 200_000),
-        days: args.get_u64("days", 14) as u32,
-        seed: args.get_u64("seed", 20230112),
+        sessions: flag_u64!(args, "sessions", 200_000),
+        days: flag_u64!(args, "days", 14) as u32,
+        seed: flag_u64!(args, "seed", 20230112),
         ..Default::default()
     };
     let sim = match args.get("world") {
@@ -313,7 +335,7 @@ fn cmd_report(args: &Args) -> ExitCode {
     // sanctioned wall-clock entry point — and never enters report bytes.
     let run_sw = Stopwatch::start();
     let col = sim.run_sharded_observed(
-        threads(args),
+        threads,
         registry.as_ref(),
         mk,
         |c, lf| c.observe(&lf),
@@ -348,26 +370,129 @@ fn cmd_report(args: &Args) -> ExitCode {
 }
 
 fn cmd_iran(args: &Args) -> ExitCode {
+    let threads = match threads(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tamperscope: {e}");
+            return usage();
+        }
+    };
     let sim = WorldSim::new(WorldConfig {
-        sessions: args.get_u64("sessions", 120_000),
+        sessions: flag_u64!(args, "sessions", 120_000),
         days: 17,
-        seed: args.get_u64("seed", 20220913),
+        seed: flag_u64!(args, "seed", 20220913),
         start_unix: SEP13_2022_UNIX,
         scenario: Scenario::IranProtest,
         ..Default::default()
     });
     let mk = || Collector::new(ClassifierConfig::default(), 1, 17, SEP13_2022_UNIX);
-    let col = sim.run_sharded(threads(args), mk, |c, lf| c.observe(&lf), |a, b| a.merge(b));
-    println!("{}", report::fig8(&col));
+    // Same side-registry discipline as `classify`/`report`: the engine's
+    // reader/shard<i>/merge scopes plus a `report` scope, in their own
+    // file, never in the fig8 bytes.
+    let metrics_path = args.get("metrics-json");
+    let registry = metrics_path.map(|_| Registry::new());
+    let col = sim.run_sharded_observed(
+        threads,
+        registry.as_ref(),
+        mk,
+        |c, lf| c.observe(&lf),
+        |a, b| a.merge(b),
+    );
+    let mut rep = match &registry {
+        Some(r) => r.scope("report"),
+        None => ScopeMetrics::disabled(),
+    };
+    rep.count("flows", col.total);
+    let render_sw = rep.start();
+    let text = report::fig8(&col);
+    rep.stop("render", render_sw);
+    println!("{text}");
+    if let (Some(mpath), Some(reg)) = (metrics_path, &registry) {
+        reg.publish(rep);
+        if let Err(e) = write_metrics_json(mpath, &reg.snapshot()) {
+            eprintln!("cannot write {mpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{mpath}] pipeline metrics written");
+    }
     ExitCode::SUCCESS
+}
+
+/// One synthesized session: its index plus the inbound packets to write,
+/// already stamped with capture timestamps.
+type SynthSession = (u64, Vec<(u32, u32, tamperscope::wire::Packet)>);
+
+/// Generate session `i` of the synthetic benchmark capture — a pure
+/// function of `(seed, i)`, so sessions can be generated on any engine
+/// shard in any order.
+fn synth_session(
+    i: u64,
+    seed: u64,
+    server_ip: std::net::IpAddr,
+    vendor_cycle: &[Option<Vendor>],
+) -> SynthSession {
+    let client_ip: std::net::IpAddr = format!("203.0.113.{}", 2 + i % 250).parse().unwrap();
+    let blocked = i.is_multiple_of(2);
+    let sni = if blocked {
+        "blocked.example.com"
+    } else {
+        "fine.example.org"
+    };
+    let mut cfg = ClientConfig::default_tls(client_ip, server_ip, sni);
+    cfg.src_port = 28_000 + ((i * 17) % 30_000) as u16;
+    let vendor = vendor_cycle[i as usize % vendor_cycle.len()];
+    let mut path_obj = match vendor {
+        Some(v) => {
+            let rules = if v.stages().on_syn {
+                RuleSet::blanket()
+            } else if v.stages().on_later_data {
+                // Later-data vendors need a two-request flow to fire;
+                // keep the session simple and let them idle instead.
+                RuleSet::default()
+            } else {
+                RuleSet::domains(["blocked.example.com"])
+            };
+            Path {
+                links: vec![
+                    Link::new(SimDuration::from_millis(9), 4),
+                    Link::new(SimDuration::from_millis(42), 9),
+                ],
+                hops: vec![Box::new(v.build(rules))],
+            }
+        }
+        None => Path::direct(SimDuration::from_millis(50), 13),
+    };
+    let start = SimTime::ZERO + SimDuration::from_secs(2 * i);
+    let mut rng = derive_rng(seed, i);
+    let trace = run_session(
+        SessionParams::new(cfg, ServerConfig::default_edge(server_ip, 443), start),
+        &mut path_obj,
+        &mut rng,
+    );
+    let packets = trace
+        .inbound()
+        .map(|tp| {
+            let secs = tp.time.as_secs() as u32;
+            let usec = ((tp.time.as_nanos() % 1_000_000_000) / 1_000) as u32;
+            (secs, usec, tp.packet.clone())
+        })
+        .collect();
+    (i, packets)
 }
 
 fn cmd_synthesize(args: &Args) -> ExitCode {
     let Some(path) = args.positional.first() else {
         return usage();
     };
-    let sessions = args.get_u64("sessions", 200) as u32;
-    let seed = args.get_u64("seed", 7);
+    let threads = match threads(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tamperscope: {e}");
+            return usage();
+        }
+    };
+    let sessions = flag_u64!(args, "sessions", 200);
+    let seed = flag_u64!(args, "seed", 7);
     let file = match File::create(path) {
         Ok(f) => f,
         Err(e) => {
@@ -386,56 +511,41 @@ fn cmd_synthesize(args: &Args) -> ExitCode {
     let vendor_cycle: Vec<Option<Vendor>> = std::iter::once(None)
         .chain(ALL_VENDORS.iter().copied().map(Some))
         .collect();
-    let mut start = SimTime::ZERO;
+    // Sessions stream through the same sharded engine as every other
+    // subcommand (SimSource); the shard-order merge hands sessions back
+    // in index order, and the sort below is a cheap guarantee of it.
+    let metrics_path = args.get("metrics-json");
+    let registry = metrics_path.map(|_| Registry::new());
+    let gen = |i: u64| Some(synth_session(i, seed, server_ip, &vendor_cycle));
+    let ecfg = EngineConfig {
+        threads,
+        ..EngineConfig::default()
+    };
+    let (mut generated, _stats) = run_source_observed(
+        SimSource::new(sessions, &gen),
+        &ecfg,
+        registry.as_ref(),
+        Vec::new,
+        |acc: &mut Vec<SynthSession>, s| acc.push(s),
+        |a: &mut Vec<SynthSession>, mut b| a.append(&mut b),
+    );
+    generated.sort_unstable_by_key(|(i, _)| *i);
     let mut written = 0u64;
-    for i in 0..sessions {
-        let client_ip: std::net::IpAddr = format!("203.0.113.{}", 2 + i % 250).parse().unwrap();
-        let blocked = i % 2 == 0;
-        let sni = if blocked {
-            "blocked.example.com"
-        } else {
-            "fine.example.org"
-        };
-        let mut cfg = ClientConfig::default_tls(client_ip, server_ip, sni);
-        cfg.src_port = 28_000 + (i as u16 * 17) % 30_000;
-        let vendor = vendor_cycle[i as usize % vendor_cycle.len()];
-        let mut path_obj = match vendor {
-            Some(v) => {
-                let rules = if v.stages().on_syn {
-                    RuleSet::blanket()
-                } else if v.stages().on_later_data {
-                    // Later-data vendors need a two-request flow to fire;
-                    // keep the session simple and let them idle instead.
-                    RuleSet::default()
-                } else {
-                    RuleSet::domains(["blocked.example.com"])
-                };
-                Path {
-                    links: vec![
-                        Link::new(SimDuration::from_millis(9), 4),
-                        Link::new(SimDuration::from_millis(42), 9),
-                    ],
-                    hops: vec![Box::new(v.build(rules))],
-                }
-            }
-            None => Path::direct(SimDuration::from_millis(50), 13),
-        };
-        let mut rng = derive_rng(seed, u64::from(i));
-        let trace = run_session(
-            SessionParams::new(cfg, ServerConfig::default_edge(server_ip, 443), start),
-            &mut path_obj,
-            &mut rng,
-        );
-        for tp in trace.inbound() {
-            let secs = tp.time.as_secs() as u32;
-            let usec = ((tp.time.as_nanos() % 1_000_000_000) / 1_000) as u32;
-            if writer.write_packet(secs, usec, &tp.packet).is_err() {
+    for (_, packets) in &generated {
+        for (secs, usec, pkt) in packets {
+            if writer.write_packet(*secs, *usec, pkt).is_err() {
                 eprintln!("write error");
                 return ExitCode::FAILURE;
             }
             written += 1;
         }
-        start += SimDuration::from_secs(2);
+    }
+    if let (Some(mpath), Some(reg)) = (metrics_path, &registry) {
+        if let Err(e) = write_metrics_json(mpath, &reg.snapshot()) {
+            eprintln!("cannot write {mpath}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[{mpath}] pipeline metrics written");
     }
     eprintln!("wrote {written} packets from {sessions} sessions to {path}");
     ExitCode::SUCCESS

@@ -66,10 +66,27 @@ impl Args {
     }
 
     /// Parse the value of `--name` as u64, falling back to `default`.
+    ///
+    /// Swallows bad values (`--threads=abc` yields `default`); prefer
+    /// [`Args::get_u64_strict`] anywhere a typo should be a usage error
+    /// instead of a silently different run.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.get(name)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Parse the value of `--name` as u64, erroring on a flag given
+    /// without a value or with one that does not parse. An absent flag
+    /// still yields `default`.
+    pub fn get_u64_strict(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.iter().rev().find(|(n, _)| n == name) {
+            None => Ok(default),
+            Some((_, None)) => Err(format!("--{name} requires a value")),
+            Some((_, Some(v))) => v
+                .parse()
+                .map_err(|_| format!("--{name}: {v:?} is not an unsigned integer")),
+        }
     }
 
     /// True when `--name` appeared at all.
@@ -125,5 +142,37 @@ mod tests {
         assert!(a.has("threads"));
         assert_eq!(a.get("threads"), None);
         assert_eq!(a.get_u64("threads", 3), 3);
+    }
+
+    #[test]
+    fn strict_parse_accepts_valid_and_absent_values() {
+        let a = args(&["--threads", "8"]);
+        assert_eq!(a.get_u64_strict("threads", 1), Ok(8));
+        assert_eq!(a.get_u64_strict("sessions", 500), Ok(500));
+    }
+
+    #[test]
+    fn strict_parse_rejects_garbage_instead_of_defaulting() {
+        let a = args(&["--threads=abc"]);
+        assert_eq!(a.get_u64("threads", 1), 1); // the lenient trap
+        let err = a.get_u64_strict("threads", 1).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("abc"), "{err}");
+    }
+
+    #[test]
+    fn strict_parse_rejects_missing_value_and_negative_numbers() {
+        let a = args(&["--seed"]);
+        assert!(a.get_u64_strict("seed", 7).is_err());
+        let b = args(&["--max-flows=-4"]);
+        assert!(b.get_u64_strict("max-flows", 0).is_err());
+    }
+
+    #[test]
+    fn strict_parse_uses_the_last_occurrence() {
+        let a = args(&["--threads", "2", "--threads", "oops"]);
+        assert!(a.get_u64_strict("threads", 1).is_err());
+        let b = args(&["--threads", "oops", "--threads", "2"]);
+        assert_eq!(b.get_u64_strict("threads", 1), Ok(2));
     }
 }

@@ -192,6 +192,28 @@ fn unknown_subcommand_fails_with_usage() {
 }
 
 #[test]
+fn unparseable_numeric_flag_is_a_usage_error() {
+    // `--threads=abc` used to silently fall back to the default and run
+    // anyway; strict parsing makes a typo a usage failure (exit 2).
+    for args in [
+        vec!["report", "--sessions", "abc"],
+        vec!["report", "--threads=abc"],
+        vec!["iran", "--sessions", "abc"],
+        vec!["synthesize", "/tmp/never-written.pcap", "--seed", "-1"],
+        vec!["report", "--threads"],
+    ] {
+        let out = bin().args(&args).output().expect("run");
+        assert_eq!(out.status.code(), Some(2), "{args:?} did not exit 2");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("USAGE"), "{args:?}: {err}");
+        assert!(
+            err.contains("is not an unsigned integer") || err.contains("requires a value"),
+            "{args:?}: {err}"
+        );
+    }
+}
+
+#[test]
 fn classify_missing_file_fails_cleanly() {
     let out = bin()
         .args(["classify", "/definitely/not/here.pcap"])
