@@ -180,7 +180,10 @@ pub fn postpsh_class_code(sig: Option<Signature>) -> Option<u8> {
         Some(PshRstEq) => 6,
         Some(PshRstNeq) => 7,
         Some(PshRstZero) => 8,
-        Some(_) => return None,
+        Some(
+            SynNone | SynRst | SynRstAck | SynRstBoth | AckNone | AckRst | AckRstRst | AckRstAck
+            | AckRstAckRstAck | DataRst | DataRstAck,
+        ) => return None,
     })
 }
 

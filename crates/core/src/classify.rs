@@ -242,7 +242,8 @@ fn merge_rst_counts(sig: Signature) -> Signature {
         AckRstAckRstAck => AckRstAck,
         PshRstEq | PshRstNeq | PshRstZero => PshRst,
         PshRstAckRstAck => PshRstAck,
-        s => s,
+        s @ (SynNone | SynRst | SynRstAck | SynRstBoth | AckNone | AckRst | AckRstAck | PshNone
+        | PshRst | PshRstAck | PshRstRstAck | DataRst | DataRstAck) => s,
     }
 }
 

@@ -35,11 +35,13 @@ pub fn extract(flow: &FlowRecord) -> TriggerInfo {
     if let Some(p) = first_data {
         if tls::is_client_hello(&p.payload) {
             return TriggerInfo {
+                // tamperlint: allow(discarded-wire-error) — best-effort trigger extraction: a malformed ClientHello means no SNI by design
                 domain: tls::parse_sni(&p.payload).ok().flatten(),
                 protocol: AppProtocol::Tls,
             };
         }
         if http::is_http_request(&p.payload) {
+            // tamperlint: allow(discarded-wire-error) — best-effort trigger extraction: a malformed request means no Host by design
             let host = http::parse_request(&p.payload).ok().and_then(|r| r.host);
             return TriggerInfo {
                 domain: host,
@@ -67,6 +69,7 @@ pub fn user_agent(flow: &FlowRecord) -> Option<String> {
         .filter(|p| p.has_payload())
         .find_map(|p| {
             http::parse_request(&p.payload)
+                // tamperlint: allow(discarded-wire-error) — best-effort User-Agent sniff: a malformed request simply yields none
                 .ok()
                 .and_then(|r| r.user_agent)
         })

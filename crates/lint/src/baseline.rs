@@ -1,0 +1,163 @@
+//! The checked-in finding baseline behind `cargo xtask analyze --deny-new`.
+//!
+//! Format: `#`-prefixed comment lines and blank lines are ignored; every
+//! other line is `<16-hex-fingerprint> <rule> <file>`. The rule and file
+//! are informational (they make review diffs readable); matching is by
+//! fingerprint alone. A missing or unparsable baseline fails the gate —
+//! CI must never silently run without one.
+
+use crate::rules::Finding;
+use crate::Analysis;
+use std::collections::BTreeSet;
+
+/// Repo-relative path of the checked-in baseline.
+pub const BASELINE_FILE: &str = "tamperlint.baseline";
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// 16-hex-digit fingerprint.
+    pub fingerprint: String,
+    /// Rule code at capture time (informational).
+    pub rule: String,
+    /// File at capture time (informational).
+    pub file: String,
+}
+
+/// A parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+    fingerprints: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parse baseline text; any malformed line is an error (the gate fails
+    /// closed rather than treating a corrupt baseline as empty).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut base = Baseline::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(fp), Some(rule), Some(file), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<fingerprint> <rule> <file>`, got {line:?}",
+                    i + 1
+                ));
+            };
+            if fp.len() != 16 || !fp.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "baseline line {}: {fp:?} is not a 16-hex-digit fingerprint",
+                    i + 1
+                ));
+            }
+            base.fingerprints.insert(fp.to_string());
+            base.entries.push(Entry {
+                fingerprint: fp.to_string(),
+                rule: rule.to_string(),
+                file: file.to_string(),
+            });
+        }
+        Ok(base)
+    }
+
+    /// True when the fingerprint is baselined.
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.fingerprints.contains(fingerprint)
+    }
+
+    /// Render a baseline capturing the given findings (sorted input keeps
+    /// the file diff-stable).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# tamperlint baseline — accepted findings by fingerprint.\n\
+             # Regenerate with `cargo xtask analyze --write-baseline`;\n\
+             # `cargo xtask analyze --deny-new` fails only on fingerprints absent here.\n",
+        );
+        for f in findings {
+            out.push_str(&format!("{} {} {}\n", f.fingerprint, f.rule, f.file));
+        }
+        out
+    }
+}
+
+impl Analysis {
+    /// Findings whose fingerprints are not in the baseline — the
+    /// regressions `--deny-new` fails on.
+    pub fn new_findings<'a>(&'a self, base: &Baseline) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| !base.contains(&f.fingerprint))
+            .collect()
+    }
+
+    /// Baseline entries no current finding matches — fixed debt worth
+    /// pruning (reported as a warning, never a failure).
+    pub fn stale_entries<'a>(&self, base: &'a Baseline) -> Vec<&'a Entry> {
+        let live: BTreeSet<&str> = self
+            .findings
+            .iter()
+            .map(|f| f.fingerprint.as_str())
+            .collect();
+        base.entries
+            .iter()
+            .filter(|e| !live.contains(e.fingerprint.as_str()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(fp: &str) -> Finding {
+        Finding {
+            file: "crates/wire/src/x.rs".into(),
+            line: 1,
+            rule: "index",
+            message: "m".into(),
+            fingerprint: fp.into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let fs = [finding("00aa11bb22cc33dd"), finding("ffee00112233aabb")];
+        let text = Baseline::render(&fs);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.entries.len(), 2);
+        assert!(base.contains("00aa11bb22cc33dd"));
+        assert!(!base.contains("0000000000000000"));
+    }
+
+    #[test]
+    fn malformed_lines_fail_closed() {
+        assert!(Baseline::parse("not-a-fingerprint index f.rs").is_err());
+        assert!(Baseline::parse("00aa11bb22cc33dd index").is_err());
+        assert!(Baseline::parse("00aa11bb22cc33dd index f.rs extra").is_err());
+        // Comments and blanks are fine.
+        assert!(Baseline::parse("# header\n\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn new_and_stale_are_set_differences() {
+        let base = Baseline::parse("00aa11bb22cc33dd index crates/wire/src/x.rs\n").unwrap();
+        let mut analysis = Analysis::default();
+        analysis.findings.push(finding("00aa11bb22cc33dd"));
+        analysis.findings.push(finding("ffee00112233aabb"));
+        let new: Vec<&str> = analysis
+            .new_findings(&base)
+            .iter()
+            .map(|f| f.fingerprint.as_str())
+            .collect();
+        assert_eq!(new, vec!["ffee00112233aabb"]);
+        analysis.findings.clear();
+        assert_eq!(analysis.stale_entries(&base).len(), 1);
+    }
+}

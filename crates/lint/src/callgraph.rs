@@ -1,0 +1,352 @@
+//! The intra-workspace call graph and the reachability analyses built on
+//! it.
+//!
+//! Resolution is name-based and deliberately over-approximate — when in
+//! doubt an edge is added, because the graph's consumers are *exemption*
+//! analyses: the panic/index rules drop findings only in functions proven
+//! unreachable from an untrusted-input root, and the containment rules add
+//! findings only along a concrete path to an ambient sink. A spurious edge
+//! therefore keeps a finding alive or stays silent; it never hides one.
+//!
+//! Resolution rules for a call to `f`:
+//! - `q::f(…)` — candidates whose impl owner is `q` **or** whose file stem
+//!   is `q` (`pcap::read_all`). A qualifier matching no known owner/stem
+//!   (e.g. `Vec`, `Option`) produces **no** edge.
+//! - `Self::f(…)` — candidates sharing the caller's impl owner.
+//! - `.f(…)` — every function named `f` (receiver types are unknown).
+//! - bare `f(…)` — free functions anywhere plus same-file functions.
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The kinds of ambient sink the containment rules track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkKind {
+    /// `Instant::now` / `SystemTime::now`.
+    Clock,
+    /// `thread_rng`, `from_entropy`, `OsRng`, `getrandom`, `rand::random`.
+    Rng,
+    /// `crossbeam`, `thread::spawn`, `thread::scope`.
+    Thread,
+}
+
+impl SinkKind {
+    /// The rule family a transitive finding of this kind reports under.
+    pub fn rule(self) -> &'static str {
+        match self {
+            SinkKind::Clock => "ambient-clock",
+            SinkKind::Rng => "ambient-rng",
+            SinkKind::Thread => "thread-containment",
+        }
+    }
+}
+
+/// One ambient sink found in a function body.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// Sink family.
+    pub kind: SinkKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was called, for messages (`Instant::now`, `thread::spawn`, …).
+    pub what: String,
+}
+
+/// Scan a code-token range for ambient sinks.
+pub fn find_sinks(code: &[Tok], start: usize, end: usize) -> Vec<Sink> {
+    let ident = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    };
+    let path_pair = |i: usize, a: &str, b: &str| {
+        ident(i) == Some(a)
+            && punct(i + 1) == Some(':')
+            && punct(i + 2) == Some(':')
+            && ident(i + 3) == Some(b)
+    };
+    let mut out = Vec::new();
+    for (i, tok) in code
+        .iter()
+        .enumerate()
+        .take(end.min(code.len()))
+        .skip(start)
+    {
+        let line = tok.line;
+        if path_pair(i, "Instant", "now") || path_pair(i, "SystemTime", "now") {
+            out.push(Sink {
+                kind: SinkKind::Clock,
+                line,
+                what: format!("{}::now", ident(i).unwrap_or_default()),
+            });
+        }
+        if let Some(name @ ("thread_rng" | "from_entropy" | "OsRng" | "getrandom")) = ident(i) {
+            out.push(Sink {
+                kind: SinkKind::Rng,
+                line,
+                what: name.to_string(),
+            });
+        }
+        if path_pair(i, "rand", "random") {
+            out.push(Sink {
+                kind: SinkKind::Rng,
+                line,
+                what: "rand::random".to_string(),
+            });
+        }
+        if ident(i) == Some("crossbeam") {
+            out.push(Sink {
+                kind: SinkKind::Thread,
+                line,
+                what: "crossbeam".to_string(),
+            });
+        }
+        if path_pair(i, "thread", "spawn") || path_pair(i, "thread", "scope") {
+            out.push(Sink {
+                kind: SinkKind::Thread,
+                line,
+                what: format!("thread::{}", ident(i + 3).unwrap_or_default()),
+            });
+        }
+    }
+    out
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Callee function id.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller.
+    pub line: u32,
+}
+
+/// The resolved call graph over a [`SymbolTable`].
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per function id, sorted by callee, deduplicated
+    /// (first call site wins).
+    pub out: Vec<Vec<Edge>>,
+    /// Incoming callers per function id, sorted.
+    pub rin: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Resolve every call in the table into edges.
+    pub fn build(sym: &SymbolTable) -> CallGraph {
+        let n = sym.fns.len();
+        let mut out: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut rin: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in sym.fns.iter().enumerate() {
+            for call in &f.def.calls {
+                let cands = sym.named(&call.name);
+                let mut targets: Vec<usize> = Vec::new();
+                if call.method {
+                    targets.extend(cands.iter().copied());
+                } else if let Some(q) = &call.qualifier {
+                    if q == "Self" {
+                        targets.extend(cands.iter().copied().filter(|&j| {
+                            sym.fns[j].def.owner.is_some() && sym.fns[j].def.owner == f.def.owner
+                        }));
+                    } else {
+                        targets.extend(cands.iter().copied().filter(|&j| {
+                            sym.fns[j].def.owner.as_deref() == Some(q.as_str())
+                                || sym.fns[j].stem == *q
+                        }));
+                    }
+                } else {
+                    targets.extend(
+                        cands.iter().copied().filter(|&j| {
+                            sym.fns[j].def.owner.is_none() || sym.fns[j].file == f.file
+                        }),
+                    );
+                }
+                for t in targets {
+                    if t != i {
+                        out[i].push(Edge {
+                            callee: t,
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+            out[i].sort_by_key(|e| (e.callee, e.line));
+            out[i].dedup_by_key(|e| e.callee);
+            for e in &out[i] {
+                rin[e.callee].push(i);
+            }
+        }
+        for callers in &mut rin {
+            callers.sort_unstable();
+            callers.dedup();
+        }
+        CallGraph { out, rin }
+    }
+
+    /// Forward closure of `roots`, restricted to the `allowed` subgraph —
+    /// edges leaving `allowed` are not followed, and do not re-enter.
+    pub fn reachable(
+        &self,
+        roots: impl IntoIterator<Item = usize>,
+        allowed: &BTreeSet<usize>,
+    ) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.into_iter().filter(|i| allowed.contains(i)).collect();
+        let mut queue: VecDeque<usize> = seen.iter().copied().collect();
+        while let Some(i) = queue.pop_front() {
+            for e in &self.out[i] {
+                if allowed.contains(&e.callee) && seen.insert(e.callee) {
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Caller-ward taint from `seeds`: for every function that can reach a
+    /// seed, the next hop toward it (callee id + call-site line). Seeds
+    /// themselves are not in the map. BFS over sorted adjacency makes the
+    /// hop choice deterministic (shortest chain, lowest id ties).
+    pub fn taint(&self, seeds: &BTreeSet<usize>) -> BTreeMap<usize, Edge> {
+        let mut next: BTreeMap<usize, Edge> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = seeds.clone();
+        let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
+        while let Some(i) = queue.pop_front() {
+            for &caller in &self.rin[i] {
+                if seen.insert(caller) {
+                    let line = self.out[caller]
+                        .iter()
+                        .find(|e| e.callee == i)
+                        .map_or(0, |e| e.line);
+                    next.insert(caller, Edge { callee: i, line });
+                    queue.push_back(caller);
+                }
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer::{lex, strip_test_modules};
+    use crate::symbols::SymbolTable;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let parsed: Vec<_> = files
+            .iter()
+            .map(|(path, src)| {
+                let code: Vec<_> = strip_test_modules(lex(src))
+                    .into_iter()
+                    .filter(|t| !t.kind.is_comment())
+                    .collect();
+                (path.to_string(), ast::parse(&code))
+            })
+            .collect();
+        SymbolTable::build(&parsed)
+    }
+
+    fn id(sym: &SymbolTable, name: &str) -> usize {
+        sym.named(name)[0]
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_owner_or_stem_only() {
+        let sym = table(&[
+            (
+                "crates/a/src/entry.rs",
+                "fn go(x: u8) { pcap::read_all(x); Packet::parse(x); Vec::with_capacity(4); }",
+            ),
+            (
+                "crates/a/src/pcap.rs",
+                "pub fn read_all(x: u8) {}\npub fn with_capacity(n: usize) {}",
+            ),
+            (
+                "crates/b/src/packet.rs",
+                "impl Packet { pub fn parse(x: u8) {} }",
+            ),
+        ]);
+        let g = CallGraph::build(&sym);
+        let callees: Vec<usize> = g.out[id(&sym, "go")].iter().map(|e| e.callee).collect();
+        assert!(callees.contains(&id(&sym, "read_all")), "stem-qualified");
+        assert!(callees.contains(&id(&sym, "parse")), "owner-qualified");
+        // `Vec::with_capacity` must NOT edge to the unrelated free fn:
+        // `Vec` matches no known owner or file stem.
+        assert!(!callees.contains(&id(&sym, "with_capacity")));
+    }
+
+    #[test]
+    fn taint_flows_caller_ward_across_two_hops() {
+        let sym = table(&[
+            (
+                "crates/a/src/entry.rs",
+                "pub fn top(x: u8) { relay::mid(x); }",
+            ),
+            ("crates/a/src/relay.rs", "pub fn mid(x: u8) { bottom(x); }"),
+            (
+                "crates/a/src/sink.rs",
+                "pub fn bottom(x: u8) { let _ = std::time::Instant::now(); }",
+            ),
+        ]);
+        let g = CallGraph::build(&sym);
+        let seeds: BTreeSet<usize> = [id(&sym, "bottom")].into();
+        let taint = g.taint(&seeds);
+        let mid = id(&sym, "mid");
+        let top = id(&sym, "top");
+        assert_eq!(taint[&mid].callee, id(&sym, "bottom"));
+        assert_eq!(taint[&top].callee, mid);
+        assert!(!taint.contains_key(&id(&sym, "bottom")), "seeds excluded");
+    }
+
+    #[test]
+    fn reachability_is_confined_to_the_allowed_subgraph() {
+        let sym = table(&[
+            (
+                "crates/a/src/r.rs",
+                "pub fn parse_x(b: &[u8]) { helper(); }",
+            ),
+            (
+                "crates/a/src/h.rs",
+                "pub fn helper() { outside(); }\npub fn emit() { helper(); }",
+            ),
+            ("crates/b/src/o.rs", "pub fn outside() {}"),
+        ]);
+        let g = CallGraph::build(&sym);
+        let allowed: BTreeSet<usize> =
+            [id(&sym, "parse_x"), id(&sym, "helper"), id(&sym, "emit")].into();
+        let seen = g.reachable([id(&sym, "parse_x")], &allowed);
+        assert!(seen.contains(&id(&sym, "helper")));
+        // `outside` is off the surface; `emit` calls helper but is not
+        // itself reachable from the root.
+        assert!(!seen.contains(&id(&sym, "outside")));
+        assert!(!seen.contains(&id(&sym, "emit")));
+    }
+
+    #[test]
+    fn sink_scan_finds_all_three_kinds() {
+        let src = "
+            fn f() {
+                let t = Instant::now();
+                let r = thread_rng();
+                std::thread::spawn(|| {});
+            }
+        ";
+        let code: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_comment())
+            .collect();
+        let kinds: Vec<SinkKind> = find_sinks(&code, 0, code.len())
+            .into_iter()
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![SinkKind::Clock, SinkKind::Rng, SinkKind::Thread]
+        );
+    }
+}

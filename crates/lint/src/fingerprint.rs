@@ -1,0 +1,148 @@
+//! Stable, line-number-independent finding fingerprints.
+//!
+//! A fingerprint hashes (rule, file, normalized finding-line content,
+//! occurrence index) with FNV-1a 64. The line *number* is deliberately
+//! excluded: inserting code above a finding must not churn its
+//! fingerprint, or the checked-in baseline would rot on every refactor.
+//! The occurrence index disambiguates identical lines in one file (two
+//! `b[0]` on different lines hash apart as occurrences 0 and 1, in line
+//! order), so a stable set survives edits elsewhere in the file.
+//!
+//! Findings with no source line behind them (taxonomy cross-checks) fall
+//! back to the message with digit runs collapsed, so a drifting count or
+//! line number in the message does not churn the fingerprint either.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// FNV-1a, 64-bit.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render the code tokens on one line as normalized text (idents and
+/// literals verbatim, string contents kept, whitespace canonicalized to
+/// single separators). Returns `None` when the line carries no code.
+pub fn normalize_line(code: &[Tok], line: u32) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    for t in code.iter().filter(|t| t.line == line) {
+        match &t.kind {
+            TokKind::Ident(s) => parts.push(s.clone()),
+            TokKind::Punct(c) => parts.push(c.to_string()),
+            TokKind::Lit(s) => parts.push(s.clone()),
+            TokKind::Str(s) => parts.push(format!("\"{s}\"")),
+            _ => {}
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(" "))
+    }
+}
+
+/// Collapse every digit run to `#` (the no-source fallback normalizer).
+pub fn collapse_digits(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_run = false;
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if !in_run {
+                out.push('#');
+                in_run = true;
+            }
+        } else {
+            out.push(c);
+            in_run = false;
+        }
+    }
+    out
+}
+
+/// Assign a fingerprint to every finding, in order. `line_text` maps
+/// (file, line) to that line's normalized code text; findings it cannot
+/// resolve fall back to the digit-collapsed message. Callers pass findings
+/// already sorted, so occurrence indices follow line order and are stable
+/// under edits elsewhere.
+pub fn assign(findings: &mut [Finding], line_text: &dyn Fn(&str, u32) -> Option<String>) {
+    let mut occurrence: BTreeMap<(String, String, String), u32> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        let norm = line_text(&f.file, f.line).unwrap_or_else(|| collapse_digits(&f.message));
+        let key = (f.rule.to_string(), f.file.clone(), norm);
+        let idx = occurrence.entry(key.clone()).or_insert(0);
+        let payload = format!("{}\u{0}{}\u{0}{}\u{0}{}", key.0, key.1, key.2, idx);
+        *idx += 1;
+        f.fingerprint = format!("{:016x}", fnv1a64(payload.as_bytes()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn finding(file: &str, line: u32, rule: &'static str, message: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: message.into(),
+            fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_ignore_line_numbers() {
+        let src_a = "fn f(b: &[u8]) -> u8 { b[0] }\n";
+        let src_b = "// pushed down\n\nfn f(b: &[u8]) -> u8 { b[0] }\n";
+        let code_a: Vec<Tok> = lex(src_a)
+            .into_iter()
+            .filter(|t| !t.kind.is_comment())
+            .collect();
+        let code_b: Vec<Tok> = lex(src_b)
+            .into_iter()
+            .filter(|t| !t.kind.is_comment())
+            .collect();
+        let mut fa = [finding("crates/wire/src/x.rs", 1, "index", "m")];
+        let mut fb = [finding("crates/wire/src/x.rs", 3, "index", "m")];
+        assign(&mut fa, &|_, line| normalize_line(&code_a, line));
+        assign(&mut fb, &|_, line| normalize_line(&code_b, line));
+        assert_eq!(fa[0].fingerprint, fb[0].fingerprint);
+        assert_eq!(fa[0].fingerprint.len(), 16);
+    }
+
+    #[test]
+    fn identical_lines_get_distinct_stable_occurrences() {
+        let mut fs = [
+            finding("f.rs", 2, "index", "m"),
+            finding("f.rs", 9, "index", "m"),
+        ];
+        let text = |_: &str, _: u32| Some("b [ 0 ]".to_string());
+        assign(&mut fs, &text);
+        assert_ne!(fs[0].fingerprint, fs[1].fingerprint);
+        // Shifting both lines down leaves both fingerprints alone.
+        let mut shifted = [
+            finding("f.rs", 5, "index", "m"),
+            finding("f.rs", 14, "index", "m"),
+        ];
+        assign(&mut shifted, &text);
+        assert_eq!(fs[0].fingerprint, shifted[0].fingerprint);
+        assert_eq!(fs[1].fingerprint, shifted[1].fingerprint);
+    }
+
+    #[test]
+    fn message_fallback_collapses_digits() {
+        assert_eq!(collapse_digits("19 signatures vs 21"), "# signatures vs #");
+        let mut fs = [finding("DESIGN.md", 0, "taxonomy", "table lists 19 rows")];
+        let mut gs = [finding("DESIGN.md", 0, "taxonomy", "table lists 23 rows")];
+        assign(&mut fs, &|_, _| None);
+        assign(&mut gs, &|_, _| None);
+        assert_eq!(fs[0].fingerprint, gs[0].fingerprint);
+    }
+}

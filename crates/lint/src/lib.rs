@@ -2,38 +2,66 @@
 //!
 //! The reproduction's headline guarantee is determinism: the same capture
 //! bytes must produce the same report bytes, on any machine, in any thread
-//! interleaving. Two whole classes of Rust code silently break that promise
-//! (`HashMap` iteration order, ambient clocks/randomness), and a third class
-//! — panicking parse paths — turns malformed capture bytes into a crashed
-//! pipeline. tamperlint enforces all three properties at the source level
-//! with its own lightweight lexer ([`lexer`]): no rustc plugin, no network,
-//! no nightly.
+//! interleaving. Several classes of Rust code silently break that promise
+//! (`HashMap` iteration order, ambient clocks/randomness, raw u32
+//! sequence-space arithmetic), and panicking parse paths turn malformed
+//! capture bytes into a crashed pipeline. tamperlint enforces these
+//! properties at the source level with its own lexer ([`lexer`]), a
+//! lightweight recursive-descent parser ([`ast`]), a workspace symbol
+//! table ([`symbols`]) and an intra-workspace call graph ([`callgraph`]):
+//! no rustc plugin, no network, no nightly.
 //!
 //! Rule families (see [`rules`]):
 //!
 //! | rule           | scope                               | forbids |
 //! |----------------|-------------------------------------|---------|
-//! | `map-iter`     | `crates/analysis`, `crates/core`    | `HashMap`/`HashSet` |
-//! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` |
+//! | `map-iter`     | `crates/analysis`, `crates/core`, `crates/lint` | `HashMap`/`HashSet` |
+//! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` — textual *or reached transitively through the call graph* |
 //! | `clock-containment` | all pipeline crates (obs exempt) | any other `Instant`/`SystemTime` mention; clocks only via `tamper-obs` |
-//! | `ambient-rng`  | all pipeline crates                 | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` |
-//! | `thread-containment` | all pipeline crates (engine exempt) | `crossbeam`, `thread::spawn`, `thread::scope`; sharding only via `capture::engine` |
-//! | `panic`        | `wire/*`, capture parse surface     | `.unwrap()`, `.expect()`, `panic!`, `unreachable!` |
-//! | `index`        | `wire/*`, capture parse surface     | direct slice indexing |
+//! | `ambient-rng`  | all pipeline crates                 | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` — textual or transitive |
+//! | `thread-containment` | all pipeline crates (engine exempt) | `crossbeam`, `thread::spawn`, `thread::scope` — textual or transitive |
+//! | `panic`        | untrusted-reachable fns on the parse surface | `.unwrap()`, `.expect()`, `panic!`, `unreachable!` |
+//! | `index`        | untrusted-reachable fns on the parse surface | direct slice indexing |
+//! | `wraparound-arithmetic` | `wire/*`, `core/*`         | raw `+`/`-`/`*` on seq/ack/offset-named values |
+//! | `exhaustive-signature-match` | all pipeline crates   | `_` wildcards / catch-all bindings in a `match` over `Signature` |
+//! | `discarded-wire-error` | all pipeline crates         | `let _ =` / `.ok()` swallowing a `Result<_, WireError>` |
 //! | `taxonomy`     | signature.rs / golden / DESIGN.md   | drift between the three |
+//!
+//! The pipeline runs in two phases. Phase 1 scans each file alone
+//! (waivers, token-window rules, AST rules). Phase 2 builds the symbol
+//! table and call graph, then (a) adds *transitive* containment findings —
+//! a pipeline function whose call chain reaches `Instant::now` two crates
+//! away is flagged at its call site, with the chain in the message; (b)
+//! runs the discarded-wire-error rule against the workspace-wide
+//! return-type table; (c) restricts `panic`/`index` findings to functions
+//! reachable from untrusted-input roots (parse/read/run/…-named functions
+//! or those taking `&[u8]`/`Reader` parameters), so emit-side code on the
+//! parse surface no longer needs waivers. Files the parser loses sync on
+//! fail closed: every finding in them is kept.
 //!
 //! A finding is waived in source with
 //! `// tamperlint: allow(<rule>) — <reason>`; unused or malformed waivers
-//! are findings themselves. Run it as `cargo xtask analyze [--json]`; it is
-//! part of `cargo xtask ci`.
+//! are findings themselves. Every finding carries a stable
+//! line-number-independent [`fingerprint`]; `cargo xtask analyze` checks
+//! them against the committed [`baseline`] (`tamperlint.baseline`) in
+//! `--deny-new` mode, which is how `cargo xtask ci` runs the gate.
 
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
+pub mod fingerprint;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 pub mod taxonomy;
 
-pub use rules::{lint_file, parse_waiver, scope_for, FileLint, Finding, RULES};
+pub use rules::{parse_waiver, scope_for, FileLint, Finding, Scope, RULES};
 
-use std::collections::BTreeMap;
+use crate::ast::ParsedFile;
+use crate::callgraph::{CallGraph, SinkKind};
+use crate::rules::{FileScan, ScanCtx};
+use crate::symbols::SymbolTable;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -110,42 +138,56 @@ impl Analysis {
         out
     }
 
-    /// Machine-readable report (hand-rolled JSON; the workspace is offline
-    /// and vendors no JSON crate).
+    /// SARIF-shaped machine-readable report (hand-rolled JSON; the
+    /// workspace is offline and vendors no JSON crate). One run, one
+    /// result per finding, fingerprints under `tamperlint/v1`, and the
+    /// gate counters in the run's `properties` bag.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{");
-        out.push_str(&format!("\"ok\":{},", self.ok()));
-        out.push_str(&format!("\"runtime_ms\":{},", self.runtime_ms));
-        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
-        out.push_str(&format!("\"waived\":{},", self.waived.len()));
-        out.push_str("\"rules\":[");
-        let rules: Vec<String> = self
-            .rule_counts()
-            .into_iter()
-            .map(|(rule, fired, waived)| {
-                format!(
-                    "{{\"rule\":{},\"findings\":{fired},\"waived\":{waived}}}",
-                    json_escape(rule)
-                )
-            })
+        let mut out = String::from("{\"version\":\"2.1.0\",");
+        out.push_str("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+        out.push_str("\"runs\":[{\"tool\":{\"driver\":{\"name\":\"tamperlint\",\"rules\":[");
+        let rules: Vec<String> = RULES
+            .iter()
+            .map(|r| format!("{{\"id\":{}}}", json_escape(r)))
             .collect();
         out.push_str(&rules.join(","));
-        out.push_str("],\"findings\":[");
-        let findings: Vec<String> = self
+        out.push_str("]}},\"results\":[");
+        let results: Vec<String> = self
             .findings
             .iter()
             .map(|f| {
                 format!(
-                    "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                    "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+                     \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                     {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}],\
+                     \"fingerprints\":{{\"tamperlint/v1\":{}}}}}",
                     json_escape(f.rule),
+                    json_escape(&f.message),
                     json_escape(&f.file),
-                    f.line,
-                    json_escape(&f.message)
+                    f.line.max(1),
+                    json_escape(&f.fingerprint)
                 )
             })
             .collect();
-        out.push_str(&findings.join(","));
-        out.push_str("]}");
+        out.push_str(&results.join(","));
+        out.push_str("],\"properties\":{");
+        out.push_str(&format!("\"ok\":{},", self.ok()));
+        out.push_str(&format!("\"runtime_ms\":{},", self.runtime_ms));
+        out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        out.push_str(&format!("\"waived\":{},", self.waived.len()));
+        out.push_str("\"rule_counts\":{");
+        let counts: Vec<String> = self
+            .rule_counts()
+            .into_iter()
+            .map(|(rule, fired, waived)| {
+                format!(
+                    "{}:{{\"findings\":{fired},\"waived\":{waived}}}",
+                    json_escape(rule)
+                )
+            })
+            .collect();
+        out.push_str(&counts.join(","));
+        out.push_str("}}}]}");
         out
     }
 }
@@ -169,33 +211,275 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Function-name prefixes that mark untrusted-input roots on the parse
+/// surface (entry points that receive bytes off the wire or drive them).
+const ROOT_PREFIXES: [&str; 9] = [
+    "parse",
+    "read",
+    "run",
+    "next",
+    "fill",
+    "absorb",
+    "finish",
+    "route",
+    "flows_from",
+];
+
+/// Parameter-type fragments that mark a function as an untrusted root.
+const ROOT_PARAM_MARKERS: [&str; 2] = ["[u8]", "Reader"];
+
+/// Build the scan context for a file set: the `Signature` variant names
+/// come from whichever input is a `signature.rs`.
+fn scan_ctx(files: &[(&str, &str)]) -> ScanCtx {
+    let mut ctx = ScanCtx::default();
+    for (path, src) in files {
+        if *path == "signature.rs" || path.ends_with("/signature.rs") {
+            ctx.signature_variants = taxonomy::signature_variant_names(src);
+        }
+    }
+    ctx
+}
+
+/// Phase 2: the cross-file analyses over per-file scans, then waiver
+/// application. Returns one [`FileLint`] per scan, in order.
+fn run_pipeline(scans: &mut [FileScan]) -> Vec<FileLint> {
+    // The linter's own sources are scanned (map-iter self-lint) but stay
+    // out of the graph: the lint crate measures wall-clock by design and
+    // must not become a phantom ambient sink for its callers.
+    let graph_files: Vec<(String, ParsedFile)> = scans
+        .iter()
+        .filter(|s| !s.path.starts_with("crates/lint/"))
+        .map(|s| (s.path.clone(), s.parsed.clone()))
+        .collect();
+    let sym = SymbolTable::build(&graph_files);
+    let graph = CallGraph::build(&sym);
+    let scan_idx: BTreeMap<String, usize> = scans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.path.clone(), i))
+        .collect();
+
+    // --- Ambient sinks per function. ---
+    let mut fn_sinks: Vec<Vec<callgraph::Sink>> = vec![Vec::new(); sym.fns.len()];
+    let mut seeds: BTreeMap<SinkKind, BTreeSet<usize>> = BTreeMap::new();
+    for (path, _) in &graph_files {
+        let scan = &scans[scan_idx[path.as_str()]];
+        for (local, id) in sym.file_fns(path).iter().enumerate() {
+            let (b0, b1) = scan.parsed.fns[local].body;
+            let sinks = callgraph::find_sinks(&scan.code, b0, b1);
+            for s in &sinks {
+                // Sanctioned homes do not taint: tamper-obs owns the
+                // clock/rng reads, capture::engine owns the thread
+                // topology.
+                let sanctioned = match s.kind {
+                    SinkKind::Clock | SinkKind::Rng => path.starts_with("crates/obs/"),
+                    SinkKind::Thread => path == "crates/capture/src/engine.rs",
+                };
+                if !sanctioned {
+                    seeds.entry(s.kind).or_default().insert(*id);
+                }
+            }
+            fn_sinks[*id] = sinks;
+        }
+    }
+
+    // --- Transitive containment findings. ---
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+    for (&kind, kind_seeds) in &seeds {
+        let taint = graph.taint(kind_seeds);
+        for (&fid, hop) in &taint {
+            let fsym = &sym.fns[fid];
+            let Some(&si) = scan_idx.get(fsym.file.as_str()) else {
+                continue;
+            };
+            let scope = scans[si].scope;
+            let applies = match kind {
+                SinkKind::Clock | SinkKind::Rng => scope.ambient,
+                SinkKind::Thread => scope.thread_containment,
+            };
+            // A function with its own direct sink already carries the
+            // textual finding; don't double-report it transitively.
+            if !applies || fn_sinks[fid].iter().any(|s| s.kind == kind) {
+                continue;
+            }
+            // Follow the hop chain down to the sink for the message.
+            let mut chain: Vec<String> = Vec::new();
+            let mut cur = hop.callee;
+            loop {
+                chain.push(sym.fns[cur].def.name.clone());
+                if kind_seeds.contains(&cur) {
+                    break;
+                }
+                match taint.get(&cur) {
+                    Some(next) => cur = next.callee,
+                    None => break,
+                }
+            }
+            let sink = fn_sinks[cur]
+                .iter()
+                .find(|s| s.kind == kind)
+                .map_or_else(|| "ambient sink".to_string(), |s| s.what.clone());
+            extra.push((
+                si,
+                Finding::new(
+                    &fsym.file,
+                    hop.line,
+                    kind.rule(),
+                    format!(
+                        "{}() transitively reaches {} (in {}) via {}",
+                        fsym.def.name,
+                        sink,
+                        sym.fns[cur].file,
+                        chain.join(" → ")
+                    ),
+                ),
+            ));
+        }
+    }
+    for (si, f) in extra {
+        scans[si].raw.push(f);
+    }
+
+    // --- Discarded-wire-error over the workspace return-type table. ---
+    let wire_fns = sym.wire_error_fns();
+    for scan in scans.iter_mut() {
+        if scan.scope.discard {
+            scan.raw
+                .extend(rules::discard_findings(&scan.path, &scan.code, &wire_fns));
+        }
+    }
+
+    // --- Untrusted-reachability scoping for panic/index. ---
+    let mut surface: BTreeSet<usize> = BTreeSet::new();
+    for (path, _) in &graph_files {
+        if scans[scan_idx[path.as_str()]].scope.panic_index {
+            surface.extend(sym.file_fns(path).iter().copied());
+        }
+    }
+    let roots: Vec<usize> = surface
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let f = &sym.fns[id];
+            ROOT_PREFIXES.iter().any(|p| f.def.name.starts_with(p))
+                || f.def
+                    .params
+                    .iter()
+                    .any(|p| ROOT_PARAM_MARKERS.iter().any(|m| p.contains(m)))
+        })
+        .collect();
+    let reachable = graph.reachable(roots, &surface);
+    for scan in scans.iter_mut() {
+        // Fail closed: if the parser lost sync, keep every finding.
+        if !scan.scope.panic_index || !scan.parsed.parsed_ok {
+            continue;
+        }
+        let ids = sym.file_fns(&scan.path);
+        let parsed = &scan.parsed;
+        scan.raw.retain(|f| {
+            if f.rule != "panic" && f.rule != "index" {
+                return true;
+            }
+            match parsed.fn_at_line(f.line) {
+                // Findings outside any parsed fn are kept (fail closed).
+                None => true,
+                Some(local) => ids.get(local).is_none_or(|id| reachable.contains(id)),
+            }
+        });
+    }
+
+    // --- Waivers last, so retired findings surface stale waivers. ---
+    scans
+        .iter_mut()
+        .map(|scan| rules::apply_waivers(&scan.path, std::mem::take(&mut scan.raw), &scan.waivers))
+        .collect()
+}
+
+/// Analyze a set of in-memory sources as one workspace: the full
+/// two-phase pipeline (call graph included), no filesystem, no taxonomy
+/// cross-check. This is the entry point for multi-file fixture tests.
+pub fn analyze_sources(files: &[(&str, &str)]) -> Analysis {
+    let t0 = Instant::now();
+    let ctx = scan_ctx(files);
+    let mut scans: Vec<FileScan> = files
+        .iter()
+        .map(|(path, src)| rules::scan_file(path, src, rules::scope_for(path), &ctx))
+        .collect();
+    let lints = run_pipeline(&mut scans);
+    let mut analysis = Analysis {
+        files_scanned: scans.len(),
+        ..Analysis::default()
+    };
+    for lint in lints {
+        analysis.findings.extend(lint.findings);
+        analysis.waived.extend(lint.waived);
+    }
+    finish(&mut analysis, &scans, t0);
+    analysis
+}
+
+/// Lint one source string under an explicit scope. Single-file pipeline:
+/// the call graph sees only this file.
+pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
+    let ctx = scan_ctx(&[(path, src)]);
+    let mut scans = vec![rules::scan_file(path, src, scope, &ctx)];
+    run_pipeline(&mut scans).pop().unwrap_or_default()
+}
+
 /// Lint one source string under the scope its path would get in the repo.
 /// This is the entry point the fixture tests use.
 pub fn lint_source(repo_rel_path: &str, src: &str) -> FileLint {
-    rules::lint_file(repo_rel_path, src, rules::scope_for(repo_rel_path))
+    lint_file(repo_rel_path, src, rules::scope_for(repo_rel_path))
 }
 
 /// Run the full gate against a repo checkout.
 pub fn analyze(root: &Path) -> Analysis {
     let t0 = Instant::now();
-    let mut analysis = Analysis::default();
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for rel in source_files(root) {
-        let scope = rules::scope_for(&rel);
-        if scope.is_empty() {
+        if rules::scope_for(&rel).is_empty() {
             continue;
         }
         let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
             continue;
         };
-        let lint = rules::lint_file(&rel, &src, scope);
+        inputs.push((rel, src));
+    }
+    let borrowed: Vec<(&str, &str)> = inputs
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    let ctx = scan_ctx(&borrowed);
+    let mut scans: Vec<FileScan> = borrowed
+        .iter()
+        .map(|(path, src)| rules::scan_file(path, src, rules::scope_for(path), &ctx))
+        .collect();
+    let lints = run_pipeline(&mut scans);
+    let mut analysis = Analysis {
+        files_scanned: scans.len(),
+        ..Analysis::default()
+    };
+    for lint in lints {
         analysis.findings.extend(lint.findings);
         analysis.waived.extend(lint.waived);
-        analysis.files_scanned += 1;
     }
     analysis.findings.extend(taxonomy::check(root));
-    analysis.findings.sort();
-    analysis.runtime_ms = t0.elapsed().as_millis() as u64;
+    finish(&mut analysis, &scans, t0);
     analysis
+}
+
+/// Sort, fingerprint, and stamp the runtime.
+fn finish(analysis: &mut Analysis, scans: &[FileScan], t0: Instant) {
+    analysis.findings.sort();
+    analysis.waived.sort();
+    let by_path: BTreeMap<&str, &FileScan> = scans.iter().map(|s| (s.path.as_str(), s)).collect();
+    let line_text = |file: &str, line: u32| {
+        by_path
+            .get(file)
+            .and_then(|s| fingerprint::normalize_line(&s.code, line))
+    };
+    fingerprint::assign(&mut analysis.findings, &line_text);
+    analysis.runtime_ms = t0.elapsed().as_millis() as u64;
 }
 
 /// All `.rs` files under the repo's first-party trees, repo-relative with
@@ -237,20 +521,31 @@ mod tests {
     }
 
     #[test]
-    fn json_output_is_well_formed_enough() {
+    fn json_output_is_sarif_shaped() {
         let mut a = Analysis::default();
         a.findings.push(Finding {
             file: "crates/wire/src/x.rs".into(),
             line: 3,
             rule: "index",
             message: "direct slice indexing \"quoted\"".into(),
+            fingerprint: "00aa11bb22cc33dd".into(),
         });
         a.files_scanned = 1;
         let json = a.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"version\":\"2.1.0\""));
+        assert!(json.contains("\"name\":\"tamperlint\""));
+        assert!(json.contains("\"ruleId\":\"index\""));
+        assert!(json.contains("\"uri\":\"crates/wire/src/x.rs\""));
+        assert!(json.contains("\"startLine\":3"));
+        assert!(json.contains("\"tamperlint/v1\":\"00aa11bb22cc33dd\""));
         assert!(json.contains("\"ok\":false"));
-        assert!(json.contains("\"rule\":\"index\",\"findings\":1,\"waived\":0"));
+        assert!(json.contains("\"index\":{\"findings\":1,\"waived\":0}"));
         assert!(json.contains("\\\"quoted\\\""));
+        // Every rule is declared in the driver block.
+        for rule in RULES {
+            assert!(json.contains(&format!("{{\"id\":\"{rule}\"}}")), "{rule}");
+        }
     }
 
     #[test]
@@ -258,5 +553,48 @@ mod tests {
         let counts = Analysis::default().rule_counts();
         assert_eq!(counts.len(), RULES.len());
         assert!(counts.iter().all(|(_, f, w)| *f == 0 && *w == 0));
+    }
+
+    #[test]
+    fn transitive_containment_crosses_files() {
+        // entry → relay → sink: the ambient clock read lives two hops from
+        // the entry point, in a sibling module.
+        let files = [
+            (
+                "crates/analysis/src/entry.rs",
+                "pub fn summarize(n: u64) -> u64 { relay::stamp_all(n) }",
+            ),
+            (
+                "crates/analysis/src/relay.rs",
+                "pub fn stamp_all(n: u64) -> u64 { n + sink::now_ns() }",
+            ),
+            (
+                "crates/analysis/src/sink.rs",
+                "use std::time::Instant;\n\
+                 pub fn now_ns() -> u64 { Instant::now().elapsed().as_nanos() as u64 }",
+            ),
+        ];
+        let analysis = analyze_sources(&files);
+        let fired: Vec<(&str, &str, u32)> = analysis
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.rule, f.line))
+            .collect();
+        // Textual findings at the sink…
+        assert!(fired.contains(&("crates/analysis/src/sink.rs", "clock-containment", 1)));
+        assert!(fired.contains(&("crates/analysis/src/sink.rs", "ambient-clock", 2)));
+        // …and transitive findings at both callers.
+        assert!(fired.contains(&("crates/analysis/src/relay.rs", "ambient-clock", 1)));
+        assert!(fired.contains(&("crates/analysis/src/entry.rs", "ambient-clock", 1)));
+        let entry = analysis
+            .findings
+            .iter()
+            .find(|f| f.file.ends_with("entry.rs"))
+            .unwrap();
+        assert!(
+            entry.message.contains("stamp_all → now_ns"),
+            "{}",
+            entry.message
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! The token-level lint rules and the waiver grammar.
+//! The lint rules and the waiver grammar.
 //!
 //! Rules are scoped by repo-relative path (forward slashes). A finding can
 //! be waived in source with
@@ -11,12 +11,22 @@
 //! and the next line that carries code, and the reason is mandatory. Unused
 //! and malformed waivers are themselves findings — a waiver must never
 //! outlive the code it excuses.
+//!
+//! This module owns the per-file scan: waiver collection, the token-window
+//! rules, and the AST-backed wraparound-arithmetic and exhaustive-
+//! signature-match rules. Cross-file analyses (call-graph containment, the
+//! discarded-wire-error rule, untrusted-reachability scoping of
+//! panic/index) run in the [`crate`] pipeline over the retained
+//! [`FileScan`]s, and waivers are applied only after those phases so a
+//! waiver whose finding the call graph retires turns into an
+//! `unused waiver` finding instead of silently rotting.
 
+use crate::ast::{self, ParsedFile};
 use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// All lint rules, in reporting order.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 12] = [
     "map-iter",
     "ambient-clock",
     "clock-containment",
@@ -24,6 +34,9 @@ pub const RULES: [&str; 9] = [
     "thread-containment",
     "panic",
     "index",
+    "wraparound-arithmetic",
+    "exhaustive-signature-match",
+    "discarded-wire-error",
     "taxonomy",
     "waiver",
 ];
@@ -39,6 +52,22 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Stable line-number-independent fingerprint (assigned by the
+    /// analysis pipeline; empty in per-file scan results).
+    pub fingerprint: String,
+}
+
+impl Finding {
+    /// A finding with no fingerprint yet.
+    pub fn new(file: &str, line: u32, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            fingerprint: String::new(),
+        }
+    }
 }
 
 /// A parsed source waiver.
@@ -100,7 +129,8 @@ pub fn parse_waiver(comment: &str) -> Result<Option<(String, String)>, String> {
 /// Which rule families apply to a repo-relative path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Scope {
-    /// `map-iter`: output-producing crates must not use HashMap/HashSet.
+    /// `map-iter`: output-producing crates (and the linter itself) must
+    /// not use HashMap/HashSet.
     pub map_iter: bool,
     /// `ambient-clock` / `ambient-rng`: the deterministic pipeline.
     pub ambient: bool,
@@ -110,12 +140,26 @@ pub struct Scope {
     pub thread_containment: bool,
     /// `panic` / `index`: the untrusted-input parsing surface.
     pub panic_index: bool,
+    /// `wraparound-arithmetic`: sequence-space math in `wire`/`core`.
+    pub wraparound: bool,
+    /// `exhaustive-signature-match`: pipeline crates matching on the
+    /// paper's `Signature` taxonomy.
+    pub sig_match: bool,
+    /// `discarded-wire-error`: pipeline crates must not silently swallow
+    /// `Result<_, WireError>`.
+    pub discard: bool,
 }
 
 impl Scope {
     /// True if no rule family applies (the file can be skipped entirely).
     pub fn is_empty(self) -> bool {
-        !(self.map_iter || self.ambient || self.thread_containment || self.panic_index)
+        !(self.map_iter
+            || self.ambient
+            || self.thread_containment
+            || self.panic_index
+            || self.wraparound
+            || self.sig_match
+            || self.discard)
     }
 }
 
@@ -131,15 +175,19 @@ pub fn scope_for(path: &str) -> Scope {
         || path.starts_with("crates/xtask/")
         || path.starts_with("crates/lint/")
         || path.starts_with("crates/obs/");
+    let pipeline = first_party && !exempt;
     Scope {
-        // Determinism: anything that feeds report bytes.
-        map_iter: path.starts_with("crates/analysis/src/") || path.starts_with("crates/core/src/"),
-        ambient: first_party && !exempt,
+        // Determinism: anything that feeds report bytes — plus the linter
+        // itself, which must render findings in a stable order.
+        map_iter: path.starts_with("crates/analysis/src/")
+            || path.starts_with("crates/core/src/")
+            || path.starts_with("crates/lint/src/"),
+        ambient: pipeline,
         // One sharding implementation: `capture::engine` owns the reader/
         // shard/merge thread topology; everything else plugs in through a
         // FlowSource. The worldgen driver once carried a second crossbeam
         // shard loop — this rule keeps it from coming back.
-        thread_containment: first_party && !exempt && path != "crates/capture/src/engine.rs",
+        thread_containment: pipeline && path != "crates/capture/src/engine.rs",
         // Panic-safety: bytes-off-the-wire parsing surface.
         panic_index: path.starts_with("crates/wire/src/")
             || matches!(
@@ -149,6 +197,12 @@ pub fn scope_for(path: &str) -> Scope {
                     | "crates/capture/src/engine.rs"
                     | "crates/capture/src/source.rs"
             ),
+        // Sequence-space arithmetic lives in the wire parsers and the core
+        // classifier; PR 3 fixed a real u32-wraparound bug in
+        // `core::reorder`, and this rule keeps the next one out.
+        wraparound: path.starts_with("crates/wire/src/") || path.starts_with("crates/core/src/"),
+        sig_match: pipeline,
+        discard: pipeline,
     }
 }
 
@@ -159,8 +213,55 @@ const NON_INDEX_KEYWORDS: [&str; 14] = [
     "box", "dyn",
 ];
 
-/// Lint one file's source text under the given scope.
-pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
+/// Keywords after which `+`/`-`/`*` cannot be a binary operator (the
+/// preceding "operand" is not an expression result).
+const NON_OPERAND_KEYWORDS: [&str; 16] = [
+    "return", "as", "in", "if", "else", "match", "let", "mut", "move", "while", "loop", "break",
+    "continue", "ref", "use", "where",
+];
+
+/// Identifier last-segments the wraparound rule treats as sequence-space
+/// values: `seq`, `rel_seq`, `data_offset`, … all end in one of these.
+const SEQ_SPACE_SEGMENTS: [&str; 5] = ["seq", "ack", "isn", "off", "offset"];
+
+/// Pattern idents that never count as catch-all bindings.
+const NON_BINDING_PATTERN_IDENTS: [&str; 5] = ["ref", "mut", "true", "false", "box"];
+
+/// Everything retained from one file's scan, for the cross-file phases.
+pub struct FileScan {
+    /// Repo-relative path.
+    pub path: String,
+    /// Rule scope the file was scanned under.
+    pub scope: Scope,
+    /// Raw findings (waivers not yet applied).
+    pub raw: Vec<Finding>,
+    /// Waivers with the line set each covers.
+    pub waivers: Vec<(Waiver, BTreeSet<u32>)>,
+    /// Code tokens (comments and `#[cfg(test)]` modules stripped).
+    pub code: Vec<Tok>,
+    /// Parsed item structure.
+    pub parsed: ParsedFile,
+}
+
+/// Cross-file context the per-file scan needs up front.
+#[derive(Debug, Default)]
+pub struct ScanCtx {
+    /// The `Signature` enum's variant names (from
+    /// `crates/core/src/signature.rs` when present in the file set), so
+    /// `use Signature::*`-style matches are still recognized.
+    pub signature_variants: BTreeSet<String>,
+}
+
+/// True for `seq`/`ack`/`isn`/`off`/`offset`-suffixed identifiers.
+fn is_seq_space_ident(name: &str) -> bool {
+    let last = name.rsplit('_').next().unwrap_or(name);
+    SEQ_SPACE_SEGMENTS.contains(&last.to_ascii_lowercase().as_str())
+}
+
+/// Scan one file: collect waivers, run every single-file rule, parse the
+/// AST. Waivers are NOT applied here — the pipeline does that after the
+/// cross-file phases.
+pub fn scan_file(path: &str, src: &str, scope: Scope, ctx: &ScanCtx) -> FileScan {
     let toks = strip_test_modules(lex(src));
     let mut raw: Vec<Finding> = Vec::new();
 
@@ -191,17 +292,17 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
                     covered,
                 ));
             }
-            Err(why) => raw.push(Finding {
-                file: path.to_string(),
-                line: t.line,
-                rule: "waiver",
-                message: format!("malformed waiver: {why}"),
-            }),
+            Err(why) => raw.push(Finding::new(
+                path,
+                t.line,
+                "waiver",
+                format!("malformed waiver: {why}"),
+            )),
         }
     }
 
     // --- Token-window rules over code tokens only. ---
-    let code: Vec<&Tok> = toks.iter().filter(|t| !t.kind.is_comment()).collect();
+    let code: Vec<Tok> = toks.into_iter().filter(|t| !t.kind.is_comment()).collect();
     let ident = |i: usize| match code.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
         _ => None,
@@ -221,12 +322,7 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
     for i in 0..code.len() {
         let line = code[i].line;
         let mut push_at = |line: u32, rule: &'static str, message: String| {
-            raw.push(Finding {
-                file: path.to_string(),
-                line,
-                rule,
-                message,
-            });
+            raw.push(Finding::new(path, line, rule, message))
         };
 
         if scope.map_iter {
@@ -347,9 +443,259 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
                 }
             }
         }
+
+        if scope.wraparound {
+            if let Some(op @ ('+' | '-' | '*')) = punct(i) {
+                // `->` is an arrow, not a subtraction.
+                let arrow = op == '-' && punct(i + 1) == Some('>');
+                // Binary iff the previous token can end an operand.
+                let binary = i > 0
+                    && match &code[i - 1].kind {
+                        TokKind::Ident(s) => !NON_OPERAND_KEYWORDS.contains(&s.as_str()),
+                        TokKind::Lit(_) => true,
+                        TokKind::Punct(')') | TokKind::Punct(']') => true,
+                        _ => false,
+                    };
+                if binary && !arrow {
+                    // Operand after the operator (skip the `=` of a
+                    // compound assignment).
+                    let rhs = if punct(i + 1) == Some('=') {
+                        i + 2
+                    } else {
+                        i + 1
+                    };
+                    let lhs_name = ident(i - 1).filter(|n| is_seq_space_ident(n));
+                    let rhs_name = ident(rhs).filter(|n| is_seq_space_ident(n));
+                    if let Some(name) = lhs_name.or(rhs_name) {
+                        push_at(
+                            line,
+                            "wraparound-arithmetic",
+                            format!(
+                                "raw `{op}` on sequence-space value `{name}`; u32 \
+                                 seq/ack/offset math must use wrapping_*/checked_* to \
+                                 survive wraparound"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
     }
 
-    // --- Apply waivers. ---
+    // --- AST-backed rules. ---
+    let parsed = ast::parse(&code);
+    if scope.sig_match {
+        for f in &parsed.fns {
+            for m in &f.matches {
+                sig_match_findings(path, m, ctx, &mut raw);
+            }
+        }
+    }
+
+    FileScan {
+        path: path.to_string(),
+        scope,
+        raw,
+        waivers,
+        code,
+        parsed,
+    }
+}
+
+/// The exhaustive-signature-match rule for one `match` expression: if any
+/// arm pattern names the `Signature` type or one of its variants, the
+/// match is "on Signature" and may use neither `_` wildcards nor catch-all
+/// bindings — adding a 20th signature must fail this gate, not silently
+/// fall into a bucket. `name @ (V1 | V2 | …)` keeps a binding while
+/// staying exhaustive.
+fn sig_match_findings(path: &str, m: &ast::MatchExpr, ctx: &ScanCtx, raw: &mut Vec<Finding>) {
+    // Evidence that the match is over `Signature`: the type name itself,
+    // or a bare (un-path-qualified) variant name — `Vendor::SynRst` is
+    // another enum that happens to share a variant name, and must not
+    // count; `Signature::SynRst` already counts via the `Signature` ident.
+    let on_signature = m.arms.iter().any(|arm| {
+        arm.pat.iter().enumerate().any(|(k, t)| {
+            if !t.ident {
+                return false;
+            }
+            if t.text == "Signature" {
+                return true;
+            }
+            let path_qualified = k >= 2 && arm.pat[k - 1].text == ":" && arm.pat[k - 2].text == ":";
+            ctx.signature_variants.contains(&t.text) && !path_qualified
+        })
+    });
+    if !on_signature {
+        return;
+    }
+    for arm in &m.arms {
+        for (k, t) in arm.pat.iter().enumerate() {
+            if !t.ident {
+                continue;
+            }
+            if t.text == "_" {
+                raw.push(Finding::new(
+                    path,
+                    t.line,
+                    "exhaustive-signature-match",
+                    "`_` wildcard in a match over Signature; enumerate every variant so \
+                     a new signature fails the gate instead of silently misclassifying"
+                        .to_string(),
+                ));
+                continue;
+            }
+            // A lowercase bare ident that is not a path segment and not an
+            // `@`-binding is a catch-all binding.
+            let lowercase_start = t
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase());
+            if !lowercase_start || NON_BINDING_PATTERN_IDENTS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let at_binding = arm
+                .pat
+                .get(k + 1)
+                .is_some_and(|n| !n.ident && n.text == "@");
+            let path_segment = k >= 2 && arm.pat[k - 1].text == ":" && arm.pat[k - 2].text == ":";
+            if !at_binding && !path_segment {
+                raw.push(Finding::new(
+                    path,
+                    t.line,
+                    "exhaustive-signature-match",
+                    format!(
+                        "catch-all binding `{}` in a match over Signature; enumerate \
+                         every variant (`{} @ (V1 | V2 | …)` keeps the binding)",
+                        t.text, t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Method names shared with std/core (`text.parse()`, `iter.next()`, …).
+/// The discard rule skips *method-form* matches on these — a name-based
+/// symbol table cannot tell `str::parse` from `Packet::parse` — but
+/// qualified-path and bare calls stay eligible.
+const STD_AMBIGUOUS_METHODS: [&str; 9] = [
+    "parse",
+    "take",
+    "next",
+    "skip",
+    "get",
+    "read",
+    "ok",
+    "from_utf8",
+    "position",
+];
+
+/// The discarded-wire-error rule for one file: `let _ = …;` statements and
+/// `.ok()` chains that swallow a `Result<_, WireError>` returned by a
+/// workspace function (`wire_fns`, from the symbol table). Runs in the
+/// cross-file phase because the return-type set spans the workspace.
+pub fn discard_findings(path: &str, code: &[Tok], wire_fns: &BTreeSet<String>) -> Vec<Finding> {
+    let ident = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let punct = |i: usize| match code.get(i).map(|t| &t.kind) {
+        Some(TokKind::Punct(c)) => Some(*c),
+        _ => None,
+    };
+    // Is the call at name-index `k` eligible? Method form is skipped for
+    // std-ambiguous names; qualified and bare forms always count.
+    let eligible = |k: usize, name: &str| {
+        let method = k >= 1 && punct(k - 1) == Some('.');
+        !(method && STD_AMBIGUOUS_METHODS.contains(&name))
+    };
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        // `let _ = <expr containing a wire-error call>;`
+        if ident(i) == Some("let") && ident(i + 1) == Some("_") && punct(i + 2) == Some('=') {
+            let mut depth = 0i32;
+            let mut end = i + 3;
+            while end < code.len() {
+                match punct(end) {
+                    Some('(') | Some('[') | Some('{') => depth += 1,
+                    Some(')') | Some(']') | Some('}') => depth -= 1,
+                    Some(';') if depth == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            for k in i + 3..end {
+                let Some(name) = ident(k) else { continue };
+                if punct(k + 1) == Some('(') && wire_fns.contains(name) && eligible(k, name) {
+                    out.push(Finding::new(
+                        path,
+                        code[i].line,
+                        "discarded-wire-error",
+                        format!(
+                            "`let _ =` discards the Result<_, WireError> from `{name}`; \
+                             handle the error or waive with a reason"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        // `<wire-error call>(…).ok()`
+        if punct(i) == Some('.')
+            && ident(i + 1) == Some("ok")
+            && punct(i + 2) == Some('(')
+            && punct(i + 3) == Some(')')
+            && i >= 1
+            && punct(i - 1) == Some(')')
+        {
+            // Back-match the receiver's argument parens to its callee.
+            let mut depth = 0i32;
+            let mut j = i - 1;
+            loop {
+                match punct(j) {
+                    Some(')') | Some(']') => depth += 1,
+                    Some('(') | Some('[') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            if j >= 1 {
+                if let Some(name) = ident(j - 1) {
+                    if wire_fns.contains(name) && eligible(j - 1, name) {
+                        out.push(Finding::new(
+                            path,
+                            code[i + 1].line,
+                            "discarded-wire-error",
+                            format!(
+                                ".ok() swallows the WireError from `{name}`; propagate \
+                                 it or waive with a reason"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Apply a file's waivers to its surviving raw findings. Called by the
+/// pipeline after the cross-file phases have added transitive findings
+/// and retired unreachable ones, so unused waivers surface accurately.
+pub fn apply_waivers(
+    path: &str,
+    raw: Vec<Finding>,
+    waivers: &[(Waiver, BTreeSet<u32>)],
+) -> FileLint {
     let mut used = vec![false; waivers.len()];
     let mut out = FileLint::default();
     for f in raw {
@@ -366,16 +712,16 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
     }
     for (idx, (w, _)) in waivers.iter().enumerate() {
         if !used[idx] {
-            out.findings.push(Finding {
-                file: path.to_string(),
-                line: w.line,
-                rule: "waiver",
-                message: format!(
+            out.findings.push(Finding::new(
+                path,
+                w.line,
+                "waiver",
+                format!(
                     "unused waiver for `{}`: no matching finding on this or the next \
                      code line — delete it",
                     w.rule
                 ),
-            });
+            ));
         }
     }
     out.findings.sort();
@@ -385,6 +731,7 @@ pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lint_file;
 
     const WIRE: &str = "crates/wire/src/example.rs";
 
@@ -405,6 +752,10 @@ mod tests {
         assert_eq!(
             parse_waiver(" tamperlint: allow(panic) -- join propagates").unwrap(),
             Some(("panic".into(), "join propagates".into()))
+        );
+        assert_eq!(
+            parse_waiver(" tamperlint: allow(discarded-wire-error) — best effort").unwrap(),
+            Some(("discarded-wire-error".into(), "best effort".into()))
         );
         assert_eq!(parse_waiver(" ordinary comment").unwrap(), None);
     }
@@ -478,5 +829,92 @@ mod tests {
         assert!(!rules_fired(WIRE, src).is_empty());
         // Same code outside the untrusted-input surface: no finding.
         assert!(rules_fired("crates/analysis/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wraparound_flags_raw_seq_space_ops_only() {
+        let src = "
+            fn f(seq: u32, isn: u32, len: u32) -> u32 {
+                let rel = seq - isn;
+                let next_seq = seq.wrapping_add(len);
+                let total = len + 4;
+                next_seq + rel
+            }
+        ";
+        let lint = lint_file(WIRE, src, scope_for(WIRE));
+        let wraps: Vec<u32> = lint
+            .findings
+            .iter()
+            .filter(|f| f.rule == "wraparound-arithmetic")
+            .map(|f| f.line)
+            .collect();
+        // `seq - isn` and `next_seq + rel`; the wrapping_add and the
+        // len-only arithmetic are fine.
+        assert_eq!(wraps, vec![3, 6]);
+    }
+
+    #[test]
+    fn wraparound_ignores_unary_arrows_and_non_seq_names() {
+        let src = "
+            fn g(count: u32) -> i32 { -1 }
+            fn h(seq_len: usize, n: usize) -> usize { seq_len * n }
+        ";
+        // `-1` is unary; `seq_len` ends in `len`, not a tracked segment.
+        assert!(rules_fired(WIRE, src).is_empty());
+        // Outside wire/core the rule does not apply at all.
+        let raw = "fn f(seq: u32) -> u32 { seq + 1 }";
+        assert!(rules_fired("crates/worldgen/src/x.rs", raw).is_empty());
+    }
+
+    #[test]
+    fn wraparound_flags_compound_assignment() {
+        let src = "fn f(len: u32, st: &mut St) { st.next_seq += len; }";
+        let lint = lint_file(
+            "crates/core/src/x.rs",
+            src,
+            scope_for("crates/core/src/x.rs"),
+        );
+        assert_eq!(lint.findings.len(), 1);
+        assert_eq!(lint.findings[0].rule, "wraparound-arithmetic");
+    }
+
+    #[test]
+    fn sig_match_flags_wildcards_and_bindings_but_not_at_bindings() {
+        let src = "
+            fn f(sig: Signature) -> u8 {
+                match sig {
+                    Signature::SynRst => 1,
+                    s @ (Signature::AckRst | Signature::PshRst) => 2,
+                    other => 0,
+                }
+            }
+            fn g(sig: Option<Signature>) -> u8 {
+                match sig {
+                    Some(Signature::SynRst) => 1,
+                    Some(_) => 2,
+                    None => 0,
+                }
+            }
+            fn unrelated(n: Option<u32>) -> u32 {
+                match n { Some(v) => v, _ => 0 }
+            }
+        ";
+        let path = "crates/core/src/x.rs";
+        let lint = lint_file(path, src, scope_for(path));
+        let fired: Vec<(u32, &str)> = lint
+            .findings
+            .iter()
+            .filter(|f| f.rule == "exhaustive-signature-match")
+            .map(|f| (f.line, f.rule))
+            .collect();
+        // `other` (line 6) and `Some(_)` (line 12); the `s @ (…)` binding
+        // and the non-Signature match are fine.
+        assert_eq!(
+            fired,
+            vec![
+                (6, "exhaustive-signature-match"),
+                (12, "exhaustive-signature-match"),
+            ]
+        );
     }
 }

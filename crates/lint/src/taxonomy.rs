@@ -29,12 +29,12 @@ const DESIGN_FILE: &str = "DESIGN.md";
 pub fn check(root: &Path) -> Vec<Finding> {
     let read = |rel: &str| match std::fs::read_to_string(root.join(rel)) {
         Ok(s) => Ok(s),
-        Err(e) => Err(Finding {
-            file: rel.to_string(),
-            line: 0,
-            rule: "taxonomy",
-            message: format!("cannot read {rel}: {e}"),
-        }),
+        Err(e) => Err(Finding::new(
+            rel,
+            0,
+            "taxonomy",
+            format!("cannot read {rel}: {e}"),
+        )),
     };
     let (sig, golden, design) = match (read(SIG_FILE), read(GOLDEN_FILE), read(DESIGN_FILE)) {
         (Ok(s), Ok(g), Ok(d)) => (s, g, d),
@@ -90,12 +90,22 @@ struct ParsedTaxonomy {
 }
 
 fn taxonomy_finding(line: u32, message: String) -> Finding {
-    Finding {
-        file: SIG_FILE.to_string(),
-        line,
-        rule: "taxonomy",
-        message,
-    }
+    Finding::new(SIG_FILE, line, "taxonomy", message)
+}
+
+/// The `Signature` enum's variant names parsed from source — the
+/// exhaustive-signature-match rule uses these to recognize
+/// `use Signature::*`-style match arms.
+pub fn signature_variant_names(src: &str) -> BTreeSet<String> {
+    let toks: Vec<Tok> = strip_test_modules(lex(src))
+        .into_iter()
+        .filter(|t| !t.kind.is_comment())
+        .collect();
+    parse_enum_variants(&toks, "Signature")
+        .unwrap_or_default()
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect()
 }
 
 fn parse_signature_source(src: &str) -> Result<ParsedTaxonomy, Finding> {
@@ -563,54 +573,54 @@ fn check_golden(p: &ParsedTaxonomy, golden: &str, findings: &mut Vec<Finding>) {
         let sig = json_str_field(line, "signature");
         let stage = json_str_field(line, "stage");
         let Some(sig) = sig else {
-            findings.push(Finding {
-                file: GOLDEN_FILE.to_string(),
-                line: lineno,
-                rule: "taxonomy",
-                message: "golden verdict has no `signature` field".into(),
-            });
+            findings.push(Finding::new(
+                GOLDEN_FILE,
+                lineno,
+                "taxonomy",
+                "golden verdict has no `signature` field".into(),
+            ));
             continue;
         };
         let Some(sig) = sig else { continue }; // null: not tampered
         match label_stage.get(sig.as_str()) {
-            None => findings.push(Finding {
-                file: GOLDEN_FILE.to_string(),
-                line: lineno,
-                rule: "taxonomy",
-                message: format!("golden verdict uses unknown signature label {sig:?}"),
-            }),
+            None => findings.push(Finding::new(
+                GOLDEN_FILE,
+                lineno,
+                "taxonomy",
+                format!("golden verdict uses unknown signature label {sig:?}"),
+            )),
             Some(expected_stage) => {
                 if let Some(k) = label_stage.keys().find(|k| **k == sig.as_str()) {
                     exercised.insert(k);
                 }
                 let got = stage.flatten();
                 if got.as_deref() != *expected_stage {
-                    findings.push(Finding {
-                        file: GOLDEN_FILE.to_string(),
-                        line: lineno,
-                        rule: "taxonomy",
-                        message: format!(
+                    findings.push(Finding::new(
+                        GOLDEN_FILE,
+                        lineno,
+                        "taxonomy",
+                        format!(
                             "golden verdict stage {:?} disagrees with signature.rs stage {:?} \
                              for {sig:?}",
                             got.as_deref().unwrap_or("null"),
                             expected_stage.unwrap_or("?")
                         ),
-                    });
+                    ));
                 }
             }
         }
     }
     for (v, (label, line)) in &p.labels {
         if !exercised.contains(label.as_str()) {
-            findings.push(Finding {
-                file: GOLDEN_FILE.to_string(),
-                line: 0,
-                rule: "taxonomy",
-                message: format!(
+            findings.push(Finding::new(
+                GOLDEN_FILE,
+                0,
+                "taxonomy",
+                format!(
                     "signature `{v}` ({label}) is never exercised by the golden corpus \
                      (declared at {SIG_FILE}:{line})"
                 ),
-            });
+            ));
         }
     }
 }
@@ -623,14 +633,12 @@ fn check_design(p: &ParsedTaxonomy, design: &str, findings: &mut Vec<Finding>) {
         format!("taxonomy of {n}"),
     ];
     if !wanted.iter().any(|w| design.contains(w)) {
-        findings.push(Finding {
-            file: DESIGN_FILE.to_string(),
-            line: 0,
-            rule: "taxonomy",
-            message: format!(
-                "DESIGN.md never states the taxonomy size ({n}); expected one of {wanted:?}"
-            ),
-        });
+        findings.push(Finding::new(
+            DESIGN_FILE,
+            0,
+            "taxonomy",
+            format!("DESIGN.md never states the taxonomy size ({n}); expected one of {wanted:?}"),
+        ));
     }
 }
 

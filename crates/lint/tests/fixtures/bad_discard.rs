@@ -1,0 +1,14 @@
+//! Discarded-wire-error fixture: `let _ =` and `.ok()` must not swallow
+//! a Result<_, WireError> from a workspace parser.
+pub struct WireError;
+pub fn decode_header(b: &[u8]) -> Result<u8, WireError> {
+    b.first().copied().ok_or(WireError)
+}
+pub fn sloppy(b: &[u8]) {
+    let _ = decode_header(b);
+    let n = decode_header(b).ok();
+    drop(n);
+}
+pub fn careful(b: &[u8]) -> Result<u8, WireError> {
+    decode_header(b)
+}

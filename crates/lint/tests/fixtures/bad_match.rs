@@ -1,0 +1,20 @@
+//! Signature-match fixture: wildcard arms and catch-all bindings in a
+//! match over Signature must fail the gate.
+pub enum Signature {
+    SynNone,
+    SynRst,
+    AckNone,
+}
+pub fn class(sig: Signature) -> u8 {
+    match sig {
+        Signature::SynNone => 0,
+        Signature::SynRst => 1,
+        _ => 2,
+    }
+}
+pub fn merge(sig: Signature) -> Signature {
+    match sig {
+        Signature::SynRst => Signature::SynNone,
+        other => other,
+    }
+}

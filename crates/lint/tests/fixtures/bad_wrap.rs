@@ -1,0 +1,11 @@
+//! Wraparound fixture: raw arithmetic on sequence-space names must use
+//! wrapping_*/checked_* so u32 seq/ack math survives wraparound.
+pub fn advance(seq: u32, len: u32) -> u32 {
+    let next_seq = seq + len;
+    let delta = next_seq - 1;
+    let safe = seq.wrapping_add(len);
+    let count = delta * 2;
+    let mut ack = safe;
+    ack += count;
+    delta + count
+}

@@ -1,0 +1,5 @@
+//! Transitive-containment fixture: the entry never names a clock but
+//! reaches one two hops away (relay → sink).
+pub fn summarize(n: u64) -> u64 {
+    transitive_relay::stamp_all(n)
+}

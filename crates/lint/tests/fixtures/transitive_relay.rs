@@ -1,0 +1,5 @@
+//! Transitive-containment fixture, middle hop: forwards to the sink
+//! without any ambient call of its own.
+pub fn stamp_all(n: u64) -> u64 {
+    transitive_sink::now_ns() + n
+}

@@ -1,0 +1,5 @@
+//! Transitive-containment fixture, the sink: a direct ambient clock.
+use std::time::Instant;
+pub fn now_ns() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

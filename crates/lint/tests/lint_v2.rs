@@ -1,0 +1,243 @@
+//! v2 gate tests: the AST-backed rule families (wraparound-arithmetic,
+//! exhaustive-signature-match, discarded-wire-error), transitive
+//! containment across files, fingerprint stability under edits that must
+//! not churn the baseline, and `--deny-new` idempotency against the
+//! checked-in baseline.
+
+use tamper_lint::baseline::Baseline;
+use tamper_lint::{analyze_sources, lint_source, Analysis, Finding};
+
+/// Virtual in-scope paths for the fixtures.
+const WIRE: &str = "crates/wire/src/fixture.rs";
+const ANALYSIS: &str = "crates/analysis/src/fixture.rs";
+
+fn fired(findings: &[Finding]) -> Vec<(&str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn repo_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+// --- wraparound-arithmetic ---
+
+#[test]
+fn wraparound_fires_on_raw_seq_space_arithmetic() {
+    let lint = lint_source(WIRE, include_str!("fixtures/bad_wrap.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("wraparound-arithmetic", 4), // seq + len
+            ("wraparound-arithmetic", 5), // next_seq - 1
+            ("wraparound-arithmetic", 9), // ack += count
+        ]
+    );
+    assert!(lint.findings[0].message.contains("wrapping_*"));
+    // wrapping_add and non-seq-space names (delta, count) stayed clean.
+}
+
+#[test]
+fn wraparound_waiver_suppresses_the_finding() {
+    let src = "pub fn adv(seq: u32) -> u32 {\n    \
+        // tamperlint: allow(wraparound-arithmetic) — fixture: wraparound impossible by construction\n    \
+        seq + 1\n}\n";
+    let lint = lint_source(WIRE, src);
+    assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+    assert_eq!(fired(&lint.waived), vec![("wraparound-arithmetic", 3)]);
+}
+
+// --- exhaustive-signature-match ---
+
+#[test]
+fn sig_match_fires_on_wildcards_and_catch_all_bindings() {
+    let lint = lint_source(ANALYSIS, include_str!("fixtures/bad_match.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("exhaustive-signature-match", 12), // `_ => 2`
+            ("exhaustive-signature-match", 18), // `other => other`
+        ]
+    );
+    assert!(lint.findings[0].message.contains("wildcard"));
+    assert!(lint.findings[1]
+        .message
+        .contains("catch-all binding `other`"));
+}
+
+#[test]
+fn sig_match_waiver_suppresses_the_finding() {
+    let src = "pub enum Signature { SynNone, SynRst }\n\
+        pub fn merge(sig: Signature) -> Signature {\n    \
+        match sig {\n        \
+        Signature::SynNone => Signature::SynRst,\n        \
+        // tamperlint: allow(exhaustive-signature-match) — fixture: identity arm kept by design\n        \
+        other => other,\n    \
+        }\n}\n";
+    let lint = lint_source(ANALYSIS, src);
+    assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+    assert_eq!(fired(&lint.waived), vec![("exhaustive-signature-match", 6)]);
+}
+
+// --- discarded-wire-error ---
+
+#[test]
+fn discard_fires_on_let_underscore_and_ok() {
+    let lint = lint_source(ANALYSIS, include_str!("fixtures/bad_discard.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("discarded-wire-error", 8), // let _ = decode_header(b);
+            ("discarded-wire-error", 9), // decode_header(b).ok()
+        ]
+    );
+    assert!(lint.findings[0].message.contains("`let _ =` discards"));
+    assert!(lint.findings[1].message.contains(".ok() swallows"));
+    // The propagating caller (`careful`) stayed clean.
+}
+
+#[test]
+fn discard_waiver_suppresses_the_finding() {
+    let src = "pub struct WireError;\n\
+        pub fn decode(b: &[u8]) -> Result<u8, WireError> {\n    \
+        b.first().copied().ok_or(WireError)\n}\n\
+        pub fn probe(b: &[u8]) -> bool {\n    \
+        // tamperlint: allow(discarded-wire-error) — fixture: presence probe only, the error is the signal\n    \
+        decode(b).ok().is_some()\n}\n";
+    let lint = lint_source(ANALYSIS, src);
+    assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+    assert_eq!(fired(&lint.waived), vec![("discarded-wire-error", 7)]);
+}
+
+// --- transitive containment ---
+
+#[test]
+fn transitive_containment_reaches_a_sink_two_hops_away() {
+    const ENTRY: &str = "crates/analysis/src/transitive_entry.rs";
+    const RELAY: &str = "crates/analysis/src/transitive_relay.rs";
+    const SINK: &str = "crates/analysis/src/transitive_sink.rs";
+    let analysis = analyze_sources(&[
+        (ENTRY, include_str!("fixtures/transitive_entry.rs")),
+        (RELAY, include_str!("fixtures/transitive_relay.rs")),
+        (SINK, include_str!("fixtures/transitive_sink.rs")),
+    ]);
+    let got: Vec<(&str, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.rule, f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (ENTRY, "ambient-clock", 4),    // transitive, two hops out
+            (RELAY, "ambient-clock", 4),    // transitive, one hop out
+            (SINK, "clock-containment", 2), // textual: use …::Instant
+            (SINK, "ambient-clock", 4),     // textual: Instant::now()
+        ],
+        "{:?}",
+        analysis.findings
+    );
+    let entry_msg = &analysis.findings[0].message;
+    assert!(entry_msg.contains("transitively reaches"), "{entry_msg}");
+    assert!(entry_msg.contains("stamp_all → now_ns"), "{entry_msg}");
+}
+
+#[test]
+fn transitive_finding_is_waivable_at_the_call_site() {
+    let entry = "pub fn summarize(n: u64) -> u64 {\n    \
+        // tamperlint: allow(ambient-clock) — fixture: reviewed, reach is intentional here\n    \
+        transitive_relay::stamp_all(n)\n}\n";
+    let analysis = analyze_sources(&[
+        ("crates/analysis/src/transitive_entry.rs", entry),
+        (
+            "crates/analysis/src/transitive_relay.rs",
+            include_str!("fixtures/transitive_relay.rs"),
+        ),
+        (
+            "crates/analysis/src/transitive_sink.rs",
+            include_str!("fixtures/transitive_sink.rs"),
+        ),
+    ]);
+    // The entry's transitive finding is waived; relay and sink still fire.
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .all(|f| !f.file.contains("transitive_entry")),
+        "{:?}",
+        analysis.findings
+    );
+    assert!(analysis
+        .waived
+        .iter()
+        .any(|f| f.file.contains("transitive_entry") && f.rule == "ambient-clock"));
+    assert_eq!(analysis.findings.len(), 3);
+}
+
+// --- fingerprint stability ---
+
+#[test]
+fn fingerprints_survive_lines_inserted_above_the_finding() {
+    let base = include_str!("fixtures/bad_wrap.rs");
+    let shifted = format!("// padding line one\n// padding line two\n\n{base}");
+    let a = analyze_sources(&[(WIRE, base)]);
+    let b = analyze_sources(&[(WIRE, shifted.as_str())]);
+    assert!(!a.findings.is_empty());
+    let fa: Vec<&str> = a.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+    let fb: Vec<&str> = b.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+    assert_eq!(fa, fb, "fingerprints churned on a pure line shift");
+    // The lines themselves did move — the fingerprints are what held still.
+    let la: Vec<u32> = a.findings.iter().map(|f| f.line).collect();
+    let lb: Vec<u32> = b.findings.iter().map(|f| f.line).collect();
+    assert_ne!(la, lb);
+}
+
+#[test]
+fn fingerprints_survive_renaming_an_unrelated_sibling_file() {
+    let wrap = include_str!("fixtures/bad_wrap.rs");
+    let clean = "pub fn noop() {}\n";
+    let a = analyze_sources(&[(WIRE, wrap), ("crates/analysis/src/other.rs", clean)]);
+    let b = analyze_sources(&[(WIRE, wrap), ("crates/analysis/src/renamed.rs", clean)]);
+    let fa: Vec<&str> = a.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+    let fb: Vec<&str> = b.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+    assert!(!fa.is_empty());
+    assert_eq!(fa, fb, "fingerprints churned on an unrelated rename");
+}
+
+// --- baseline / --deny-new ---
+
+#[test]
+fn deny_new_is_idempotent_against_the_checked_in_baseline() {
+    let root = repo_root();
+    let fp = |a: &Analysis| -> Vec<String> {
+        a.findings.iter().map(|f| f.fingerprint.clone()).collect()
+    };
+    let first = tamper_lint::analyze(&root);
+    let second = tamper_lint::analyze(&root);
+    assert_eq!(fp(&first), fp(&second), "analyze is not deterministic");
+    let text = std::fs::read_to_string(root.join(tamper_lint::baseline::BASELINE_FILE))
+        .expect("tamperlint.baseline must be checked in");
+    let base = Baseline::parse(&text).expect("checked-in baseline must parse");
+    assert!(
+        first.new_findings(&base).is_empty(),
+        "first run has findings not in the baseline: {:?}",
+        first.new_findings(&base)
+    );
+    assert!(second.new_findings(&base).is_empty());
+    assert!(
+        first.stale_entries(&base).is_empty(),
+        "baseline has stale entries"
+    );
+}
+
+#[test]
+fn baseline_parsing_fails_closed() {
+    assert!(Baseline::parse("deadbeef wrong-width some/file.rs").is_err());
+    assert!(Baseline::parse("0123456789abcdef0 extra-field rule file.rs").is_err());
+    let ok = Baseline::parse("# comment\n\n0123456789abcdef panic crates/wire/src/tcp.rs\n")
+        .expect("well-formed baseline parses");
+    assert!(ok.contains("0123456789abcdef"));
+}

@@ -110,9 +110,9 @@ impl Ipv4Header {
         buf.put_u16(0); // checksum placeholder
         buf.put_slice(&self.src.octets());
         buf.put_slice(&self.dst.octets());
-        // tamperlint: allow(index) — emitter checksums the 20 bytes it just wrote
+        // The emitter checksums the 20 bytes it just wrote; the emit path is
+        // unreachable from capture bytes, so the index rule does not fire here.
         let ck = internet_checksum(&buf[start..start + IPV4_HEADER_LEN]);
-        // tamperlint: allow(index) — checksum field offset is a compile-time constant inside the emitted header
         buf[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
     }
 }

@@ -126,10 +126,11 @@ impl Packet {
                 if ip.next_header != 6 {
                     return Err(WireError::UnsupportedProtocol(ip.next_header));
                 }
-                // Ipv6Header::parse guarantees off + payload_len <= frame.len().
-                let segment = frame
-                    .get(off..off + ip.payload_len as usize)
+                // Ipv6Header::parse guarantees the segment fits in the frame.
+                let seg_end = off
+                    .checked_add(ip.payload_len as usize)
                     .ok_or(WireError::BadLength)?;
+                let segment = frame.get(off..seg_end).ok_or(WireError::BadLength)?;
                 if tcp_checksum_v6(ip.src, ip.dst, segment) != 0 {
                     return Err(WireError::BadChecksum);
                 }
@@ -162,15 +163,14 @@ impl Packet {
         self.tcp.emit(&mut buf);
         buf.extend_from_slice(&self.payload);
         // The emitter patches the checksum into the buffer it just wrote:
-        // seg_start + 16 + 2 <= buf.len() by construction.
-        // tamperlint: allow(index) — emitter indexes into its own freshly written buffer at fixed offsets
+        // seg_start + 16 + 2 <= buf.len() by construction. The emit path is
+        // unreachable from capture bytes, so the index rule does not fire here.
         let segment = &buf[seg_start..];
         let ck = match &self.ip {
             IpHeader::V4(h) => tcp_checksum_v4(h.src, h.dst, segment),
             IpHeader::V6(h) => tcp_checksum_v6(h.src, h.dst, segment),
         };
         let ck_at = seg_start + 16;
-        // tamperlint: allow(index) — checksum field offset is a compile-time constant inside the emitted header
         buf[ck_at..ck_at + 2].copy_from_slice(&ck.to_be_bytes());
         buf.freeze()
     }
@@ -196,7 +196,6 @@ impl PacketBuilder {
         let ip = match (src, dst) {
             (IpAddr::V4(s), IpAddr::V4(d)) => IpHeader::V4(Ipv4Header::tcp_template(s, d)),
             (IpAddr::V6(s), IpAddr::V6(d)) => IpHeader::V6(Ipv6Header::tcp_template(s, d)),
-            // tamperlint: allow(panic) — documented builder contract; constructors only run on caller-chosen addresses, never on capture bytes
             _ => panic!("mixed address families"),
         };
         PacketBuilder {

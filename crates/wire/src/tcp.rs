@@ -130,10 +130,13 @@ impl TcpHeader {
         r.skip(2)?; // checksum: verified at the packet layer (pseudo-header)
         let urgent = r.u16()?;
         let data_offset = (off_byte >> 4) as usize * 4;
-        if data_offset < TCP_HEADER_LEN || data_offset > data.len() {
+        if data_offset > data.len() {
             return Err(WireError::BadLength);
         }
-        let mut opts = Reader::new(r.take(data_offset - TCP_HEADER_LEN)?);
+        let opts_len = data_offset
+            .checked_sub(TCP_HEADER_LEN)
+            .ok_or(WireError::BadLength)?;
+        let mut opts = Reader::new(r.take(opts_len)?);
         let mut options = Vec::new();
         while !opts.is_empty() {
             let kind = opts.u8()?;

@@ -4,8 +4,10 @@
 //! failure gets a second chance to surface, a smoke run of
 //! `classify --metrics-json` on the golden fixture pcap, a cross-thread
 //! byte-identity smoke of `report` (`--threads 1` vs `--threads 2`), and
-//! the tamperlint static-analysis gate. `cargo xtask analyze [--json]`
-//! runs tamperlint alone.
+//! the tamperlint static-analysis gate in `--deny-new` mode (fail on any
+//! finding whose fingerprint is absent from the checked-in
+//! `tamperlint.baseline`). `cargo xtask analyze [--json] [--deny-new]
+//! [--write-baseline]` runs tamperlint alone.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -33,21 +35,84 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// How `analyze` judges the findings it collects.
+#[derive(Clone, Copy, PartialEq)]
+enum AnalyzeMode {
+    /// Fail on any unwaived finding.
+    Strict,
+    /// Fail only on fingerprints absent from the checked-in baseline
+    /// (`tamperlint.baseline`); a missing or unparsable baseline fails.
+    DenyNew,
+    /// Regenerate the baseline from the current findings.
+    WriteBaseline,
+}
+
 /// Run the tamperlint gate in-process (xtask links tamper-lint directly).
-fn analyze(json: bool) -> Result<(), String> {
-    let analysis = tamper_lint::analyze(&repo_root());
+fn analyze(json: bool, mode: AnalyzeMode) -> Result<(), String> {
+    let root = repo_root();
+    let analysis = tamper_lint::analyze(&root);
     if json {
         println!("{}", analysis.render_json());
     } else {
         print!("{}", analysis.render_human());
     }
-    if analysis.ok() {
-        Ok(())
-    } else {
-        Err(format!(
-            "analyze: {} unwaived finding(s)",
-            analysis.findings.len()
-        ))
+    let baseline_path = root.join(tamper_lint::baseline::BASELINE_FILE);
+    match mode {
+        AnalyzeMode::WriteBaseline => {
+            let text = tamper_lint::baseline::Baseline::render(&analysis.findings);
+            std::fs::write(&baseline_path, text)
+                .map_err(|e| format!("analyze: cannot write {}: {e}", baseline_path.display()))?;
+            eprintln!(
+                "analyze: wrote {} with {} entry(ies)",
+                baseline_path.display(),
+                analysis.findings.len()
+            );
+            Ok(())
+        }
+        AnalyzeMode::DenyNew => {
+            // Fail closed on a missing or corrupt baseline: CI must never
+            // silently run without one.
+            let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+                format!(
+                    "analyze --deny-new: cannot read {} (run `cargo xtask analyze \
+                     --write-baseline` and commit it): {e}",
+                    baseline_path.display()
+                )
+            })?;
+            let base = tamper_lint::baseline::Baseline::parse(&text)
+                .map_err(|e| format!("analyze --deny-new: {e}"))?;
+            for stale in analysis.stale_entries(&base) {
+                eprintln!(
+                    "analyze: stale baseline entry {} {} {} (finding fixed — prune it)",
+                    stale.fingerprint, stale.rule, stale.file
+                );
+            }
+            let new = analysis.new_findings(&base);
+            if new.is_empty() {
+                Ok(())
+            } else {
+                for f in &new {
+                    eprintln!(
+                        "analyze: NEW {}:{}: [{}] {} (fingerprint {})",
+                        f.file, f.line, f.rule, f.message, f.fingerprint
+                    );
+                }
+                Err(format!(
+                    "analyze: {} finding(s) not in the baseline",
+                    new.len()
+                ))
+            }
+        }
+        AnalyzeMode::Strict => {
+            if analysis.ok() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "analyze: {} unwaived finding(s)",
+                    analysis.findings.len()
+                ))
+            }
+        }
     }
 }
 
@@ -200,8 +265,8 @@ fn ci() -> Result<(), String> {
     )?;
     metrics_smoke()?;
     report_determinism_smoke()?;
-    eprintln!("==> analyze: tamperlint (in-process)");
-    analyze(false)?;
+    eprintln!("==> analyze: tamperlint --deny-new (in-process)");
+    analyze(false, AnalyzeMode::DenyNew)?;
     eprintln!("==> ci: all green");
     Ok(())
 }
@@ -211,13 +276,29 @@ fn main() -> ExitCode {
     let task = args.first().map(String::as_str).unwrap_or_default();
     let result = match task {
         "ci" => ci(),
-        "analyze" => analyze(args.iter().any(|a| a == "--json")),
+        "analyze" => {
+            let json = args.iter().any(|a| a == "--json");
+            let deny_new = args.iter().any(|a| a == "--deny-new");
+            let write = args.iter().any(|a| a == "--write-baseline");
+            let mode = match (write, deny_new) {
+                (true, true) => {
+                    eprintln!("xtask: --write-baseline and --deny-new are mutually exclusive");
+                    return ExitCode::FAILURE;
+                }
+                (true, false) => AnalyzeMode::WriteBaseline,
+                (false, true) => AnalyzeMode::DenyNew,
+                (false, false) => AnalyzeMode::Strict,
+            };
+            analyze(json, mode)
+        }
         _ => Err(format!(
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
-             determinism gates + metrics + report smokes + tamperlint\n  \
-             analyze [--json]   tamperlint static-analysis gate (determinism, \
-             panic-safety, taxonomy)"
+             determinism gates + metrics + report smokes + tamperlint --deny-new\n  \
+             analyze [--json] [--deny-new] [--write-baseline]\n                     \
+             tamperlint static-analysis gate (determinism, panic-safety, \
+             wraparound, taxonomy); --deny-new fails only on fingerprints \
+             absent from tamperlint.baseline, --write-baseline regenerates it"
         )),
     };
     match result {
