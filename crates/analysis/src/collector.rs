@@ -8,11 +8,11 @@
 //! counts that only exist in simulation.
 
 use std::collections::BTreeMap;
-use tamper_core::{classify, ClassifierConfig, FlowAnalysis, Signature, Stage};
 use tamper_core::{
     is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta, max_rst_ipid_delta,
     max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks,
 };
+use tamper_core::{ClassifierConfig, FlowAnalysis, FlowMachine, Signature, Stage};
 use tamper_netsim::splitmix64;
 use tamper_worldgen::LabeledFlow;
 
@@ -165,6 +165,11 @@ pub struct Collector {
     /// class codes 0 = Not Tampering, 1..=8 the Post-PSH signatures.
     /// Ordered for deterministic reports.
     pub pair_seqs: BTreeMap<(u64, u32), Vec<u8>>,
+
+    /// The sans-IO classifier this collector drives in [`Collector::observe`];
+    /// carries the scratch buffers so per-flow classification stays
+    /// allocation-free across the whole run.
+    machine: FlowMachine,
 }
 
 /// Map a signature to its Fig 10 class code (Post-PSH only).
@@ -266,6 +271,7 @@ impl Collector {
             truth: TruthStats::default(),
             benign_attribution: vec![[0; N_CLASSES]; tamper_worldgen::BenignKind::ALL.len()],
             pair_seqs: BTreeMap::new(),
+            machine: FlowMachine::new(cfg),
         }
     }
 
@@ -279,9 +285,11 @@ impl Collector {
         self.hours
     }
 
-    /// Classify and record one flow.
+    /// Classify and record one flow (through the sans-IO [`FlowMachine`];
+    /// differentially tested against the legacy classifier in
+    /// `tests/state_machine.rs`).
     pub fn observe(&mut self, lf: &LabeledFlow) {
-        let analysis = classify(&lf.flow, &self.cfg);
+        let analysis = self.machine.analyze(&lf.flow);
         self.observe_analyzed(lf, &analysis);
     }
 

@@ -41,7 +41,7 @@ impl Default for ClassifierConfig {
 }
 
 /// Full analysis of one flow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowAnalysis {
     /// The verdict.
     pub classification: Classification,
@@ -180,7 +180,9 @@ impl Classifier {
 }
 
 /// Pick the signature for a RST-terminated flow at a given stage.
-fn rst_signature(stage: Stage, rsts: &[(bool, u32)]) -> Option<Signature> {
+/// Shared with the sans-IO [`FlowMachine`](crate::machine::FlowMachine)
+/// so the two classification paths cannot drift.
+pub(crate) fn rst_signature(stage: Stage, rsts: &[(bool, u32)]) -> Option<Signature> {
     let pure: Vec<u32> = rsts.iter().filter(|(p, _)| *p).map(|(_, a)| *a).collect();
     let n_pure = pure.len();
     let n_ra = rsts.len() - n_pure;
@@ -234,8 +236,8 @@ fn rst_signature(stage: Stage, rsts: &[(bool, u32)]) -> Option<Signature> {
 }
 
 /// The A4 ablation: collapse single/multi RST splits into the singular
-/// form.
-fn merge_rst_counts(sig: Signature) -> Signature {
+/// form. Shared with the sans-IO machine.
+pub(crate) fn merge_rst_counts(sig: Signature) -> Signature {
     use Signature::*;
     match sig {
         AckRstRst => AckRst,

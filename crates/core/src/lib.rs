@@ -21,6 +21,7 @@
 pub mod classify;
 pub mod evidence;
 pub mod explain;
+pub mod machine;
 pub mod reorder;
 pub mod signature;
 pub mod trigger;
@@ -32,6 +33,13 @@ pub use evidence::{
     ZMAP_IP_ID,
 };
 pub use explain::explain;
+pub use machine::{
+    event_of, reachable_graph, stage_of, transition, Count, Event, FlowMachine, Input, Output,
+    StageState,
+};
 pub use reorder::{reconstruct_order, reconstruct_order_into, reordered};
 pub use signature::{Classification, Signature, Stage};
-pub use trigger::{extract as extract_trigger, user_agent, AppProtocol, TriggerInfo};
+pub use trigger::{
+    extract as extract_trigger, extract_from_parts as extract_trigger_from_parts, user_agent,
+    AppProtocol, TriggerInfo,
+};

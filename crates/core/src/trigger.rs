@@ -4,7 +4,7 @@
 //! pipeline report affected domains without any a-priori test list
 //! (paper §3.4).
 
-use tamper_capture::FlowRecord;
+use tamper_capture::{FlowRecord, PacketRecord};
 use tamper_wire::{http, tls};
 
 /// Application protocol of a flow, as inferred from its first data packet
@@ -30,8 +30,14 @@ pub struct TriggerInfo {
 
 /// Extract trigger information from a flow record.
 pub fn extract(flow: &FlowRecord) -> TriggerInfo {
+    extract_from_parts(flow.dst_port, &flow.packets)
+}
+
+/// [`extract`] over a flow's parts — the sans-IO machine calls this with
+/// its own packet buffer, before any [`FlowRecord`] exists.
+pub fn extract_from_parts(dst_port: u16, packets: &[PacketRecord]) -> TriggerInfo {
     // First data-bearing packet (including data riding a SYN).
-    let first_data = flow.packets.iter().find(|p| p.has_payload());
+    let first_data = packets.iter().find(|p| p.has_payload());
     if let Some(p) = first_data {
         if tls::is_client_hello(&p.payload) {
             return TriggerInfo {
@@ -49,7 +55,7 @@ pub fn extract(flow: &FlowRecord) -> TriggerInfo {
             };
         }
     }
-    let protocol = match flow.dst_port {
+    let protocol = match dst_port {
         443 => AppProtocol::Tls,
         80 => AppProtocol::Http,
         _ => AppProtocol::Other,

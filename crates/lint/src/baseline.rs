@@ -29,6 +29,10 @@ pub struct Entry {
 pub struct Baseline {
     /// Entries in file order.
     pub entries: Vec<Entry>,
+    /// Declared in-source waiver count (`# waivers: N`), when present.
+    /// The waiver audit test holds the repo to this number so a stray
+    /// `tamperlint: allow(...)` comment can't slip in unreviewed.
+    pub expected_waivers: Option<usize>,
     fingerprints: BTreeSet<String>,
 }
 
@@ -40,6 +44,14 @@ impl Baseline {
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
+                // The one structured comment: `# waivers: N` declares how
+                // many in-source waivers the repo is expected to carry.
+                if let Some(rest) = line.strip_prefix("# waivers:") {
+                    let n = rest.trim().parse::<usize>().map_err(|_| {
+                        format!("baseline line {}: bad `# waivers:` count {rest:?}", i + 1)
+                    })?;
+                    base.expected_waivers = Some(n);
+                }
                 continue;
             }
             let mut parts = line.split_whitespace();
@@ -73,13 +85,14 @@ impl Baseline {
     }
 
     /// Render a baseline capturing the given findings (sorted input keeps
-    /// the file diff-stable).
-    pub fn render(findings: &[Finding]) -> String {
+    /// the file diff-stable) and the current in-source waiver count.
+    pub fn render(findings: &[Finding], waivers: usize) -> String {
         let mut out = String::from(
             "# tamperlint baseline — accepted findings by fingerprint.\n\
              # Regenerate with `cargo xtask analyze --write-baseline`;\n\
              # `cargo xtask analyze --deny-new` fails only on fingerprints absent here.\n",
         );
+        out.push_str(&format!("# waivers: {waivers}\n"));
         for f in findings {
             out.push_str(&format!("{} {} {}\n", f.fingerprint, f.rule, f.file));
         }
@@ -129,9 +142,10 @@ mod tests {
     #[test]
     fn round_trips_through_render_and_parse() {
         let fs = [finding("00aa11bb22cc33dd"), finding("ffee00112233aabb")];
-        let text = Baseline::render(&fs);
+        let text = Baseline::render(&fs, 7);
         let base = Baseline::parse(&text).unwrap();
         assert_eq!(base.entries.len(), 2);
+        assert_eq!(base.expected_waivers, Some(7));
         assert!(base.contains("00aa11bb22cc33dd"));
         assert!(!base.contains("0000000000000000"));
     }
@@ -141,8 +155,11 @@ mod tests {
         assert!(Baseline::parse("not-a-fingerprint index f.rs").is_err());
         assert!(Baseline::parse("00aa11bb22cc33dd index").is_err());
         assert!(Baseline::parse("00aa11bb22cc33dd index f.rs extra").is_err());
-        // Comments and blanks are fine.
-        assert!(Baseline::parse("# header\n\n").unwrap().entries.is_empty());
+        assert!(Baseline::parse("# waivers: many").is_err());
+        // Comments and blanks are fine; no declaration means None.
+        let empty = Baseline::parse("# header\n\n").unwrap();
+        assert!(empty.entries.is_empty());
+        assert_eq!(empty.expected_waivers, None);
     }
 
     #[test]

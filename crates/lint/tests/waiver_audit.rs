@@ -1,0 +1,86 @@
+//! Waiver audit: the checked-in `tamperlint.baseline` declares how many
+//! in-source `// tamperlint: allow(...)` waivers the repo is expected to
+//! carry (`# waivers: N`). This test runs the real analyzer over the real
+//! tree and holds it to that number, so a new waiver (or a silently
+//! dropped one) must come with a reviewed baseline update — the same
+//! contract `--deny-new` enforces for findings.
+
+use std::path::PathBuf;
+
+use tamper_lint::baseline::{Baseline, BASELINE_FILE};
+use tamper_lint::{analyze, scope_for};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn waiver_count_matches_the_baseline_declaration() {
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join(BASELINE_FILE))
+        .expect("tamperlint.baseline missing — run `cargo xtask analyze --write-baseline`");
+    let base = Baseline::parse(&text).expect("baseline parses");
+    let declared = base.expected_waivers.expect(
+        "tamperlint.baseline has no `# waivers: N` line — regenerate with \
+         `cargo xtask analyze --write-baseline`",
+    );
+
+    let analysis = analyze(&root);
+    assert!(analysis.files_scanned > 0, "analyzer saw no files");
+    assert_eq!(
+        analysis.waived.len(),
+        declared,
+        "in-source waiver count drifted from the baseline declaration; \
+         waivers now present:\n{}",
+        analysis
+            .waived
+            .iter()
+            .map(|f| format!("  {}:{} [{}]", f.file, f.line, f.rule))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Every current finding must be baselined (the same condition the
+    // `--deny-new` gate enforces), and the committed baseline must not
+    // carry stale accepted findings either.
+    let new = analysis.new_findings(&base);
+    assert!(
+        new.is_empty(),
+        "{} finding(s) not in the baseline: {:?}",
+        new.len(),
+        new
+    );
+    assert!(
+        analysis.stale_entries(&base).is_empty(),
+        "baseline carries entries no current finding matches — prune it"
+    );
+}
+
+#[test]
+fn sans_io_machine_modules_are_in_determinism_scope() {
+    // The tentpole modules must sit inside the ambient-clock containment
+    // scope: a `SystemTime::now()` smuggled into the state machines is
+    // exactly the bug class the sans-IO refactor exists to prevent.
+    for path in [
+        "crates/core/src/machine.rs",
+        "crates/core/src/classify.rs",
+        "crates/netsim/src/endpoint.rs",
+        "crates/netsim/src/client.rs",
+        "crates/netsim/src/server.rs",
+        "crates/netsim/src/session.rs",
+        "crates/analysis/src/collector.rs",
+    ] {
+        let scope = scope_for(path);
+        assert!(scope.ambient, "{path} escaped the ambient/clock scope");
+    }
+    // The classification core is also in the deterministic-iteration
+    // scope (its output feeds report bytes).
+    assert!(scope_for("crates/core/src/machine.rs").map_iter);
+    // And repo automation stays exempt: xtask measures wall time for the
+    // CI summary by design.
+    assert!(!scope_for("crates/xtask/src/main.rs").ambient);
+}

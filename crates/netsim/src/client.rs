@@ -8,7 +8,9 @@
 //! the behaviours that shape the inbound packet sequences the classifier
 //! sees.
 
-use crate::endpoint::{segment_options, tsval_at, Actions, IpIdGen, IpIdMode};
+use crate::endpoint::{
+    segment_options, tsval_at, Actions, EndpointInput, EndpointMachine, IpIdGen, IpIdMode,
+};
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -743,6 +745,30 @@ impl Client {
             }
         }
         actions
+    }
+}
+
+impl EndpointMachine for Client {
+    type Timer = ClientTimer;
+
+    /// The sans-IO entry point: dispatches to the kick-off, packet, and
+    /// timer handlers without changing their behaviour (the simulation's
+    /// RNG draw order is part of the golden-trace contract).
+    fn process(
+        &mut self,
+        input: EndpointInput<ClientTimer>,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Actions<ClientTimer> {
+        match input {
+            EndpointInput::Start => self.start(now, rng),
+            EndpointInput::Packet(pkt) => self.on_packet(now, &pkt, rng),
+            EndpointInput::Timer(t) => self.on_timer(now, t, rng),
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        Client::is_closed(self)
     }
 }
 

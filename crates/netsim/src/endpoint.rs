@@ -42,6 +42,40 @@ impl<T> Actions<T> {
     }
 }
 
+/// One input to an endpoint state machine: the same sans-IO shape as the
+/// classifier's `FlowMachine` — owned events plus injected time, no
+/// sockets, no sleeps, no ambient clock.
+#[derive(Debug)]
+pub enum EndpointInput<T> {
+    /// The session begins. Clients emit their opening SYN here; servers
+    /// simply listen.
+    Start,
+    /// A packet arrived from the wire.
+    Packet(Packet),
+    /// A previously armed timer fired.
+    Timer(T),
+}
+
+/// The unified sans-IO endpoint interface: `process(input, now, rng)`
+/// is the single entry point the session driver calls for both sides.
+/// Implementations must be pure of IO — everything they want done comes
+/// back as [`Actions`], and time only enters through `now`.
+pub trait EndpointMachine {
+    /// The endpoint's timer vocabulary.
+    type Timer;
+
+    /// Advance the machine by one input.
+    fn process(
+        &mut self,
+        input: EndpointInput<Self::Timer>,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Actions<Self::Timer>;
+
+    /// True once the endpoint has reached its terminal state.
+    fn is_closed(&self) -> bool;
+}
+
 /// How a stack chooses IPv4 identification values — the behaviours the
 /// paper's §4.3 relies on: most clients produce IP-ID deltas of 0 or 1
 /// between consecutive packets of a flow, while injectors do not share the

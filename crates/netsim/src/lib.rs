@@ -61,7 +61,7 @@ pub mod time;
 pub mod trace;
 
 pub use client::{Client, ClientConfig, ClientKind, RequestPayload, VanishStage};
-pub use endpoint::{Actions, IpIdGen, IpIdMode};
+pub use endpoint::{Actions, EndpointInput, EndpointMachine, IpIdGen, IpIdMode};
 pub use hop::{Hop, HopCtx, HopOutcome, TransparentHop};
 pub use path::{Link, Path};
 pub use rng::{derive_rng, splitmix64};

@@ -6,7 +6,9 @@
 //! implements the standard accept / respond / teardown cycle with SYN+ACK
 //! retransmission.
 
-use crate::endpoint::{segment_options, tsval_at, Actions, IpIdGen, IpIdMode};
+use crate::endpoint::{
+    segment_options, tsval_at, Actions, EndpointInput, EndpointMachine, IpIdGen, IpIdMode,
+};
 use crate::time::{SimDuration, SimTime};
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -311,6 +313,30 @@ impl Server {
             }
         }
         actions
+    }
+}
+
+impl EndpointMachine for Server {
+    type Timer = ServerTimer;
+
+    /// The sans-IO entry point. A server does nothing at `Start` — it is
+    /// already listening; everything else dispatches to the unchanged
+    /// packet/timer handlers.
+    fn process(
+        &mut self,
+        input: EndpointInput<ServerTimer>,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Actions<ServerTimer> {
+        match input {
+            EndpointInput::Start => Actions::none(),
+            EndpointInput::Packet(pkt) => self.on_packet(now, &pkt, rng),
+            EndpointInput::Timer(t) => self.on_timer(now, t, rng),
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        Server::is_closed(self)
     }
 }
 

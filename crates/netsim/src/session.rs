@@ -5,6 +5,7 @@
 //! given the session RNG: events are ordered by (time, insertion sequence).
 
 use crate::client::{Client, ClientConfig, ClientTimer};
+use crate::endpoint::{EndpointInput, EndpointMachine};
 use crate::hop::HopCtx;
 use crate::path::Path;
 use crate::server::{Server, ServerConfig, ServerTimer};
@@ -179,6 +180,34 @@ impl<'a> Driver<'a> {
         );
     }
 
+    /// Deliver one sans-IO input to an endpoint machine and scatter the
+    /// resulting actions into the event heap — the single dispatch point
+    /// both sides of the session share. `side` picks the emission
+    /// direction; `wrap` lifts the endpoint's timers into [`EvKind`].
+    fn drive<M, W>(
+        &mut self,
+        machine: &mut M,
+        input: EndpointInput<M::Timer>,
+        now: SimTime,
+        side: Node,
+        wrap: W,
+        rng: &mut StdRng,
+    ) where
+        M: EndpointMachine,
+        W: Fn(M::Timer) -> EvKind,
+    {
+        let actions = machine.process(input, now, rng);
+        for (pkt, delay) in actions.emits {
+            match side {
+                Node::Server => self.emit_from_server(now + delay, pkt, Origin::Server, rng),
+                _ => self.emit_from_client(now + delay, pkt, Origin::Client, rng),
+            }
+        }
+        for (timer, delay) in actions.timers {
+            self.push(now + delay, wrap(timer));
+        }
+    }
+
     /// Inject from hop `i` directly to the client.
     fn inject_to_client(&mut self, now: SimTime, hop: usize, mut pkt: Packet, rng: &mut StdRng) {
         let mut latency = SimDuration::ZERO;
@@ -220,13 +249,14 @@ pub fn run_session(params: SessionParams, path: &mut Path, rng: &mut StdRng) -> 
     };
 
     // Kick off: the client's initial actions.
-    let actions = client.start(start, rng);
-    for (pkt, delay) in actions.emits {
-        driver.emit_from_client(start + delay, pkt, Origin::Client, rng);
-    }
-    for (timer, delay) in actions.timers {
-        driver.push(start + delay, EvKind::ClientTimer(timer));
-    }
+    driver.drive(
+        &mut client,
+        EndpointInput::Start,
+        start,
+        Node::Client,
+        EvKind::ClientTimer,
+        rng,
+    );
 
     while let Some(ev) = driver.heap.pop() {
         if ev.t > end {
@@ -235,22 +265,24 @@ pub fn run_session(params: SessionParams, path: &mut Path, rng: &mut StdRng) -> 
         let now = ev.t;
         match ev.kind {
             EvKind::ClientTimer(k) => {
-                let a = client.on_timer(now, k, rng);
-                for (pkt, delay) in a.emits {
-                    driver.emit_from_client(now + delay, pkt, Origin::Client, rng);
-                }
-                for (timer, delay) in a.timers {
-                    driver.push(now + delay, EvKind::ClientTimer(timer));
-                }
+                driver.drive(
+                    &mut client,
+                    EndpointInput::Timer(k),
+                    now,
+                    Node::Client,
+                    EvKind::ClientTimer,
+                    rng,
+                );
             }
             EvKind::ServerTimer(k) => {
-                let a = server.on_timer(now, k, rng);
-                for (pkt, delay) in a.emits {
-                    driver.emit_from_server(now + delay, pkt, Origin::Server, rng);
-                }
-                for (timer, delay) in a.timers {
-                    driver.push(now + delay, EvKind::ServerTimer(timer));
-                }
+                driver.drive(
+                    &mut server,
+                    EndpointInput::Timer(k),
+                    now,
+                    Node::Server,
+                    EvKind::ServerTimer,
+                    rng,
+                );
             }
             EvKind::Packet {
                 at,
@@ -302,13 +334,14 @@ pub fn run_session(params: SessionParams, path: &mut Path, rng: &mut StdRng) -> 
                         origin,
                         packet: pkt.clone(),
                     });
-                    let a = server.on_packet(now, &pkt, rng);
-                    for (out, delay) in a.emits {
-                        driver.emit_from_server(now + delay, out, Origin::Server, rng);
-                    }
-                    for (timer, delay) in a.timers {
-                        driver.push(now + delay, EvKind::ServerTimer(timer));
-                    }
+                    driver.drive(
+                        &mut server,
+                        EndpointInput::Packet(pkt),
+                        now,
+                        Node::Server,
+                        EvKind::ServerTimer,
+                        rng,
+                    );
                 }
                 Node::Client => {
                     driver.trace.push(TracedPacket {
@@ -317,13 +350,14 @@ pub fn run_session(params: SessionParams, path: &mut Path, rng: &mut StdRng) -> 
                         origin,
                         packet: pkt.clone(),
                     });
-                    let a = client.on_packet(now, &pkt, rng);
-                    for (out, delay) in a.emits {
-                        driver.emit_from_client(now + delay, out, Origin::Client, rng);
-                    }
-                    for (timer, delay) in a.timers {
-                        driver.push(now + delay, EvKind::ClientTimer(timer));
-                    }
+                    driver.drive(
+                        &mut client,
+                        EndpointInput::Packet(pkt),
+                        now,
+                        Node::Client,
+                        EvKind::ClientTimer,
+                        rng,
+                    );
                 }
             },
         }

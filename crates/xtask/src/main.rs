@@ -3,25 +3,72 @@
 //! the engine determinism suite re-run explicitly so a scheduling-dependent
 //! failure gets a second chance to surface, a smoke run of
 //! `classify --metrics-json` on the golden fixture pcap, a cross-thread
-//! byte-identity smoke of `report` (`--threads 1` vs `--threads 2`), and
-//! the tamperlint static-analysis gate in `--deny-new` mode (fail on any
-//! finding whose fingerprint is absent from the checked-in
-//! `tamperlint.baseline`). `cargo xtask analyze [--json] [--deny-new]
+//! byte-identity smoke of `report` (`--threads 1` vs `--threads 2`), the
+//! proptest suites re-run with `PROPTEST_CASES`/`PROPTEST_SEED` pinned,
+//! and the tamperlint static-analysis gate in `--deny-new` mode (fail on
+//! any finding whose fingerprint is absent from the checked-in
+//! `tamperlint.baseline`). Every step is timed and the run ends with a
+//! per-step wall-time summary. `cargo xtask analyze [--json] [--deny-new]
 //! [--write-baseline]` runs tamperlint alone.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
 fn run(step: &str, program: &str, args: &[&str]) -> Result<(), String> {
-    eprintln!("==> {step}: {program} {}", args.join(" "));
+    run_env(step, program, args, &[])
+}
+
+/// Like [`run`], with extra environment variables set for the child.
+fn run_env(step: &str, program: &str, args: &[&str], envs: &[(&str, &str)]) -> Result<(), String> {
+    let env_prefix: String = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    eprintln!("==> {step}: {env_prefix}{program} {}", args.join(" "));
     let status = Command::new(program)
         .args(args)
+        .envs(envs.iter().copied())
         .status()
         .map_err(|e| format!("{step}: failed to spawn {program}: {e}"))?;
     if status.success() {
         Ok(())
     } else {
         Err(format!("{step}: exited with {status}"))
+    }
+}
+
+/// Wall-clock ledger for the CI gate: every step is timed and the whole
+/// run ends with a per-step summary, so a slow test binary is visible at
+/// a glance instead of hiding inside the batch.
+struct Stopwatch {
+    rows: Vec<(String, std::time::Duration)>,
+}
+
+impl Stopwatch {
+    fn new() -> Stopwatch {
+        Stopwatch { rows: Vec::new() }
+    }
+
+    fn time<F>(&mut self, step: &str, f: F) -> Result<(), String>
+    where
+        F: FnOnce() -> Result<(), String>,
+    {
+        let start = std::time::Instant::now();
+        let result = f();
+        self.rows.push((step.to_string(), start.elapsed()));
+        result
+    }
+
+    fn summarize(&self) {
+        let width = self
+            .rows
+            .iter()
+            .map(|(name, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        let total: std::time::Duration = self.rows.iter().map(|(_, d)| *d).sum();
+        eprintln!("==> ci wall-time summary");
+        for (name, d) in &self.rows {
+            eprintln!("    {name:width$}  {:8.2}s", d.as_secs_f64());
+        }
+        eprintln!("    {:width$}  {:8.2}s", "total", total.as_secs_f64());
     }
 }
 
@@ -59,7 +106,8 @@ fn analyze(json: bool, mode: AnalyzeMode) -> Result<(), String> {
     let baseline_path = root.join(tamper_lint::baseline::BASELINE_FILE);
     match mode {
         AnalyzeMode::WriteBaseline => {
-            let text = tamper_lint::baseline::Baseline::render(&analysis.findings);
+            let text =
+                tamper_lint::baseline::Baseline::render(&analysis.findings, analysis.waived.len());
             std::fs::write(&baseline_path, text)
                 .map_err(|e| format!("analyze: cannot write {}: {e}", baseline_path.display()))?;
             eprintln!(
@@ -234,39 +282,72 @@ fn report_determinism_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Pinned proptest environment for the CI gate: an explicit case count
+/// and generation seed, so every CI run draws the identical case stream
+/// regardless of local defaults or per-test overrides.
+const PROPTEST_ENV: &[(&str, &str)] = &[("PROPTEST_CASES", "64"), ("PROPTEST_SEED", "20230112")];
+
 fn ci() -> Result<(), String> {
-    run("fmt", "cargo", &["fmt", "--all", "--check"])?;
-    run(
-        "clippy",
-        "cargo",
-        &[
-            "clippy",
-            "--workspace",
-            "--all-targets",
-            "--",
-            "-D",
-            "warnings",
-        ],
-    )?;
-    run("build", "cargo", &["build", "--release"])?;
-    run("test", "cargo", &["test", "--workspace", "-q"])?;
-    // The headline guarantee deserves its own gate: run the determinism
-    // suite again so a flaky scheduling-dependent divergence has a second
-    // chance to surface outside the big batch.
-    run(
-        "determinism",
-        "cargo",
-        &["test", "-q", "--test", "engine_determinism"],
-    )?;
-    run(
-        "golden corpus",
-        "cargo",
-        &["test", "-q", "--test", "golden_corpus"],
-    )?;
-    metrics_smoke()?;
-    report_determinism_smoke()?;
-    eprintln!("==> analyze: tamperlint --deny-new (in-process)");
-    analyze(false, AnalyzeMode::DenyNew)?;
+    let mut sw = Stopwatch::new();
+    let gate: Result<(), String> = (|| {
+        sw.time("fmt", || run("fmt", "cargo", &["fmt", "--all", "--check"]))?;
+        sw.time("clippy", || {
+            run(
+                "clippy",
+                "cargo",
+                &[
+                    "clippy",
+                    "--workspace",
+                    "--all-targets",
+                    "--",
+                    "-D",
+                    "warnings",
+                ],
+            )
+        })?;
+        sw.time("build", || run("build", "cargo", &["build", "--release"]))?;
+        sw.time("test", || {
+            run("test", "cargo", &["test", "--workspace", "-q"])
+        })?;
+        // The headline guarantee deserves its own gate: run the determinism
+        // suite again so a flaky scheduling-dependent divergence has a second
+        // chance to surface outside the big batch.
+        sw.time("determinism", || {
+            run(
+                "determinism",
+                "cargo",
+                &["test", "-q", "--test", "engine_determinism"],
+            )
+        })?;
+        sw.time("golden corpus", || {
+            run(
+                "golden corpus",
+                "cargo",
+                &["test", "-q", "--test", "golden_corpus"],
+            )
+        })?;
+        // The proptest suites re-run with the case count and seed pinned,
+        // one step per test binary so its wall time lands in the summary.
+        for suite in ["properties", "state_machine"] {
+            sw.time(&format!("proptest {suite}"), || {
+                run_env(
+                    &format!("proptest {suite}"),
+                    "cargo",
+                    &["test", "-q", "--test", suite],
+                    PROPTEST_ENV,
+                )
+            })?;
+        }
+        sw.time("metrics smoke", metrics_smoke)?;
+        sw.time("report smoke", report_determinism_smoke)?;
+        sw.time("analyze", || {
+            eprintln!("==> analyze: tamperlint --deny-new (in-process)");
+            analyze(false, AnalyzeMode::DenyNew)
+        })?;
+        Ok(())
+    })();
+    sw.summarize();
+    gate?;
     eprintln!("==> ci: all green");
     Ok(())
 }

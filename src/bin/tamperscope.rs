@@ -25,7 +25,7 @@ use tamperscope::capture::{
     run_engine_observed, run_source_observed, EngineConfig, OfflineConfig, PcapWriter, SimSource,
 };
 use tamperscope::cli::Args;
-use tamperscope::core::{Classifier, ClassifierConfig};
+use tamperscope::core::{ClassifierConfig, FlowMachine};
 use tamperscope::middlebox::{RuleSet, Vendor, ALL_VENDORS};
 use tamperscope::netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
@@ -143,11 +143,12 @@ enum ClassifyMode {
     Explain,
 }
 
-/// Per-shard classify state: a scratch-reusing classifier, a collector
-/// slice, and the output lines tagged with each flow's global first-record
-/// index so the merged output sorts into a thread-count-independent order.
+/// Per-shard classify state: a scratch-reusing sans-IO flow machine, a
+/// collector slice, and the output lines tagged with each flow's global
+/// first-record index so the merged output sorts into a
+/// thread-count-independent order.
 struct ClassifySink {
-    clf: Classifier,
+    clf: FlowMachine,
     col: Collector,
     lines: Vec<(u64, String)>,
     matched: u64,
@@ -179,7 +180,7 @@ fn cmd_classify(args: &Args) -> ExitCode {
     };
     let clf_cfg = ClassifierConfig::default();
     let init = || ClassifySink {
-        clf: Classifier::new(clf_cfg),
+        clf: FlowMachine::new(clf_cfg),
         col: capture_collector(clf_cfg, 0),
         lines: Vec::new(),
         matched: 0,
@@ -187,7 +188,7 @@ fn cmd_classify(args: &Args) -> ExitCode {
     let observe = |sink: &mut ClassifySink, closed: tamperscope::capture::ClosedFlow| {
         let first_index = closed.first_index;
         let lf = label_capture_flow(closed.flow);
-        let analysis = sink.clf.classify(&lf.flow);
+        let analysis = sink.clf.analyze(&lf.flow);
         sink.col.observe_analyzed(&lf, &analysis);
         if analysis.signature().is_some() {
             sink.matched += 1;

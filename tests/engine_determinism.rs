@@ -11,12 +11,13 @@ use tamperscope::analysis::{
     report, summary_to_json, Collector,
 };
 use tamperscope::capture::{
-    flows_from_pcap, run_engine_observed, ClosedFlow, EngineConfig, EngineStats, FlowRecord,
-    OfflineConfig, PacketRecord, PcapWriter,
+    flows_from_pcap, run_engine_observed, run_source, ClosedFlow, EngineConfig, EngineStats,
+    FlowRecord, OfflineConfig, PacketRecord, PcapWriter, RecordSource,
 };
 use tamperscope::core::{classify, Classifier, ClassifierConfig, Signature};
 use tamperscope::obs::Registry;
 use tamperscope::wire::{PacketBuilder, TcpFlags, TcpHeader};
+use tamperscope::worldgen::json::Json;
 use tamperscope::worldgen::{generate_lists, WorldConfig, WorldSim};
 
 fn server() -> IpAddr {
@@ -503,4 +504,179 @@ fn metrics_observation_never_perturbs_deterministic_output() {
     // And the observed summary itself is thread-count-invariant.
     assert_eq!(summaries[0], summaries[1]);
     assert_eq!(summaries[0], summaries[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: RecordSource JSONL round trip
+// ---------------------------------------------------------------------------
+
+/// Serialize a flow record as one JSONL line carrying every field the
+/// classifier can observe (payloads hex-encoded).
+fn record_to_jsonl(f: &FlowRecord) -> String {
+    fn hex(bytes: &[u8]) -> String {
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for b in bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+    let packets: Vec<String> = f
+        .packets
+        .iter()
+        .map(|p| {
+            let ip_id = match p.ip_id {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"ts_sec\":{},\"flags\":{},\"seq\":{},\"ack\":{},\"ip_id\":{},\
+                 \"ttl\":{},\"window\":{},\"payload_len\":{},\"payload\":\"{}\",\
+                 \"has_tcp_options\":{}}}",
+                p.ts_sec,
+                p.flags.bits(),
+                p.seq,
+                p.ack,
+                ip_id,
+                p.ttl,
+                p.window,
+                p.payload_len,
+                hex(&p.payload),
+                p.has_tcp_options
+            )
+        })
+        .collect();
+    format!(
+        "{{\"client_ip\":\"{}\",\"server_ip\":\"{}\",\"src_port\":{},\"dst_port\":{},\
+         \"packets\":[{}],\"observation_end_sec\":{},\"truncated\":{}}}",
+        f.client_ip,
+        f.server_ip,
+        f.src_port,
+        f.dst_port,
+        packets.join(","),
+        f.observation_end_sec,
+        f.truncated
+    )
+}
+
+/// Decode one JSONL line back into a flow record.
+fn record_from_json(j: &Json) -> FlowRecord {
+    fn unhex(s: &str) -> bytes::Bytes {
+        let raw: Vec<u8> = s
+            .as_bytes()
+            .chunks(2)
+            .map(|pair| {
+                let hi = (pair[0] as char).to_digit(16).expect("hex digit");
+                let lo = (pair[1] as char).to_digit(16).expect("hex digit");
+                (hi * 16 + lo) as u8
+            })
+            .collect();
+        bytes::Bytes::from(raw)
+    }
+    let u = |v: &Json, key: &str| v.get(key).and_then(Json::as_u64).expect("numeric field");
+    let packets = j
+        .get("packets")
+        .and_then(Json::as_array)
+        .expect("packets array")
+        .iter()
+        .map(|p| PacketRecord {
+            ts_sec: u(p, "ts_sec"),
+            flags: TcpFlags::from_bits(u(p, "flags") as u8),
+            seq: u(p, "seq") as u32,
+            ack: u(p, "ack") as u32,
+            ip_id: p.get("ip_id").and_then(Json::as_u64).map(|v| v as u16),
+            ttl: u(p, "ttl") as u8,
+            window: u(p, "window") as u16,
+            payload_len: u(p, "payload_len") as u32,
+            payload: unhex(p.get("payload").and_then(Json::as_str).expect("payload")),
+            has_tcp_options: p
+                .get("has_tcp_options")
+                .and_then(Json::as_bool)
+                .expect("bool field"),
+        })
+        .collect();
+    FlowRecord {
+        client_ip: j
+            .get("client_ip")
+            .and_then(Json::as_str)
+            .expect("client_ip")
+            .parse()
+            .expect("ip"),
+        server_ip: j
+            .get("server_ip")
+            .and_then(Json::as_str)
+            .expect("server_ip")
+            .parse()
+            .expect("ip"),
+        src_port: u(j, "src_port") as u16,
+        dst_port: u(j, "dst_port") as u16,
+        packets,
+        observation_end_sec: u(j, "observation_end_sec"),
+        truncated: j
+            .get("truncated")
+            .and_then(Json::as_bool)
+            .expect("bool field"),
+    }
+}
+
+/// Drive a batch of assembled records through the sharded engine; return
+/// the verdict lines in stable (record-index) order.
+fn record_engine_lines(records: Vec<FlowRecord>, threads: usize) -> String {
+    let cfg = EngineConfig {
+        offline: OfflineConfig::default(),
+        threads,
+        ..EngineConfig::default()
+    };
+    let clf_cfg = ClassifierConfig::default();
+    let (mut lines, stats) = run_source(
+        RecordSource::from_vec(records),
+        &cfg,
+        Vec::new,
+        |acc: &mut Vec<(u64, String)>, closed: ClosedFlow| {
+            let analysis = classify(&closed.flow, &clf_cfg);
+            acc.push((closed.first_index, flow_to_jsonl(&closed.flow, &analysis)));
+        },
+        |a, mut b| a.append(&mut b),
+    );
+    assert_eq!(stats.ingest.flows, lines.len() as u64);
+    lines.sort_by_key(|(first_index, _)| *first_index);
+    lines
+        .into_iter()
+        .map(|(_, l)| l)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Satellite: flow records survive a JSONL round trip exactly, and the
+/// records → engine → verdicts path produces byte-identical output for
+/// the in-memory batch and its decoded JSONL twin at 1, 2, and 8 shards.
+#[test]
+fn record_jsonl_round_trip_is_byte_identical_across_thread_counts() {
+    let bytes = synth_capture(64);
+    let (flows, _stats) =
+        flows_from_pcap(bytes.as_slice(), &OfflineConfig::default()).expect("ingest");
+    assert!(flows.len() >= 60, "capture shrank: {}", flows.len());
+
+    // Field-exact structural round trip (FlowRecord: PartialEq).
+    let jsonl: Vec<String> = flows.iter().map(record_to_jsonl).collect();
+    let decoded: Vec<FlowRecord> = jsonl
+        .iter()
+        .map(|line| record_from_json(&Json::parse(line).expect("line parses")))
+        .collect();
+    assert_eq!(flows, decoded, "JSONL round trip altered a record");
+
+    // Both batches drive the engine to the same verdict bytes everywhere.
+    let base = record_engine_lines(flows.clone(), 1);
+    assert!(!base.is_empty());
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            record_engine_lines(flows.clone(), threads),
+            base,
+            "in-memory records diverged at {threads} threads"
+        );
+        assert_eq!(
+            record_engine_lines(decoded.clone(), threads),
+            base,
+            "decoded JSONL records diverged at {threads} threads"
+        );
+    }
 }

@@ -367,6 +367,196 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Sequence-number wraparound: ISNs drawn from the band just below
+// `u32::MAX`, with post-wrap continuations, so every derived quantity
+// (dedup keys, order reconstruction, signature tables) crosses zero
+// mid-flow. All arithmetic must be modular; none of the invariants above
+// may weaken near the wrap.
+// ---------------------------------------------------------------------------
+
+use tamper_core::FlowMachine;
+
+/// An ISN in the wraparound band: at most 64 below `u32::MAX`, so a
+/// handshake plus one data segment is guaranteed to cross zero.
+fn arb_wrap_isn() -> impl Strategy<Value = u32> {
+    (u32::MAX - 64)..=u32::MAX
+}
+
+/// Like [`arb_flow`], but seq/ack start in the wrap band and every
+/// continuation uses wrapping arithmetic. Optionally ends with RSTs whose
+/// ack also sits in the band.
+fn arb_wrap_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        arb_wrap_isn(),
+        arb_wrap_isn(),      // server ISN, for ack fields
+        1usize..=3,          // data packets (≥1: force a post-wrap packet)
+        0usize..=3,          // teardown RSTs
+        proptest::bool::ANY, // RST vs RST+ACK
+        proptest::bool::ANY, // include FIN
+        0u64..4,             // seconds spread
+    )
+        .prop_map(|(isn, server_isn, n_data, n_rst, pure, fin, spread)| {
+            let mut packets = vec![rec(100, TcpFlags::SYN, isn, 0, 0)];
+            let mut seq = isn.wrapping_add(1);
+            let ack = server_isn.wrapping_add(1);
+            packets.push(rec(100, TcpFlags::ACK, seq, ack, 0));
+            for i in 0..n_data {
+                // 200-byte segments march straight across the wrap.
+                packets.push(rec(
+                    100 + (i as u64 % (spread + 1)),
+                    TcpFlags::PSH_ACK,
+                    seq,
+                    ack,
+                    200,
+                ));
+                seq = seq.wrapping_add(200);
+            }
+            if fin {
+                packets.push(rec(100 + spread, TcpFlags::FIN_ACK, seq, ack, 0));
+            }
+            for i in 0..n_rst {
+                let flags = if pure {
+                    TcpFlags::RST
+                } else {
+                    TcpFlags::RST_ACK
+                };
+                packets.push(rec(100 + spread, flags, seq, ack.wrapping_add(i as u32), 0));
+            }
+            FlowRecord {
+                client_ip: IpAddr::V4(Ipv4Addr::new(203, 0, 113, 2)),
+                server_ip: IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+                src_port: 40001,
+                dst_port: 443,
+                packets,
+                observation_end_sec: 140,
+                truncated: false,
+            }
+        })
+}
+
+proptest! {
+    /// Bucket-shuffle invariance holds across the wrap: log-order
+    /// permutations within 1-second buckets never change the verdict even
+    /// when seq space crosses zero. (Same xorshift shuffle as the
+    /// non-wrap case above.)
+    #[test]
+    fn wraparound_classification_invariant_under_bucket_shuffle(
+        flow in arb_wrap_flow(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = ClassifierConfig::default();
+        let baseline = classify(&flow, &cfg);
+        let mut shuffled = flow.clone();
+        let mut i = 0;
+        let mut state = seed | 1;
+        while i < shuffled.packets.len() {
+            let ts = shuffled.packets[i].ts_sec;
+            let mut j = i + 1;
+            while j < shuffled.packets.len() && shuffled.packets[j].ts_sec == ts {
+                j += 1;
+            }
+            for k in ((i + 1)..j).rev() {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let pick = i + (state as usize) % (k - i + 1);
+                shuffled.packets.swap(k, pick);
+            }
+            i = j;
+        }
+        let shuffled_result = classify(&shuffled, &cfg);
+        prop_assert_eq!(
+            baseline.classification,
+            shuffled_result.classification,
+            "wraparound shuffle changed the verdict"
+        );
+        prop_assert_eq!(baseline.stage, shuffled_result.stage);
+    }
+
+    /// Order reconstruction stays a monotone permutation when the seq
+    /// space wraps — it keys on timestamps, never on sequence numbers.
+    #[test]
+    fn wraparound_reconstruction_is_a_monotone_permutation(flow in arb_wrap_flow()) {
+        let order = reconstruct_order(&flow.packets);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..flow.packets.len()).collect::<Vec<_>>());
+        let mut last_ts = 0;
+        for &i in &order {
+            prop_assert!(flow.packets[i].ts_sec >= last_ts);
+            last_ts = flow.packets[i].ts_sec;
+        }
+    }
+
+    /// The sans-IO machine agrees with the legacy classifier byte-for-byte
+    /// on wrap-band flows, under both configs, and retransmit dedup still
+    /// works modulo 2^32: duplicating a post-wrap data packet never changes
+    /// the analysis.
+    #[test]
+    fn wraparound_machine_matches_legacy_and_dedups(flow in arb_wrap_flow()) {
+        for cfg in [
+            ClassifierConfig::default(),
+            ClassifierConfig { split_rst_counts: false, ..ClassifierConfig::default() },
+        ] {
+            let want = classify(&flow, &cfg);
+            let mut machine = FlowMachine::new(cfg);
+            prop_assert_eq!(machine.analyze(&flow), want.clone());
+
+            // Exact retransmit of the last data packet: same seq, same
+            // length — must be deduplicated on both paths, even when the
+            // duplicated seq is a small post-wrap value.
+            if let Some(pos) = flow.packets.iter().rposition(|p| p.payload_len > 0) {
+                let mut dup = flow.clone();
+                let copy = dup.packets[pos].clone();
+                dup.packets.insert(pos + 1, copy);
+                let want_dup = classify(&dup, &cfg);
+                prop_assert_eq!(want_dup.classification, want.classification);
+                prop_assert_eq!(want_dup.stage, want.stage);
+                prop_assert_eq!(machine.analyze(&dup), want_dup);
+            }
+        }
+    }
+
+    /// Arbitrary flag soup positioned right at the wrap never panics and
+    /// keeps the FIN/silence guarantees of `classifier_total_and_fin_safe`.
+    #[test]
+    fn wraparound_classifier_total(
+        isn in arb_wrap_isn(),
+        flags in proptest::collection::vec(arb_flags(), 1..10),
+    ) {
+        let packets: Vec<PacketRecord> = flags
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                rec(
+                    100 + i as u64,
+                    *f,
+                    isn.wrapping_add(i as u32 * 7),
+                    isn.wrapping_add(i as u32),
+                    0,
+                )
+            })
+            .collect();
+        let flow = FlowRecord {
+            client_ip: IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(5, 6, 7, 8)),
+            src_port: 1,
+            dst_port: 443,
+            packets,
+            observation_end_sec: 500,
+            truncated: false,
+        };
+        let a = classify(&flow, &ClassifierConfig::default());
+        let has_rst = flow.packets.iter().any(|p| p.flags.has_rst());
+        if !has_rst {
+            if let Some(sig) = a.signature() {
+                prop_assert!(sig.is_silence());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Malformed capture input: the streaming engine must degrade to counted
 // drops, never panic, on truncation, garbage frames, or bit corruption.
 // ---------------------------------------------------------------------------

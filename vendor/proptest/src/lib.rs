@@ -18,16 +18,27 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// Configuration running `cases` cases.
+        /// Configuration running `cases` cases. An explicit
+        /// `PROPTEST_CASES` environment variable still wins, so CI can
+        /// pin (or a developer can crank) the case count globally.
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(64),
+            }
         }
+    }
+
+    /// `PROPTEST_CASES`, when set and parseable.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
     }
 
     /// Deterministic generator seeded from the test name.
@@ -37,12 +48,22 @@ pub mod test_runner {
     }
 
     impl TestRng {
-        /// Seed from an arbitrary string (the test name).
+        /// Seed from an arbitrary string (the test name). A
+        /// `PROPTEST_SEED` environment variable, when set, is folded into
+        /// the stream so CI can pin the generation seed explicitly (and a
+        /// developer can explore alternate streams) while different tests
+        /// still draw distinct sequences.
         pub fn from_name(name: &str) -> TestRng {
             let mut state = 0xcbf2_9ce4_8422_2325u64;
             for b in name.bytes() {
                 state ^= u64::from(b);
                 state = state.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Some(seed) = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                state ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             }
             TestRng { state }
         }
