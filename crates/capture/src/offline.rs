@@ -97,6 +97,9 @@ pub struct FlowTable {
     max_live: usize,
     high_water: usize,
     last_sweep: u64,
+    /// Retained scratch for [`Self::sweep`]'s expired-key pass: sized once
+    /// to the sweep high-water mark instead of a fresh Vec per sweep.
+    expired_scratch: Vec<(u64, FlowKey)>,
 }
 
 impl FlowTable {
@@ -108,6 +111,7 @@ impl FlowTable {
             max_live,
             high_water: 0,
             last_sweep: 0,
+            expired_scratch: Vec::new(),
         }
     }
 
@@ -151,6 +155,7 @@ impl FlowTable {
                     server_ip: key.server_ip,
                     src_port: key.src_port,
                     dst_port: key.dst_port,
+                    // tamperlint: allow(hot-path-alloc) — one empty Vec per flow *birth*, not per packet; first push sizes it
                     packets: Vec::new(),
                     observation_end_sec: ts,
                     truncated: false,
@@ -183,14 +188,16 @@ impl FlowTable {
         }
         self.last_sweep = stamp;
         let timeout = self.cfg.flow_timeout_secs;
-        let mut expired: Vec<(u64, FlowKey)> = self
-            .flows
-            .iter()
-            .filter(|(_, lf)| lf.last_ts + timeout < stamp)
-            .map(|(k, lf)| (lf.first_index, *k))
-            .collect();
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        expired.extend(
+            self.flows
+                .iter()
+                .filter(|(_, lf)| lf.last_ts + timeout < stamp)
+                .map(|(k, lf)| (lf.first_index, *k)),
+        );
         expired.sort_unstable_by_key(|&(first_index, _)| first_index);
-        for (_, key) in expired {
+        for &(_, key) in &expired {
             if let Some(lf) = self.flows.remove(&key) {
                 closed.push(Self::close(
                     lf,
@@ -199,6 +206,8 @@ impl FlowTable {
                 ));
             }
         }
+        expired.clear();
+        self.expired_scratch = expired;
     }
 
     /// Shed the least-recently-active flow (ties broken by first-seen).

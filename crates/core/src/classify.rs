@@ -183,8 +183,9 @@ impl Classifier {
 /// Shared with the sans-IO [`FlowMachine`](crate::machine::FlowMachine)
 /// so the two classification paths cannot drift.
 pub(crate) fn rst_signature(stage: Stage, rsts: &[(bool, u32)]) -> Option<Signature> {
-    let pure: Vec<u32> = rsts.iter().filter(|(p, _)| *p).map(|(_, a)| *a).collect();
-    let n_pure = pure.len();
+    // Counting passes instead of collecting the pure-RST subsequence:
+    // this runs per classified flow, inside the zero-alloc analyze path.
+    let n_pure = rsts.iter().filter(|(p, _)| *p).count();
     let n_ra = rsts.len() - n_pure;
     match stage {
         Stage::PostSyn => match (n_pure, n_ra) {
@@ -211,10 +212,11 @@ pub(crate) fn rst_signature(stage: Stage, rsts: &[(bool, u32)]) -> Option<Signat
             } else if n_pure == 1 {
                 Some(Signature::PshRst)
             } else if n_pure >= 2 {
-                let first = pure[0];
-                if pure.iter().all(|a| *a == first) {
+                let mut pure = rsts.iter().filter(|(p, _)| *p).map(|&(_, a)| a);
+                let first = pure.next().unwrap_or(0);
+                if pure.clone().all(|a| a == first) {
                     Some(Signature::PshRstEq)
-                } else if pure.contains(&0) {
+                } else if pure.any(|a| a == 0) || first == 0 {
                     Some(Signature::PshRstZero)
                 } else {
                     Some(Signature::PshRstNeq)

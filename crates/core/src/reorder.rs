@@ -69,14 +69,17 @@ pub fn reconstruct_order_into(packets: &[PacketRecord], idx: &mut Vec<usize>) {
 
     idx.clear();
     idx.extend(0..packets.len());
-    idx.sort_by_key(|&i| {
+    // Unstable sort: the trailing index makes every key unique, so order
+    // is deterministic — and unlike the stable sort it never allocates,
+    // which the steady-state analyze path depends on.
+    idx.sort_unstable_by_key(|&i| {
         let p = &packets[i];
         (
             p.ts_sec,
             rank(p),
             p.seq.wrapping_sub(isn),
             p.has_payload(), // the handshake ACK precedes its request
-            (p.ack != 0, p.ack.wrapping_sub(ack0) as i32),
+            (p.ack != 0, p.ack.wrapping_sub(ack0).cast_signed()),
             p.flags.has_fin(), // the final data ACK precedes the FIN
             i,
         )

@@ -48,7 +48,7 @@ pub fn extract_from_parts(dst_port: u16, packets: &[PacketRecord]) -> TriggerInf
         }
         if http::is_http_request(&p.payload) {
             // tamperlint: allow(discarded-wire-error) — best-effort trigger extraction: a malformed request means no Host by design
-            let host = http::parse_request(&p.payload).ok().and_then(|r| r.host);
+            let host = http::parse_host(&p.payload).ok().flatten();
             return TriggerInfo {
                 domain: host,
                 protocol: AppProtocol::Http,

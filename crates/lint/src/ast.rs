@@ -21,9 +21,16 @@ pub struct FnDef {
     pub name: String,
     /// Enclosing `impl` type or `trait` name, if any.
     pub owner: Option<String>,
+    /// The trait an enclosing `impl Trait for Type` block implements, if
+    /// any — `None` for inherent impls and trait declarations.
+    pub trait_of: Option<String>,
     /// Flattened type text per parameter (pattern stripped); a bare
     /// `self` receiver becomes `"Self"`.
     pub params: Vec<String>,
+    /// Bound name per parameter, aligned with `params`: the pattern's
+    /// binding ident (`self` for receivers, the last ident for `mut x`,
+    /// `""` when the pattern binds nothing recoverable).
+    pub param_names: Vec<String>,
     /// Flattened return type text, `""` when the function returns unit.
     pub ret: String,
     /// 1-based line of the `fn` keyword.
@@ -53,6 +60,16 @@ pub struct Call {
     pub qualifier: Option<String>,
     /// True for `.name(...)` method-call syntax.
     pub method: bool,
+    /// True for the `self.name(...)` form — the receiver is statically
+    /// the enclosing impl's type, so resolution can stay in-owner.
+    pub recv_self: bool,
+    /// Number of arguments at the call site (receiver excluded). Rust
+    /// has no overloading, so resolution can require candidates to match.
+    pub args: usize,
+    /// The receiver's type name for `x.name(...)` calls, when `x` is a
+    /// local/parameter whose type the body makes apparent (`let x: T`,
+    /// `let x = T::new(...)`, a `T`-typed parameter).
+    pub recv_type: Option<String>,
 }
 
 /// One `match` expression and its arms.
@@ -123,7 +140,7 @@ pub fn parse(code: &[Tok]) -> ParsedFile {
         fns: Vec::new(),
         ok: true,
     };
-    p.items(0, code.len(), None);
+    p.items(0, code.len(), None, None);
     ParsedFile {
         fns: p.fns,
         parsed_ok: p.ok,
@@ -218,8 +235,9 @@ impl Parser<'_> {
         end
     }
 
-    /// Parse the items in `pos..end` under the given impl/trait owner.
-    fn items(&mut self, mut pos: usize, end: usize, owner: Option<&str>) {
+    /// Parse the items in `pos..end` under the given impl/trait owner and
+    /// (for `impl Trait for Type` blocks) the implemented trait's name.
+    fn items(&mut self, mut pos: usize, end: usize, owner: Option<&str>, trait_of: Option<&str>) {
         while pos < end {
             match (self.ident(pos), self.punct(pos)) {
                 (_, Some('#')) => {
@@ -272,7 +290,7 @@ impl Parser<'_> {
                     let mut i = pos + 2;
                     if self.punct(i) == Some('{') {
                         let close = self.match_brace(i, end);
-                        self.items(i + 1, close, owner);
+                        self.items(i + 1, close, owner, trait_of);
                         pos = close + 1;
                     } else {
                         while i < end && self.punct(i) != Some(';') {
@@ -288,6 +306,7 @@ impl Parser<'_> {
                         i = self.skip_angles(i, end);
                     }
                     let mut ty: Option<String> = None;
+                    let mut tr: Option<String> = None;
                     while i < end {
                         if self.punct(i) == Some('{') {
                             break;
@@ -307,7 +326,11 @@ impl Parser<'_> {
                                 }
                                 break;
                             }
-                            if name != "for" && name != "dyn" {
+                            if name == "for" {
+                                // Everything before `for` was the trait path;
+                                // its last segment is the trait name.
+                                tr = ty.take();
+                            } else if name != "dyn" {
                                 ty = Some(name.to_string());
                             }
                         }
@@ -315,7 +338,7 @@ impl Parser<'_> {
                     }
                     if self.punct(i) == Some('{') {
                         let close = self.match_brace(i, end);
-                        self.items(i + 1, close, ty.as_deref());
+                        self.items(i + 1, close, ty.as_deref(), tr.as_deref());
                         pos = close + 1;
                     } else {
                         self.ok = false;
@@ -334,21 +357,27 @@ impl Parser<'_> {
                     }
                     if self.punct(i) == Some('{') {
                         let close = self.match_brace(i, end);
-                        self.items(i + 1, close, name.as_deref());
+                        self.items(i + 1, close, name.as_deref(), None);
                         pos = close + 1;
                     } else {
                         self.ok = false;
                         pos = i + 1;
                     }
                 }
-                (Some("fn"), _) => pos = self.function(pos, end, owner),
+                (Some("fn"), _) => pos = self.function(pos, end, owner, trait_of),
                 _ => pos = self.skip_item(pos, end),
             }
         }
     }
 
     /// Parse one `fn` item starting at the `fn` keyword.
-    fn function(&mut self, pos: usize, end: usize, owner: Option<&str>) -> usize {
+    fn function(
+        &mut self,
+        pos: usize,
+        end: usize,
+        owner: Option<&str>,
+        trait_of: Option<&str>,
+    ) -> usize {
         let start_line = self.line(pos);
         let Some(name) = self.ident(pos + 1).map(str::to_string) else {
             self.ok = false;
@@ -365,6 +394,7 @@ impl Parser<'_> {
         // Parameters: split on top-level commas, drop the pattern before
         // the first top-level `:`.
         let mut params = Vec::new();
+        let mut param_names = Vec::new();
         let mut depth = 0i32;
         let open = i;
         let mut close = end;
@@ -412,6 +442,7 @@ impl Parser<'_> {
             if boundary {
                 if j > seg_start {
                     params.push(self.param_type(seg_start, j));
+                    param_names.push(self.param_name(seg_start, j));
                 }
                 seg_start = j + 1;
             }
@@ -445,7 +476,9 @@ impl Parser<'_> {
             self.fns.push(FnDef {
                 name,
                 owner: owner.map(str::to_string),
+                trait_of: trait_of.map(str::to_string),
                 params,
+                param_names,
                 ret,
                 start_line,
                 end_line: self.line(i),
@@ -461,12 +494,21 @@ impl Parser<'_> {
         }
         let body_close = self.match_brace(i, end);
         let body = (i + 1, body_close);
-        let calls = extract_calls(self.t, body.0, body.1);
+        let mut calls = extract_calls(self.t, body.0, body.1);
+        // Resolve each method call's raw receiver ident to a type name
+        // via locally apparent types (parameter annotations, `let x: T`,
+        // `let x = T::new(...)`, `let x = T { .. }`).
+        let types = self.local_type_names(body.0, body.1, &params, &param_names);
+        for call in &mut calls {
+            call.recv_type = call.recv_type.take().and_then(|r| types.get(&r).cloned());
+        }
         let matches = self.extract_matches(body.0, body.1);
         self.fns.push(FnDef {
             name,
             owner: owner.map(str::to_string),
+            trait_of: trait_of.map(str::to_string),
             params,
+            param_names,
             ret,
             start_line,
             end_line: self.line(body_close.min(end.saturating_sub(1))),
@@ -475,6 +517,109 @@ impl Parser<'_> {
             matches,
         });
         (body_close + 1).min(end)
+    }
+
+    /// Map of local/parameter name → apparent type name for a body range.
+    /// Deliberately shallow: parameter annotations plus `let x: T …`,
+    /// `let x = T::ctor(…)`, and `let x = T { … }` bindings. Anything the
+    /// body does not make apparent (field reads, match results) is absent,
+    /// which leaves resolution to the name-based fan-out.
+    fn local_type_names(
+        &self,
+        start: usize,
+        end: usize,
+        params: &[String],
+        param_names: &[String],
+    ) -> std::collections::BTreeMap<String, String> {
+        let mut map = std::collections::BTreeMap::new();
+        for (name, ty) in param_names.iter().zip(params) {
+            if !name.is_empty() && name != "self" {
+                if let Some(t) = first_type_name(ty) {
+                    map.insert(name.clone(), t);
+                }
+            }
+        }
+        let mut i = start;
+        while i < end {
+            if self.ident(i) != Some("let") {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            if self.ident(j) == Some("mut") {
+                j += 1;
+            }
+            let Some(name) = self.ident(j) else {
+                i += 1;
+                continue;
+            };
+            if self.punct(j + 1) == Some(':') && self.punct(j + 2) != Some(':') {
+                // `let x: T …` — first uppercase-initial ident of the
+                // annotation, stopping at `=` or `;`.
+                let mut k = j + 2;
+                while k < end {
+                    if matches!(self.punct(k), Some('=') | Some(';')) {
+                        break;
+                    }
+                    if let Some(t) = self.ident(k) {
+                        if t.starts_with(char::is_uppercase) {
+                            map.insert(name.to_string(), t.to_string());
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+            } else if self.punct(j + 1) == Some('=') && self.punct(j + 2) != Some('=') {
+                let mut k = j + 2;
+                while self.punct(k) == Some('&') || self.ident(k) == Some("mut") {
+                    k += 1;
+                }
+                if let Some(t) = self.ident(k) {
+                    let ctor = self.punct(k + 1) == Some(':') && self.punct(k + 2) == Some(':');
+                    let record = self.punct(k + 1) == Some('{');
+                    if t.starts_with(char::is_uppercase) && (ctor || record) {
+                        map.insert(name.to_string(), t.to_string());
+                    }
+                }
+            }
+            i = j + 1;
+        }
+        map
+    }
+
+    /// The binding name of one parameter segment: `self` for receivers,
+    /// otherwise the last ident of the pattern before the top-level `:`
+    /// (which handles `x`, `mut x`, and destructured `Foo(x)` shapes),
+    /// or `""` when nothing recoverable is bound.
+    fn param_name(&self, start: usize, end: usize) -> String {
+        let mut depth = 0i32;
+        let mut pat_end = end;
+        for i in start..end {
+            match self.punct(i) {
+                Some('(') | Some('[') | Some('<') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('>') if !matches!(self.punct(i.wrapping_sub(1)), Some('-') | Some('=')) => {
+                    depth -= 1
+                }
+                Some(':') if depth == 0 && self.punct(i + 1) != Some(':') && i > start => {
+                    pat_end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let mut last = None;
+        for i in start..pat_end {
+            if let Some(name) = self.ident(i) {
+                if name == "self" {
+                    return "self".to_string();
+                }
+                if name != "mut" && name != "ref" {
+                    last = Some(name);
+                }
+            }
+        }
+        last.unwrap_or("").to_string()
     }
 
     /// Flattened text of one parameter's type (tokens after the first
@@ -635,6 +780,23 @@ impl Parser<'_> {
     }
 }
 
+/// First uppercase-initial path segment of a flattened type string:
+/// `&mut Reader<'a>` → `Reader`, `&[u8]` → none.
+fn first_type_name(ty: &str) -> Option<String> {
+    let mut cur = String::new();
+    for c in ty.chars().chain(std::iter::once(' ')) {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if cur.starts_with(char::is_uppercase) {
+                return Some(cur);
+            }
+            cur.clear();
+        }
+    }
+    None
+}
+
 /// Extract call expressions from a token range.
 fn extract_calls(t: &[Tok], start: usize, end: usize) -> Vec<Call> {
     let ident = |i: usize| match t.get(i).map(|t| &t.kind) {
@@ -656,6 +818,7 @@ fn extract_calls(t: &[Tok], start: usize, end: usize) -> Vec<Call> {
             continue;
         }
         let method = i > start && punct(i - 1) == Some('.');
+        let recv_self = method && i >= 2 && ident(i - 2) == Some("self");
         // `name(` — a plain call; `name::<T>(` — a turbofish call.
         let mut after = i + 1;
         if punct(after) == Some(':')
@@ -688,12 +851,57 @@ fn extract_calls(t: &[Tok], start: usize, end: usize) -> Vec<Call> {
             } else {
                 None
             };
+        // Argument count: top-level commas inside the parens, ignoring
+        // commas between closure pipes (`|a, b| …` is one argument) and
+        // a trailing comma before the close.
+        let mut depth = 0i32;
+        let mut commas = 0usize;
+        let mut any_tok = false;
+        let mut in_pipe = false;
+        let mut last_comma = false;
+        let mut j = after;
+        while j < end {
+            match punct(j) {
+                Some('(') | Some('[') | Some('{') => depth += 1,
+                Some(')') | Some(']') | Some('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if last_comma {
+                            commas -= 1;
+                        }
+                        break;
+                    }
+                }
+                Some('|') if depth == 1 => in_pipe = !in_pipe,
+                Some(',') if depth == 1 && !in_pipe => commas += 1,
+                _ => {}
+            }
+            if depth == 1 {
+                last_comma = punct(j) == Some(',') && !in_pipe;
+            }
+            if depth == 1 && j > after {
+                any_tok = true;
+            }
+            j += 1;
+        }
+        let args = if any_tok { commas + 1 } else { 0 };
+        // The receiver ident for `x.name(...)` — only a bare local or
+        // parameter counts; `a.b.name(...)` reads a field whose type the
+        // body does not declare, so it stays unresolved.
+        let recv = if method && !recv_self && !(i >= 3 && punct(i - 3) == Some('.')) {
+            ident(i - 2).filter(|r| *r != "self").map(str::to_string)
+        } else {
+            None
+        };
         let Some(tok) = t.get(i) else { continue };
         out.push(Call {
             line: tok.line,
             name: name.to_string(),
             qualifier,
             method,
+            recv_self,
+            args,
+            recv_type: recv,
         });
     }
     out

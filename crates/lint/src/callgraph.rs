@@ -13,7 +13,10 @@
 //!   is `q` (`pcap::read_all`). A qualifier matching no known owner/stem
 //!   (e.g. `Vec`, `Option`) produces **no** edge.
 //! - `Self::f(…)` — candidates sharing the caller's impl owner.
-//! - `.f(…)` — every function named `f` (receiver types are unknown).
+//! - `.f(…)` — every receiver-taking function named `f` with matching
+//!   arity; narrowed to the enclosing type for `self.f(…)` and to the
+//!   receiver's type when a `let x: T` / `let x = T::…` binding or a
+//!   parameter annotation makes it locally apparent.
 //! - bare `f(…)` — free functions anywhere plus same-file functions.
 
 use crate::lexer::{Tok, TokKind};
@@ -146,7 +149,61 @@ impl CallGraph {
                 let cands = sym.named(&call.name);
                 let mut targets: Vec<usize> = Vec::new();
                 if call.method {
-                    targets.extend(cands.iter().copied());
+                    // `.f(…)` can only land on a function that takes a
+                    // receiver, and Rust has no overloading, so the
+                    // argument count must also match the candidate's arity.
+                    let viable: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&j| {
+                            let c = &sym.fns[j].def;
+                            c.params.first().is_some_and(|p| p.contains("Self"))
+                                && c.params.len() - 1 == call.args
+                        })
+                        .collect();
+                    if call.recv_self && f.def.owner.is_some() {
+                        // `self.f(...)` dispatches on the enclosing type:
+                        // prefer candidates sharing the owner, the owner's
+                        // trait impls (trait-default bodies fanning to
+                        // implementors), or the trait the owner implements.
+                        let own: Vec<usize> = viable
+                            .iter()
+                            .copied()
+                            .filter(|&j| {
+                                let c = &sym.fns[j].def;
+                                c.owner == f.def.owner
+                                    || c.trait_of == f.def.owner
+                                    || (f.def.trait_of.is_some() && c.owner == f.def.trait_of)
+                            })
+                            .collect();
+                        if own.is_empty() {
+                            // Method lives outside the owner's impl/trait
+                            // surface — fall back to receiver-taking fan-out.
+                            targets.extend(viable);
+                        } else {
+                            targets.extend(own);
+                        }
+                    } else if let Some(t) = &call.recv_type {
+                        // The receiver's type is locally apparent: keep
+                        // candidates on that type (or implementing a trait
+                        // for it), falling back to fan-out when none match.
+                        let typed: Vec<usize> = viable
+                            .iter()
+                            .copied()
+                            .filter(|&j| {
+                                let c = &sym.fns[j].def;
+                                c.owner.as_deref() == Some(t.as_str())
+                                    || c.trait_of.as_deref() == Some(t.as_str())
+                            })
+                            .collect();
+                        if typed.is_empty() {
+                            targets.extend(viable);
+                        } else {
+                            targets.extend(typed);
+                        }
+                    } else {
+                        targets.extend(viable);
+                    }
                 } else if let Some(q) = &call.qualifier {
                     if q == "Self" {
                         targets.extend(cands.iter().copied().filter(|&j| {
@@ -199,6 +256,33 @@ impl CallGraph {
         while let Some(i) = queue.pop_front() {
             for e in &self.out[i] {
                 if allowed.contains(&e.callee) && seen.insert(e.callee) {
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Forward closure of `roots` restricted to `allowed`, keeping the
+    /// BFS tree: for every reached non-root function, the caller it was
+    /// first discovered from. Deterministic (queue order over sorted
+    /// adjacency → shortest chain, lowest id ties). Used by the hot-path
+    /// allocation gate to print how an allocation site is reached.
+    pub fn reachable_with_parents(
+        &self,
+        roots: impl IntoIterator<Item = usize>,
+        allowed: &BTreeSet<usize>,
+    ) -> BTreeMap<usize, Option<usize>> {
+        let mut seen: BTreeMap<usize, Option<usize>> = roots
+            .into_iter()
+            .filter(|i| allowed.contains(i))
+            .map(|i| (i, None))
+            .collect();
+        let mut queue: VecDeque<usize> = seen.keys().copied().collect();
+        while let Some(i) = queue.pop_front() {
+            for e in &self.out[i] {
+                if allowed.contains(&e.callee) && !seen.contains_key(&e.callee) {
+                    seen.insert(e.callee, Some(i));
                     queue.push_back(e.callee);
                 }
             }

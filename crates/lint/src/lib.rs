@@ -25,6 +25,9 @@
 //! | `wraparound-arithmetic` | `wire/*`, `core/*`         | raw `+`/`-`/`*` on seq/ack/offset-named values |
 //! | `exhaustive-signature-match` | all pipeline crates   | `_` wildcards / catch-all bindings in a `match` over `Signature` |
 //! | `discarded-wire-error` | all pipeline crates         | `let _ =` / `.ok()` swallowing a `Result<_, WireError>` |
+//! | `hot-path-alloc` | all pipeline crates             | fresh allocations ([`dataflow::alloc_sites`]) on functions call-graph-reachable from the [`HOT_ROOTS`] registry |
+//! | `untrusted-len-alloc` | untrusted-reachable parse surface | wire-derived lengths flowing into `with_capacity`/`vec![_; n]`/index sinks unclamped |
+//! | `cast-truncation` | `wire/*`, `core/*`             | raw `as` narrowing of seq/ack/len/off-named values |
 //! | `taxonomy`     | signature.rs / golden / DESIGN.md   | drift between the three |
 //!
 //! The pipeline runs in two phases. Phase 1 scans each file alone
@@ -33,11 +36,16 @@
 //! a pipeline function whose call chain reaches `Instant::now` two crates
 //! away is flagged at its call site, with the chain in the message; (b)
 //! runs the discarded-wire-error rule against the workspace-wide
-//! return-type table; (c) restricts `panic`/`index` findings to functions
+//! return-type table; (c) builds per-function use-def chains ([`dataflow`])
+//! and runs the three dataflow rule families — `untrusted-len-alloc` and
+//! `cast-truncation` per file, `hot-path-alloc` over the forward closure
+//! of the [`HOT_ROOTS`] registry with the discovery chain in the message;
+//! (d) restricts `panic`/`index` findings to functions
 //! reachable from untrusted-input roots (parse/read/run/…-named functions
 //! or those taking `&[u8]`/`Reader` parameters), so emit-side code on the
 //! parse surface no longer needs waivers. Files the parser loses sync on
-//! fail closed: every finding in them is kept.
+//! fail closed: every finding in them is kept, and the dataflow rules
+//! treat every site as live and every value as unsanitized.
 //!
 //! A finding is waived in source with
 //! `// tamperlint: allow(<rule>) — <reason>`; unused or malformed waivers
@@ -49,6 +57,7 @@
 pub mod ast;
 pub mod baseline;
 pub mod callgraph;
+pub mod dataflow;
 pub mod fingerprint;
 pub mod lexer;
 pub mod rules;
@@ -65,6 +74,20 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+/// The declared hot roots of the per-flow pipeline: `(owner, fn)` pairs
+/// matched against a function's `impl` owner *or* the trait an
+/// `impl Trait for Type` block implements. Everything the call graph can
+/// reach from these runs once per packet or per flow at line rate, so
+/// `hot-path-alloc` bans fresh allocations on the whole closure.
+pub const HOT_ROOTS: [(&str, &str); 6] = [
+    ("FlowMachine", "process"),
+    ("FlowMachine", "analyze"),
+    ("FlowSource", "fill"),
+    ("SourceShard", "fill"),
+    ("SourceShard", "absorb"),
+    ("EndpointMachine", "process"),
+];
+
 /// The outcome of a whole-repo analysis.
 #[derive(Debug, Default)]
 pub struct Analysis {
@@ -76,6 +99,9 @@ pub struct Analysis {
     pub files_scanned: usize,
     /// Wall-clock runtime of the analysis.
     pub runtime_ms: u64,
+    /// Per-stage dataflow timings, microseconds (build + one entry per
+    /// dataflow rule family).
+    pub rule_timings: Vec<(&'static str, u64)>,
 }
 
 impl Analysis {
@@ -130,6 +156,14 @@ impl Analysis {
                 out.push_str(&format!("  {rule}: {fired} finding(s), {waived} waived\n"));
             }
         }
+        if !self.rule_timings.is_empty() {
+            let parts: Vec<String> = self
+                .rule_timings
+                .iter()
+                .map(|(stage, us)| format!("{stage} {us}µs"))
+                .collect();
+            out.push_str(&format!("  dataflow: {}\n", parts.join(", ")));
+        }
         out.push_str(if self.ok() {
             "tamperlint: PASS\n"
         } else {
@@ -175,6 +209,14 @@ impl Analysis {
         out.push_str(&format!("\"runtime_ms\":{},", self.runtime_ms));
         out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
         out.push_str(&format!("\"waived\":{},", self.waived.len()));
+        out.push_str("\"dataflow_timing_us\":{");
+        let timings: Vec<String> = self
+            .rule_timings
+            .iter()
+            .map(|(stage, us)| format!("{}:{us}", json_escape(stage)))
+            .collect();
+        out.push_str(&timings.join(","));
+        out.push_str("},");
         out.push_str("\"rule_counts\":{");
         let counts: Vec<String> = self
             .rule_counts()
@@ -241,8 +283,9 @@ fn scan_ctx(files: &[(&str, &str)]) -> ScanCtx {
 }
 
 /// Phase 2: the cross-file analyses over per-file scans, then waiver
-/// application. Returns one [`FileLint`] per scan, in order.
-fn run_pipeline(scans: &mut [FileScan]) -> Vec<FileLint> {
+/// application. Returns one [`FileLint`] per scan, in order, plus the
+/// per-stage dataflow timings (microseconds).
+fn run_pipeline(scans: &mut [FileScan]) -> (Vec<FileLint>, Vec<(&'static str, u64)>) {
     // The linter's own sources are scanned (map-iter self-lint) but stay
     // out of the graph: the lint crate measures wall-clock by design and
     // must not become a phantom ambient sink for its callers.
@@ -349,6 +392,181 @@ fn run_pipeline(scans: &mut [FileScan]) -> Vec<FileLint> {
         }
     }
 
+    // --- Dataflow: per-function use-def chains, then the three rule
+    // families built on them. Unparsed files fail closed inside each
+    // rule's whole-file variant.
+    let mut timings: Vec<(&'static str, u64)> = Vec::new();
+    let t = Instant::now();
+    let flows: Vec<Vec<dataflow::FnFlow>> = scans
+        .iter()
+        .map(|s| {
+            let wanted = s.scope.hot_alloc || s.scope.taint_len || s.scope.cast_trunc;
+            if wanted && s.parsed.parsed_ok {
+                s.parsed
+                    .fns
+                    .iter()
+                    .map(|f| dataflow::flow_of(&s.code, f))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    timings.push(("dataflow-build", t.elapsed().as_micros() as u64));
+
+    // untrusted-len-alloc: wire-derived lengths must be clamped before
+    // sizing an allocation or indexing.
+    let t = Instant::now();
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+    for (si, scan) in scans.iter().enumerate() {
+        if !scan.scope.taint_len {
+            continue;
+        }
+        if scan.parsed.parsed_ok {
+            for (local, f) in scan.parsed.fns.iter().enumerate() {
+                for ff in dataflow::untrusted_len_findings(&scan.code, f, &flows[si][local]) {
+                    extra.push((
+                        si,
+                        Finding::new(&scan.path, ff.line, "untrusted-len-alloc", ff.message),
+                    ));
+                }
+            }
+        } else {
+            for ff in dataflow::untrusted_len_fail_closed(&scan.code) {
+                extra.push((
+                    si,
+                    Finding::new(&scan.path, ff.line, "untrusted-len-alloc", ff.message),
+                ));
+            }
+        }
+    }
+    for (si, f) in extra {
+        scans[si].raw.push(f);
+    }
+    timings.push(("untrusted-len-alloc", t.elapsed().as_micros() as u64));
+
+    // cast-truncation: raw `as` narrowing on seq/ack/len-named values.
+    let t = Instant::now();
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+    for (si, scan) in scans.iter().enumerate() {
+        if !scan.scope.cast_trunc {
+            continue;
+        }
+        if scan.parsed.parsed_ok {
+            for (local, f) in scan.parsed.fns.iter().enumerate() {
+                let (b0, b1) = f.body;
+                for ff in dataflow::cast_findings(&scan.code, b0, b1, Some(&flows[si][local])) {
+                    extra.push((
+                        si,
+                        Finding::new(&scan.path, ff.line, "cast-truncation", ff.message),
+                    ));
+                }
+            }
+        } else {
+            for ff in dataflow::cast_findings(&scan.code, 0, scan.code.len(), None) {
+                extra.push((
+                    si,
+                    Finding::new(&scan.path, ff.line, "cast-truncation", ff.message),
+                ));
+            }
+        }
+    }
+    for (si, f) in extra {
+        scans[si].raw.push(f);
+    }
+    timings.push(("cast-truncation", t.elapsed().as_micros() as u64));
+
+    // hot-path-alloc: fresh allocations on the forward closure of the
+    // HOT_ROOTS registry, with the BFS discovery chain in the message.
+    let t = Instant::now();
+    let mut fn_home: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+    let mut hot_fns: BTreeSet<usize> = BTreeSet::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (path, _) in &graph_files {
+        let si = scan_idx[path.as_str()];
+        for (local, id) in sym.file_fns(path).iter().enumerate() {
+            fn_home.insert(*id, (si, local));
+            if scans[si].scope.hot_alloc {
+                hot_fns.insert(*id);
+            }
+        }
+    }
+    for &id in &hot_fns {
+        let d = &sym.fns[id].def;
+        let is_root = HOT_ROOTS.iter().any(|(owner, name)| {
+            d.name == *name
+                && (d.owner.as_deref() == Some(*owner) || d.trait_of.as_deref() == Some(*owner))
+        });
+        if is_root {
+            roots.push(id);
+        }
+    }
+    let tree = graph.reachable_with_parents(roots.iter().copied(), &hot_fns);
+    let label = |id: usize| {
+        let d = &sym.fns[id].def;
+        match &d.owner {
+            Some(o) => format!("{o}::{}", d.name),
+            None => format!("{}()", d.name),
+        }
+    };
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+    for &fid in tree.keys() {
+        let (si, local) = fn_home[&fid];
+        let scan = &scans[si];
+        if !scan.parsed.parsed_ok {
+            continue; // handled by the whole-file fail-closed pass below
+        }
+        let (b0, b1) = scan.parsed.fns[local].body;
+        let flow = flows[si].get(local);
+        for site in dataflow::alloc_sites(&scan.code, b0, b1, flow) {
+            let mut chain = vec![label(fid)];
+            let mut cur = fid;
+            while let Some(Some(parent)) = tree.get(&cur) {
+                cur = *parent;
+                chain.push(label(cur));
+            }
+            chain.reverse();
+            let message = if chain.len() == 1 {
+                format!("fresh allocation {} in hot root {}", site.what, chain[0])
+            } else {
+                format!(
+                    "fresh allocation {} on a hot path: reached from {} via {}",
+                    site.what,
+                    chain[0],
+                    chain[1..].join(" → ")
+                )
+            };
+            extra.push((
+                si,
+                Finding::new(&scan.path, site.line, "hot-path-alloc", message),
+            ));
+        }
+    }
+    // Fail closed: a hot-scope file the parser lost sync on could hide
+    // hot-reachable functions, so every allocation site in it is flagged.
+    for (si, scan) in scans.iter().enumerate() {
+        if scan.scope.hot_alloc && !scan.parsed.parsed_ok {
+            for site in dataflow::alloc_sites(&scan.code, 0, scan.code.len(), None) {
+                extra.push((
+                    si,
+                    Finding::new(
+                        &scan.path,
+                        site.line,
+                        "hot-path-alloc",
+                        format!(
+                            "fresh allocation {} in a file the parser lost sync on (fail closed)",
+                            site.what
+                        ),
+                    ),
+                ));
+            }
+        }
+    }
+    for (si, f) in extra {
+        scans[si].raw.push(f);
+    }
+    timings.push(("hot-path-alloc", t.elapsed().as_micros() as u64));
+
     // --- Untrusted-reachability scoping for panic/index. ---
     let mut surface: BTreeSet<usize> = BTreeSet::new();
     for (path, _) in &graph_files {
@@ -389,10 +607,11 @@ fn run_pipeline(scans: &mut [FileScan]) -> Vec<FileLint> {
     }
 
     // --- Waivers last, so retired findings surface stale waivers. ---
-    scans
+    let lints = scans
         .iter_mut()
         .map(|scan| rules::apply_waivers(&scan.path, std::mem::take(&mut scan.raw), &scan.waivers))
-        .collect()
+        .collect();
+    (lints, timings)
 }
 
 /// Analyze a set of in-memory sources as one workspace: the full
@@ -405,9 +624,10 @@ pub fn analyze_sources(files: &[(&str, &str)]) -> Analysis {
         .iter()
         .map(|(path, src)| rules::scan_file(path, src, rules::scope_for(path), &ctx))
         .collect();
-    let lints = run_pipeline(&mut scans);
+    let (lints, timings) = run_pipeline(&mut scans);
     let mut analysis = Analysis {
         files_scanned: scans.len(),
+        rule_timings: timings,
         ..Analysis::default()
     };
     for lint in lints {
@@ -423,7 +643,7 @@ pub fn analyze_sources(files: &[(&str, &str)]) -> Analysis {
 pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
     let ctx = scan_ctx(&[(path, src)]);
     let mut scans = vec![rules::scan_file(path, src, scope, &ctx)];
-    run_pipeline(&mut scans).pop().unwrap_or_default()
+    run_pipeline(&mut scans).0.pop().unwrap_or_default()
 }
 
 /// Lint one source string under the scope its path would get in the repo.
@@ -454,9 +674,10 @@ pub fn analyze(root: &Path) -> Analysis {
         .iter()
         .map(|(path, src)| rules::scan_file(path, src, rules::scope_for(path), &ctx))
         .collect();
-    let lints = run_pipeline(&mut scans);
+    let (lints, timings) = run_pipeline(&mut scans);
     let mut analysis = Analysis {
         files_scanned: scans.len(),
+        rule_timings: timings,
         ..Analysis::default()
     };
     for lint in lints {

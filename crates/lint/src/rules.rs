@@ -26,7 +26,7 @@ use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// All lint rules, in reporting order.
-pub const RULES: [&str; 12] = [
+pub const RULES: [&str; 15] = [
     "map-iter",
     "ambient-clock",
     "clock-containment",
@@ -37,6 +37,9 @@ pub const RULES: [&str; 12] = [
     "wraparound-arithmetic",
     "exhaustive-signature-match",
     "discarded-wire-error",
+    "hot-path-alloc",
+    "untrusted-len-alloc",
+    "cast-truncation",
     "taxonomy",
     "waiver",
 ];
@@ -148,6 +151,15 @@ pub struct Scope {
     /// `discarded-wire-error`: pipeline crates must not silently swallow
     /// `Result<_, WireError>`.
     pub discard: bool,
+    /// `hot-path-alloc`: fresh allocations reachable from the declared
+    /// hot roots (see `HOT_ROOTS` in the crate root).
+    pub hot_alloc: bool,
+    /// `untrusted-len-alloc`: wire-derived lengths must be clamped before
+    /// sizing an allocation or indexing.
+    pub taint_len: bool,
+    /// `cast-truncation`: raw `as` narrowing of seq/ack/len/off-named
+    /// values in sequence-space code.
+    pub cast_trunc: bool,
 }
 
 impl Scope {
@@ -159,7 +171,10 @@ impl Scope {
             || self.panic_index
             || self.wraparound
             || self.sig_match
-            || self.discard)
+            || self.discard
+            || self.hot_alloc
+            || self.taint_len
+            || self.cast_trunc)
     }
 }
 
@@ -203,12 +218,29 @@ pub fn scope_for(path: &str) -> Scope {
         wraparound: path.starts_with("crates/wire/src/") || path.starts_with("crates/core/src/"),
         sig_match: pipeline,
         discard: pipeline,
+        // The hot-root closure can cross any pipeline crate, so every one
+        // of them is in scope; findings only materialize on functions the
+        // call graph proves reachable from a hot root.
+        hot_alloc: pipeline,
+        // Untrusted lengths are read exactly where untrusted bytes are
+        // parsed: the same surface the panic/index rules police.
+        taint_len: path.starts_with("crates/wire/src/")
+            || matches!(
+                path,
+                "crates/capture/src/pcap.rs"
+                    | "crates/capture/src/offline.rs"
+                    | "crates/capture/src/engine.rs"
+                    | "crates/capture/src/source.rs"
+            ),
+        // Narrowing casts on sequence-space values: same home as the
+        // wraparound rule.
+        cast_trunc: path.starts_with("crates/wire/src/") || path.starts_with("crates/core/src/"),
     }
 }
 
 /// Keywords that may directly precede `[` without it being an index
 /// expression (patterns, array types, expression starts).
-const NON_INDEX_KEYWORDS: [&str; 14] = [
+pub(crate) const NON_INDEX_KEYWORDS: [&str; 14] = [
     "let", "mut", "ref", "in", "if", "else", "match", "return", "as", "const", "static", "move",
     "box", "dyn",
 ];

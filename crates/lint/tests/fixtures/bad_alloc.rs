@@ -1,0 +1,16 @@
+//! hot-path-alloc fixture: a declared hot root allocating directly; a
+//! cold sibling allocating freely stays clean.
+pub struct FlowMachine;
+
+impl FlowMachine {
+    pub fn process(&mut self) -> Vec<u8> {
+        let buf = Vec::new();
+        let tag = format!("x");
+        drop(tag);
+        buf
+    }
+
+    pub fn cold_report(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}

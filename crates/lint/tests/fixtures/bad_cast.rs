@@ -1,0 +1,15 @@
+//! cast-truncation fixture: raw `as` narrowing on sequence-space and
+//! length-named values; clamped variants stay clean.
+pub fn emit(seq: u32, payload_len: usize) -> (u16, u8) {
+    let s = seq as u16;
+    let l = payload_len as u8;
+    (s, l)
+}
+
+pub fn emit_clamped(payload_len: usize) -> u16 {
+    payload_len.min(1500) as u16
+}
+
+pub fn emit_checked(payload_len: usize) -> u16 {
+    u16::try_from(payload_len).unwrap_or(u16::MAX)
+}

@@ -1,0 +1,22 @@
+//! untrusted-len-alloc fixture: wire-read lengths sizing allocations.
+//! `parse_record` never clamps; `parse_clamped` and `parse_guarded` do.
+pub fn parse_record(r: &mut Reader) -> Vec<u8> {
+    let n = r.u16() as usize;
+    let body = Vec::with_capacity(n);
+    let pad = vec![0u8; n];
+    drop(pad);
+    body
+}
+
+pub fn parse_clamped(r: &mut Reader) -> Vec<u8> {
+    let n = r.u16() as usize;
+    Vec::with_capacity(n.min(1500))
+}
+
+pub fn parse_guarded(r: &mut Reader) -> Vec<u8> {
+    let n = r.u16() as usize;
+    if n > 1500 {
+        return Vec::new();
+    }
+    Vec::with_capacity(n)
+}

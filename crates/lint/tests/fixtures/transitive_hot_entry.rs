@@ -1,0 +1,9 @@
+//! Transitive hot-path fixture: the hot-root trait impl never allocates
+//! itself but reaches an allocation two hops away (relay → sink).
+pub struct PcapShard;
+
+impl SourceShard for PcapShard {
+    fn absorb(&mut self, frame: &[u8]) -> usize {
+        relay_stash(frame)
+    }
+}

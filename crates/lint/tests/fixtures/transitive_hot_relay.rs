@@ -1,0 +1,5 @@
+//! Middle hop of the transitive hot-path fixture: forwards the frame
+//! without allocating.
+pub fn relay_stash(frame: &[u8]) -> usize {
+    sink_grow(frame)
+}

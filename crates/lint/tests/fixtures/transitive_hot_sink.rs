@@ -1,0 +1,6 @@
+//! Final hop of the transitive hot-path fixture: the allocation lives
+//! here, two calls from the hot root.
+pub fn sink_grow(frame: &[u8]) -> usize {
+    let copy = frame.to_vec();
+    copy.len()
+}

@@ -1,0 +1,208 @@
+//! v3 gate tests: the dataflow rule families (`hot-path-alloc`,
+//! `untrusted-len-alloc`, `cast-truncation`) — fire/waive behaviour on
+//! fixtures, transitive reach from a hot root two hops out, fingerprint
+//! stability under line shifts, and determinism of the full pipeline
+//! with the new families active.
+
+use tamper_lint::{analyze_sources, lint_source, Finding};
+
+/// Virtual in-scope paths for the fixtures.
+const CORE: &str = "crates/core/src/fixture.rs";
+const WIRE: &str = "crates/wire/src/fixture.rs";
+
+fn fired(findings: &[Finding]) -> Vec<(&str, u32)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+// --- hot-path-alloc ---
+
+#[test]
+fn hot_alloc_fires_in_a_root_and_spares_cold_siblings() {
+    let lint = lint_source(CORE, include_str!("fixtures/bad_alloc.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("hot-path-alloc", 7), // Vec::new in process
+            ("hot-path-alloc", 8), // format! in process
+        ],
+        "{:?}",
+        lint.findings
+    );
+    assert!(
+        lint.findings[0]
+            .message
+            .contains("in hot root FlowMachine::process"),
+        "{}",
+        lint.findings[0].message
+    );
+    // `cold_report` allocates too (line 14) but is not hot-reachable.
+}
+
+#[test]
+fn hot_alloc_reaches_a_sink_two_hops_from_the_root() {
+    const ENTRY: &str = "crates/capture/src/transitive_hot_entry.rs";
+    const RELAY: &str = "crates/capture/src/transitive_hot_relay.rs";
+    const SINK: &str = "crates/capture/src/transitive_hot_sink.rs";
+    let analysis = analyze_sources(&[
+        (ENTRY, include_str!("fixtures/transitive_hot_entry.rs")),
+        (RELAY, include_str!("fixtures/transitive_hot_relay.rs")),
+        (SINK, include_str!("fixtures/transitive_hot_sink.rs")),
+    ]);
+    let got: Vec<(&str, &str, u32)> = analysis
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.rule, f.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(SINK, "hot-path-alloc", 4)],
+        "{:?}",
+        analysis.findings
+    );
+    let msg = &analysis.findings[0].message;
+    assert!(msg.contains(".to_vec()"), "{msg}");
+    assert!(
+        msg.contains("reached from PcapShard::absorb via relay_stash() → sink_grow()"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn hot_alloc_waiver_suppresses_the_finding() {
+    let src = "pub struct FlowMachine;\n\
+        impl FlowMachine {\n    \
+        pub fn process(&mut self) -> Vec<u8> {\n        \
+        // tamperlint: allow(hot-path-alloc) — fixture: scratch grown once at machine birth\n        \
+        Vec::new()\n    \
+        }\n}\n";
+    let lint = lint_source(CORE, src);
+    assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+    assert_eq!(fired(&lint.waived), vec![("hot-path-alloc", 5)]);
+}
+
+// --- untrusted-len-alloc ---
+
+#[test]
+fn taint_fires_on_unclamped_wire_lengths_only() {
+    let lint = lint_source(WIRE, include_str!("fixtures/bad_taint_len.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("untrusted-len-alloc", 5), // Vec::with_capacity(n)
+            ("untrusted-len-alloc", 6), // vec![0u8; n]
+        ],
+        "{:?}",
+        lint.findings
+    );
+    assert!(
+        lint.findings[0].message.contains("wire-derived length `n`"),
+        "{}",
+        lint.findings[0].message
+    );
+    // `parse_clamped` (.min) and `parse_guarded` (bounds check) are clean.
+}
+
+#[test]
+fn taint_waiver_suppresses_the_finding() {
+    let src = "pub fn parse(r: &mut Reader) -> Vec<u8> {\n    \
+        let n = r.u16() as usize;\n    \
+        // tamperlint: allow(untrusted-len-alloc) — fixture: n bounded by record framing upstream\n    \
+        Vec::with_capacity(n)\n}\n";
+    let lint = lint_source(WIRE, src);
+    assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+    assert_eq!(fired(&lint.waived), vec![("untrusted-len-alloc", 4)]);
+}
+
+// --- cast-truncation ---
+
+#[test]
+fn cast_fires_on_raw_narrowing_and_respects_clamps() {
+    let lint = lint_source(WIRE, include_str!("fixtures/bad_cast.rs"));
+    assert_eq!(
+        fired(&lint.findings),
+        vec![
+            ("cast-truncation", 4), // seq as u16
+            ("cast-truncation", 5), // payload_len as u8
+        ],
+        "{:?}",
+        lint.findings
+    );
+    assert!(
+        lint.findings[0].message.contains("`seq as u16`"),
+        "{}",
+        lint.findings[0].message
+    );
+    // `emit_clamped` (.min before cast) and `emit_checked` (try_from) clean.
+}
+
+#[test]
+fn cast_waiver_suppresses_the_finding() {
+    let src = "pub fn emit(payload_len: usize) -> u16 {\n    \
+        // tamperlint: allow(cast-truncation) — fixture: callers guarantee MTU-bounded lengths\n    \
+        payload_len as u16\n}\n";
+    let lint = lint_source(WIRE, src);
+    assert!(lint.findings.is_empty(), "{:?}", lint.findings);
+    assert_eq!(fired(&lint.waived), vec![("cast-truncation", 3)]);
+}
+
+// --- fingerprint stability ---
+
+#[test]
+fn dataflow_fingerprints_survive_line_shifts() {
+    for fixture in [
+        include_str!("fixtures/bad_alloc.rs"),
+        include_str!("fixtures/bad_taint_len.rs"),
+        include_str!("fixtures/bad_cast.rs"),
+    ] {
+        let path = if fixture.contains("FlowMachine") {
+            CORE
+        } else {
+            WIRE
+        };
+        let shifted = format!("// padding line one\n// padding line two\n\n{fixture}");
+        let a = analyze_sources(&[(path, fixture)]);
+        let b = analyze_sources(&[(path, shifted.as_str())]);
+        assert!(!a.findings.is_empty());
+        let fa: Vec<&str> = a.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+        let fb: Vec<&str> = b.findings.iter().map(|f| f.fingerprint.as_str()).collect();
+        assert_eq!(fa, fb, "fingerprints churned on a pure line shift");
+        let la: Vec<u32> = a.findings.iter().map(|f| f.line).collect();
+        let lb: Vec<u32> = b.findings.iter().map(|f| f.line).collect();
+        assert_ne!(la, lb, "the lines themselves must have moved");
+    }
+}
+
+// --- pipeline determinism with the new families active ---
+
+#[test]
+fn dataflow_stages_report_timings_and_stay_deterministic() {
+    let files = [
+        (CORE, include_str!("fixtures/bad_alloc.rs")),
+        (WIRE, include_str!("fixtures/bad_cast.rs")),
+    ];
+    let a = analyze_sources(&files);
+    let b = analyze_sources(&files);
+    let fp = |x: &tamper_lint::Analysis| -> Vec<String> {
+        x.findings.iter().map(|f| f.fingerprint.clone()).collect()
+    };
+    assert_eq!(fp(&a), fp(&b), "dataflow pipeline is not deterministic");
+    let stages: Vec<&str> = a.rule_timings.iter().map(|(s, _)| *s).collect();
+    for want in [
+        "dataflow-build",
+        "untrusted-len-alloc",
+        "cast-truncation",
+        "hot-path-alloc",
+    ] {
+        assert!(stages.contains(&want), "missing stage {want}: {stages:?}");
+    }
+}
+
+#[test]
+fn the_three_dataflow_families_are_registered_rules() {
+    for rule in ["hot-path-alloc", "untrusted-len-alloc", "cast-truncation"] {
+        assert!(
+            tamper_lint::rules::RULES.contains(&rule),
+            "{rule} missing from RULES"
+        );
+    }
+}

@@ -325,6 +325,7 @@ impl Client {
         if self.cfg.syn_options {
             segment_options(tsval_at(now), self.server_tsval)
         } else {
+            // tamperlint: allow(hot-path-alloc) — zero-capacity Vec for the no-options case; Vec::new never touches the heap
             Vec::new()
         }
     }

@@ -19,7 +19,9 @@ pub struct Actions<T> {
 impl<T> Default for Actions<T> {
     fn default() -> Actions<T> {
         Actions {
+            // tamperlint: allow(hot-path-alloc) — zero-capacity Vecs: the empty Actions shell defers any heap use to the first emit
             emits: Vec::new(),
+            // tamperlint: allow(hot-path-alloc) — zero-capacity Vecs: the empty Actions shell defers any heap use to the first emit
             timers: Vec::new(),
         }
     }
@@ -139,6 +141,7 @@ impl IpIdGen {
 /// The options a modern stack puts on non-SYN segments once timestamps
 /// were negotiated: `NOP NOP Timestamps`.
 pub fn segment_options(tsval: u32, tsecr: u32) -> Vec<TcpOption> {
+    // tamperlint: allow(hot-path-alloc) — three-entry option list owned by the emitted segment; the sim composes owned packets by design
     vec![
         TcpOption::Nop,
         TcpOption::Nop,

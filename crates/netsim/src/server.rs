@@ -149,6 +149,7 @@ impl Server {
                 TcpFlags::ACK
             };
             let len = self.cfg.segment_len as usize;
+            // tamperlint: allow(hot-path-alloc) — the response body is owned by the emitted packet; the sim composes owned packets by design
             let body = Bytes::from(vec![b'D'; len]);
             let opts = self.seg_options(now);
             let seq = self.snd_nxt;

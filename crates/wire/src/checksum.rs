@@ -67,7 +67,9 @@ pub fn tcp_checksum_v4(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> u16 {
     c.add_bytes(&src.octets());
     c.add_bytes(&dst.octets());
     c.add_u16(6); // protocol = TCP, with zero padding byte
-    c.add_u16(segment.len() as u16);
+                  // A >64KiB segment cannot be a valid IPv4 TCP segment; saturate rather
+                  // than silently wrapping the pseudo-header length.
+    c.add_u16(u16::try_from(segment.len()).unwrap_or(u16::MAX));
     c.add_bytes(segment);
     c.finish()
 }
@@ -77,7 +79,7 @@ pub fn tcp_checksum_v6(src: Ipv6Addr, dst: Ipv6Addr, segment: &[u8]) -> u16 {
     let mut c = Checksum::new();
     c.add_bytes(&src.octets());
     c.add_bytes(&dst.octets());
-    c.add_u32(segment.len() as u32);
+    c.add_u32(u32::try_from(segment.len()).unwrap_or(u32::MAX));
     c.add_u32(6); // next header = TCP in the low byte
     c.add_bytes(segment);
     c.finish()

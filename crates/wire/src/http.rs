@@ -21,9 +21,11 @@ pub struct HttpRequest {
 
 /// Build a plain HTTP/1.1 GET request.
 pub fn build_get(host: &str, path: &str, user_agent: &str) -> Bytes {
+    // tamperlint: allow(hot-path-alloc) — the simulated client composes one owned request per flow
     let req = format!(
         "GET {path} HTTP/1.1\r\nHost: {host}\r\nUser-Agent: {user_agent}\r\nAccept: */*\r\nConnection: keep-alive\r\n\r\n"
     );
+    // tamperlint: allow(hot-path-alloc) — the simulated client composes one owned request per flow
     Bytes::from(req)
 }
 
@@ -96,6 +98,51 @@ pub fn parse_request(payload: &[u8]) -> Result<HttpRequest> {
         host,
         user_agent,
     })
+}
+
+/// Extract just the lowercased Host header from a request head. This is
+/// the hot-path variant of [`parse_request`]: the per-flow trigger
+/// extraction only needs the domain, so nothing else is materialized —
+/// the one allocation is the returned host string the verdict owns.
+///
+/// ```
+/// let req = tamper_wire::http::build_get("Example.com", "/x", "demo/1.0");
+/// let host = tamper_wire::http::parse_host(&req).unwrap();
+/// assert_eq!(host.as_deref(), Some("example.com"));
+/// ```
+pub fn parse_host(payload: &[u8]) -> Result<Option<String>> {
+    const BAD: WireError = WireError::Malformed("http request line");
+    if !is_http_request(payload) {
+        return Err(BAD);
+    }
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(e) => payload
+            .get(..e.valid_up_to())
+            .and_then(|head| std::str::from_utf8(head).ok())
+            .ok_or(WireError::Malformed("http head utf-8"))?,
+    };
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or(BAD)?;
+    if !request_line
+        .rsplit(' ')
+        .next()
+        .is_some_and(|v| v.starts_with("HTTP/"))
+    {
+        return Err(BAD);
+    }
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("host") {
+                // tamperlint: allow(hot-path-alloc) — the lowercased Host string is the verdict-owned trigger domain; one bounded allocation per HTTP flow
+                return Ok(Some(value.trim().to_ascii_lowercase()));
+            }
+        }
+    }
+    Ok(None)
 }
 
 /// Case-insensitive substring search over a payload — the primitive behind

@@ -98,7 +98,9 @@ impl Ipv4Header {
     /// Emit the header into `buf` with `payload_len` bytes of payload to
     /// follow; computes total length and header checksum.
     pub fn emit(&self, buf: &mut BytesMut, payload_len: usize) {
-        let total = (IPV4_HEADER_LEN + payload_len) as u16;
+        // The sim never builds >64KiB datagrams; saturate rather than wrap
+        // the on-wire total-length field if a caller ever does.
+        let total = u16::try_from(IPV4_HEADER_LEN + payload_len).unwrap_or(u16::MAX);
         let start = buf.len();
         buf.put_u8(0x45); // version 4, IHL 5
         buf.put_u8(self.dscp_ecn);

@@ -82,7 +82,7 @@ impl Ipv6Header {
         buf.put_u8(0x60 | (self.traffic_class >> 4));
         buf.put_u8((self.traffic_class << 4) | ((self.flow_label >> 16) as u8 & 0x0F));
         buf.put_u16((self.flow_label & 0xFFFF) as u16);
-        buf.put_u16(payload_len as u16);
+        buf.put_u16(u16::try_from(payload_len).unwrap_or(u16::MAX));
         buf.put_u8(self.next_header);
         buf.put_u8(self.hop_limit);
         buf.put_slice(&self.src.octets());

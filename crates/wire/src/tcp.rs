@@ -90,6 +90,7 @@ impl TcpHeader {
             flags,
             window: 65535,
             urgent: 0,
+            // tamperlint: allow(hot-path-alloc) — zero-capacity Vec; builders fill it per composed segment
             options: Vec::new(),
         }
     }
@@ -137,6 +138,7 @@ impl TcpHeader {
             .checked_sub(TCP_HEADER_LEN)
             .ok_or(WireError::BadLength)?;
         let mut opts = Reader::new(r.take(opts_len)?);
+        // tamperlint: allow(hot-path-alloc) — zero-capacity Vec: headers without options (the common case) never touch the heap
         let mut options = Vec::new();
         while !opts.is_empty() {
             let kind = opts.u8()?;
@@ -167,6 +169,7 @@ impl TcpHeader {
                         },
                         _ => TcpOption::Unknown {
                             kind,
+                            // tamperlint: allow(hot-path-alloc) — unknown-option payload (≤40 B) owned by the parsed header; rare on real traffic
                             data: body.to_vec(),
                         },
                     };
@@ -242,6 +245,7 @@ impl TcpHeader {
 
     /// The standard option set a modern client stack puts on a SYN.
     pub fn standard_syn_options() -> Vec<TcpOption> {
+        // tamperlint: allow(hot-path-alloc) — five-entry SYN option list, one per simulated connection open
         vec![
             TcpOption::Mss(1460),
             TcpOption::SackPermitted,

@@ -17,6 +17,13 @@ const HANDSHAKE_CLIENT_HELLO: u8 = 0x01;
 /// Extension number for server_name.
 const EXT_SERVER_NAME: u16 = 0x0000;
 
+/// A TLS length field: everything this builder measures is bounded by the
+/// hello template plus a DNS-limited SNI, but saturate rather than wrap if
+/// a caller ever hands something oversized.
+fn len16(n: usize) -> u16 {
+    u16::try_from(n).unwrap_or(u16::MAX)
+}
+
 /// Build a TLS 1.2-compatible ClientHello record carrying `sni` in a
 /// server_name extension. The `random` bytes let callers derandomize.
 ///
@@ -31,10 +38,11 @@ const EXT_SERVER_NAME: u16 = 0x0000;
 pub fn build_client_hello(sni: &str, random: [u8; 32]) -> Bytes {
     // server_name extension body: list length, type 0 (host_name), name.
     let name = sni.as_bytes();
+    // tamperlint: allow(hot-path-alloc) — the simulated client composes one owned ClientHello per flow
     let mut ext_body = BytesMut::with_capacity(5 + name.len());
-    ext_body.put_u16((3 + name.len()) as u16); // server name list length
+    ext_body.put_u16(len16(3 + name.len())); // server name list length
     ext_body.put_u8(0); // name type: host_name
-    ext_body.put_u16(name.len() as u16);
+    ext_body.put_u16(len16(name.len()));
     ext_body.put_slice(name);
 
     // A small, realistic second extension so the hello isn't SNI-only:
@@ -43,10 +51,10 @@ pub fn build_client_hello(sni: &str, random: [u8; 32]) -> Bytes {
 
     let mut exts = BytesMut::new();
     exts.put_u16(EXT_SERVER_NAME);
-    exts.put_u16(ext_body.len() as u16);
+    exts.put_u16(len16(ext_body.len()));
     exts.put_slice(&ext_body);
     exts.put_u16(0x002b); // supported_versions
-    exts.put_u16(supported_versions.len() as u16);
+    exts.put_u16(len16(supported_versions.len()));
     exts.put_slice(supported_versions);
 
     let cipher_suites: &[u16] = &[0x1301, 0x1302, 0x1303, 0xc02f];
@@ -56,25 +64,27 @@ pub fn build_client_hello(sni: &str, random: [u8; 32]) -> Bytes {
     body.put_slice(&random);
     body.put_u8(32); // legacy_session_id length
     body.put_slice(&[0xAA; 32]);
-    body.put_u16((cipher_suites.len() * 2) as u16);
+    body.put_u16(len16(cipher_suites.len() * 2));
     for cs in cipher_suites {
         body.put_u16(*cs);
     }
     body.put_u8(1); // compression methods length
     body.put_u8(0); // null compression
-    body.put_u16(exts.len() as u16);
+    body.put_u16(len16(exts.len()));
     body.put_slice(&exts);
 
+    // tamperlint: allow(hot-path-alloc) — the simulated client composes one owned ClientHello per flow
     let mut hs = BytesMut::with_capacity(body.len() + 4);
     hs.put_u8(HANDSHAKE_CLIENT_HELLO);
     hs.put_u8(0);
-    hs.put_u16(body.len() as u16); // 24-bit length, high byte zero
+    hs.put_u16(len16(body.len())); // 24-bit length, high byte zero
     hs.put_slice(&body);
 
+    // tamperlint: allow(hot-path-alloc) — the simulated client composes one owned ClientHello per flow
     let mut rec = BytesMut::with_capacity(hs.len() + 5);
     rec.put_u8(CONTENT_TYPE_HANDSHAKE);
     rec.put_u16(0x0301); // record legacy version
-    rec.put_u16(hs.len() as u16);
+    rec.put_u16(len16(hs.len()));
     rec.put_slice(&hs);
     rec.freeze()
 }
@@ -138,6 +148,7 @@ pub fn parse_sni(payload: &[u8]) -> Result<Option<String>> {
             let name = e.take(name_len)?;
             let s = std::str::from_utf8(name)
                 .map_err(|_| WireError::Malformed("sni utf-8"))?
+                // tamperlint: allow(hot-path-alloc) — the SNI string is the verdict-owned trigger domain; one bounded allocation per TLS flow
                 .to_owned();
             return Ok(Some(s));
         }

@@ -5,11 +5,12 @@
 //! `classify --metrics-json` on the golden fixture pcap, a cross-thread
 //! byte-identity smoke of `report` (`--threads 1` vs `--threads 2`), the
 //! proptest suites re-run with `PROPTEST_CASES`/`PROPTEST_SEED` pinned,
-//! and the tamperlint static-analysis gate in `--deny-new` mode (fail on
-//! any finding whose fingerprint is absent from the checked-in
+//! the zero-allocation discipline test and the linter's own fixture
+//! suite, and the tamperlint static-analysis gate in `--deny-new` mode
+//! (fail on any finding whose fingerprint is absent from the checked-in
 //! `tamperlint.baseline`). Every step is timed and the run ends with a
 //! per-step wall-time summary. `cargo xtask analyze [--json] [--deny-new]
-//! [--write-baseline]` runs tamperlint alone.
+//! [--write-baseline] [--prune-baseline]` runs tamperlint alone.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -92,6 +93,9 @@ enum AnalyzeMode {
     DenyNew,
     /// Regenerate the baseline from the current findings.
     WriteBaseline,
+    /// Drop stale baseline entries (fingerprints with no live finding);
+    /// never adds entries, and refreshes the declared waiver count.
+    PruneBaseline,
 }
 
 /// Run the tamperlint gate in-process (xtask links tamper-lint directly).
@@ -114,6 +118,34 @@ fn analyze(json: bool, mode: AnalyzeMode) -> Result<(), String> {
                 "analyze: wrote {} with {} entry(ies)",
                 baseline_path.display(),
                 analysis.findings.len()
+            );
+            Ok(())
+        }
+        AnalyzeMode::PruneBaseline => {
+            // Pruning edits an existing baseline; a missing one is an
+            // error, not an invitation to create an empty file.
+            let text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+                format!(
+                    "analyze --prune-baseline: cannot read {}: {e}",
+                    baseline_path.display()
+                )
+            })?;
+            let base = tamper_lint::baseline::Baseline::parse(&text)
+                .map_err(|e| format!("analyze --prune-baseline: {e}"))?;
+            let stale = analysis.stale_entries(&base).len();
+            let kept: Vec<tamper_lint::Finding> = analysis
+                .findings
+                .iter()
+                .filter(|f| base.contains(&f.fingerprint))
+                .cloned()
+                .collect();
+            let out = tamper_lint::baseline::Baseline::render(&kept, analysis.waived.len());
+            std::fs::write(&baseline_path, out)
+                .map_err(|e| format!("analyze: cannot write {}: {e}", baseline_path.display()))?;
+            eprintln!(
+                "analyze: pruned {stale} stale entry(ies) from {}, kept {}",
+                baseline_path.display(),
+                kept.len()
             );
             Ok(())
         }
@@ -326,6 +358,18 @@ fn ci() -> Result<(), String> {
                 &["test", "-q", "--test", "golden_corpus"],
             )
         })?;
+        // The zero-allocation proof behind tamperlint's hot-path-alloc
+        // rule, and the linter's own fixture suite, each get a gated step.
+        sw.time("alloc discipline", || {
+            run(
+                "alloc discipline",
+                "cargo",
+                &["test", "-q", "--test", "alloc_discipline"],
+            )
+        })?;
+        sw.time("lint suite", || {
+            run("lint suite", "cargo", &["test", "-q", "-p", "tamper-lint"])
+        })?;
         // The proptest suites re-run with the case count and seed pinned,
         // one step per test binary so its wall time lands in the summary.
         for suite in ["properties", "state_machine"] {
@@ -361,25 +405,32 @@ fn main() -> ExitCode {
             let json = args.iter().any(|a| a == "--json");
             let deny_new = args.iter().any(|a| a == "--deny-new");
             let write = args.iter().any(|a| a == "--write-baseline");
-            let mode = match (write, deny_new) {
-                (true, true) => {
-                    eprintln!("xtask: --write-baseline and --deny-new are mutually exclusive");
+            let prune = args.iter().any(|a| a == "--prune-baseline");
+            let mode = match (write, deny_new, prune) {
+                (false, false, false) => AnalyzeMode::Strict,
+                (true, false, false) => AnalyzeMode::WriteBaseline,
+                (false, true, false) => AnalyzeMode::DenyNew,
+                (false, false, true) => AnalyzeMode::PruneBaseline,
+                _ => {
+                    eprintln!(
+                        "xtask: --write-baseline, --deny-new, and --prune-baseline \
+                         are mutually exclusive"
+                    );
                     return ExitCode::FAILURE;
                 }
-                (true, false) => AnalyzeMode::WriteBaseline,
-                (false, true) => AnalyzeMode::DenyNew,
-                (false, false) => AnalyzeMode::Strict,
             };
             analyze(json, mode)
         }
         _ => Err(format!(
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
-             determinism gates + metrics + report smokes + tamperlint --deny-new\n  \
-             analyze [--json] [--deny-new] [--write-baseline]\n                     \
+             determinism gates + alloc discipline + lint suite + metrics + \
+             report smokes + tamperlint --deny-new\n  \
+             analyze [--json] [--deny-new] [--write-baseline] [--prune-baseline]\n                     \
              tamperlint static-analysis gate (determinism, panic-safety, \
-             wraparound, taxonomy); --deny-new fails only on fingerprints \
-             absent from tamperlint.baseline, --write-baseline regenerates it"
+             wraparound, taxonomy, dataflow); --deny-new fails only on \
+             fingerprints absent from tamperlint.baseline, --write-baseline \
+             regenerates it, --prune-baseline drops stale entries"
         )),
     };
     match result {

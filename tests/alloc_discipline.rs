@@ -1,0 +1,159 @@
+//! Allocation discipline: the steady-state analyze path must not touch
+//! the heap. A warm [`FlowMachine`] replaying the golden corpus performs
+//! **zero** allocations on every flow whose verdict carries no trigger
+//! domain — the machine's scratch buffers (packets, order, rsts, dedup)
+//! reuse capacity from earlier flows and payload `Bytes` clone by
+//! refcount. Flows that *do* yield a domain pay exactly the waived
+//! verdict-owned string and nothing else grows between passes.
+//!
+//! This is the runtime counterpart of tamperlint's static `hot-path-alloc`
+//! rule: the lint proves no allocation *constructor* is reachable from the
+//! hot roots, this test proves the surviving (waived, per-flow) sites
+//! really amortize to zero once the machine is warm.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tamperscope::capture::{run_engine, ClosedFlow, EngineConfig, OfflineConfig};
+use tamperscope::core::{ClassifierConfig, FlowMachine};
+
+/// A counting pass-through allocator: every heap request bumps a global
+/// counter. Counting is process-wide, so measured sections must run with
+/// no other live threads.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// The golden corpus as closed flows, in first-seen order.
+fn golden_flows() -> Vec<ClosedFlow> {
+    let bytes = std::fs::read(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join("fixtures")
+            .join("golden.pcap"),
+    )
+    .expect("tests/fixtures/golden.pcap present");
+    let cfg = EngineConfig {
+        offline: OfflineConfig::default(),
+        threads: 1,
+        ..EngineConfig::default()
+    };
+    let (mut flows, _stats) = run_engine(
+        bytes.as_slice(),
+        &cfg,
+        Vec::new,
+        |sink: &mut Vec<ClosedFlow>, closed: ClosedFlow| sink.push(closed),
+        |a, mut b| a.append(&mut b),
+    )
+    .expect("golden corpus replays");
+    flows.sort_by_key(|cf| cf.first_index);
+    assert!(!flows.is_empty(), "golden corpus yielded no flows");
+    flows
+}
+
+#[test]
+fn warm_machine_analyzes_the_golden_corpus_without_allocating() {
+    let flows = golden_flows();
+    let mut machine = FlowMachine::new(ClassifierConfig::default());
+
+    // Warm pass: scratch buffers grow to the corpus' high-water marks
+    // (and any engine worker threads are already joined by now). Record
+    // which flows legitimately allocate a verdict-owned trigger domain.
+    let mut warm_verdicts = Vec::with_capacity(flows.len());
+    let mut has_domain = Vec::with_capacity(flows.len());
+    for cf in &flows {
+        let analysis = machine.analyze(&cf.flow);
+        has_domain.push(analysis.trigger.domain.is_some());
+        warm_verdicts.push(analysis.classification);
+    }
+
+    // Steady state: a second pass over the domain-free flows must not
+    // allocate at all — those flows exercise the full parse/reorder/
+    // classify path with zero heap traffic once the machine is warm.
+    let measured: Vec<_> = flows
+        .iter()
+        .zip(&has_domain)
+        .filter(|(_, d)| !**d)
+        .map(|(cf, _)| cf)
+        .collect();
+    assert!(
+        measured.len() >= flows.len() / 2,
+        "expected most golden flows to be domain-free ({} of {})",
+        measured.len(),
+        flows.len()
+    );
+    let before = allocations();
+    for cf in &measured {
+        let analysis = machine.analyze(&cf.flow);
+        assert!(
+            analysis.trigger.domain.is_none(),
+            "domain appeared on re-analysis"
+        );
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state FlowMachine::analyze allocated {} time(s) over {} domain-free flows",
+        after - before,
+        measured.len()
+    );
+
+    // Domain-bearing flows are bounded too: each re-analysis may allocate
+    // only the verdict-owned host/SNI string (at most a handful of heap
+    // requests per flow — never unbounded growth between passes).
+    let domain_flows: Vec<_> = flows
+        .iter()
+        .zip(&has_domain)
+        .filter(|(_, d)| **d)
+        .map(|(cf, _)| cf)
+        .collect();
+    let before = allocations();
+    for cf in &domain_flows {
+        assert!(machine.analyze(&cf.flow).trigger.domain.is_some());
+    }
+    let after = allocations();
+    let per_flow_budget = 4 * domain_flows.len() as u64;
+    assert!(
+        after - before <= per_flow_budget,
+        "domain-bearing flows allocated {} time(s); budget {} ({} flows)",
+        after - before,
+        per_flow_budget,
+        domain_flows.len()
+    );
+
+    // The measured pass produced the same verdicts the warm pass did.
+    let verdicts: Vec<_> = flows
+        .iter()
+        .map(|cf| machine.analyze(&cf.flow).classification)
+        .collect();
+    assert_eq!(verdicts, warm_verdicts, "verdicts drifted between passes");
+}
