@@ -1,21 +1,27 @@
 //! Throughput of the streaming classification engine across shard counts.
 //!
-//! Synthesizes a ≥100k-flow capture in memory, replays it through
-//! [`run_engine`] at 1/2/4/8 shards with the full classify-and-collect
-//! sink, checks the outputs agree, and records flows/sec per shard count
-//! in `BENCH_classify_stream.json` at the repo root. The JSON includes
-//! the host's core count: on a single-core box every configuration
-//! serializes onto one CPU, so the speedup column is only meaningful
-//! when `cores >= threads`.
+//! Synthesizes a ≥100k-flow capture in memory, replays it through the
+//! columnar batch path ([`PcapMemSource`] → [`BatchClassifier`]) at
+//! 1/2/4/8 shards, checks the outputs agree, and records flows/sec per
+//! shard count in `BENCH_classify_stream.json` at the repo root (set
+//! `BENCH_OUT_PATH` to write elsewhere). A single-threaded run of the
+//! legacy per-flow path ([`run_engine`] → `Classifier`) rides along for
+//! comparison.
+//!
+//! Thread counts above the host's core count are skipped outright and
+//! recorded with `"skipped_oversubscribed": true` — timing an 8-shard
+//! run on a 1-core box produces a speedup column that reads as a
+//! regression when it is really just scheduler noise.
 
 use std::net::{IpAddr, Ipv4Addr};
 use std::time::Instant;
 
 use tamper_analysis::{capture_collector, label_capture_flow, Collector};
 use tamper_capture::{
-    run_engine, ClosedFlow, EngineConfig, EngineStats, OfflineConfig, PcapWriter,
+    run_engine, run_source, ClosedFlow, EngineConfig, EngineStats, FlowBatch, OfflineConfig,
+    PcapMemSource, PcapWriter,
 };
-use tamper_core::{Classifier, ClassifierConfig};
+use tamper_core::{BatchClassifier, Classifier, ClassifierConfig};
 use tamper_wire::{PacketBuilder, TcpFlags};
 
 const FLOWS: u32 = 120_000;
@@ -77,26 +83,65 @@ fn synth_capture(n_flows: u32) -> Vec<u8> {
     w.into_inner()
 }
 
-struct Sink {
-    clf: Classifier,
-    col: Collector,
+/// Per-shard accumulator for the batched run: classify whole batches
+/// over the column slices and keep only aggregate counts, so the sink
+/// cost reflects classification, not rendering.
+struct BatchSink {
+    clf: BatchClassifier,
+    flows: u64,
+    tampered: u64,
 }
 
-fn run(bytes: &[u8], threads: usize) -> (Collector, EngineStats) {
+fn run_batched(bytes: &bytes::Bytes, threads: usize) -> (u64, u64, EngineStats) {
     let cfg = EngineConfig {
         offline: OfflineConfig::default(),
         threads,
         ..EngineConfig::default()
     };
     let clf_cfg = ClassifierConfig::default();
+    let src = PcapMemSource::new(bytes.clone()).expect("pcap header");
+    let (sink, stats) = run_source(
+        src,
+        &cfg,
+        || BatchSink {
+            clf: BatchClassifier::new(clf_cfg),
+            flows: 0,
+            tampered: 0,
+        },
+        |sink: &mut BatchSink, batch: FlowBatch| {
+            for analysis in sink.clf.classify_batch(&batch) {
+                sink.flows += 1;
+                sink.tampered += u64::from(analysis.is_possibly_tampered());
+            }
+        },
+        |a, b| {
+            a.flows += b.flows;
+            a.tampered += b.tampered;
+        },
+    );
+    (sink.flows, sink.tampered, stats)
+}
+
+struct LegacySink {
+    clf: Classifier,
+    col: Collector,
+}
+
+fn run_legacy(bytes: &[u8]) -> (Collector, EngineStats) {
+    let cfg = EngineConfig {
+        offline: OfflineConfig::default(),
+        threads: 1,
+        ..EngineConfig::default()
+    };
+    let clf_cfg = ClassifierConfig::default();
     let (sink, stats) = run_engine(
         bytes,
         &cfg,
-        || Sink {
+        || LegacySink {
             clf: Classifier::new(clf_cfg),
             col: capture_collector(clf_cfg, 0),
         },
-        |sink: &mut Sink, closed: ClosedFlow| {
+        |sink: &mut LegacySink, closed: ClosedFlow| {
             let lf = label_capture_flow(closed.flow);
             let analysis = sink.clf.classify(&lf.flow);
             sink.col.observe_analyzed(&lf, &analysis);
@@ -112,24 +157,47 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     eprintln!("synthesizing {FLOWS} flows...");
-    let bytes = synth_capture(FLOWS);
-    eprintln!("capture: {} MiB", bytes.len() >> 20);
+    let bytes = bytes::Bytes::from(synth_capture(FLOWS));
+    eprintln!("capture: {} MiB on {cores} core(s)", bytes.len() >> 20);
 
-    // Warm up page cache / allocator.
-    let (base_col, base_stats) = run(&bytes, 1);
+    // Legacy per-flow path, single shard, for the comparison row. Also
+    // the reference verdict counts the batched runs must reproduce.
+    let (legacy_col, legacy_stats) = run_legacy(&bytes);
+    let legacy_start = Instant::now();
+    let (legacy_col2, _) = run_legacy(&bytes);
+    let legacy_secs = legacy_start.elapsed().as_secs_f64();
+    assert_eq!(legacy_col.total, legacy_col2.total);
+    let legacy_fps = legacy_stats.ingest.flows as f64 / legacy_secs;
+    eprintln!("legacy 1-thread: {legacy_secs:.3}s, {legacy_fps:.0} flows/s");
+
+    // Warm up page cache / allocator on the batched path, and pin the
+    // batched verdicts to the legacy ones.
+    let (base_flows, base_tampered, base_stats) = run_batched(&bytes, 1);
+    assert_eq!(base_flows, legacy_col.total, "flow totals diverged");
+    assert_eq!(
+        base_tampered, legacy_col.possibly_tampered,
+        "verdicts diverged between batched and legacy paths"
+    );
 
     let mut rows = Vec::new();
     let mut base_secs = 0f64;
     for &threads in &THREAD_COUNTS {
+        if threads > cores {
+            eprintln!("threads {threads}: skipped (host has {cores} core(s))");
+            rows.push(format!(
+                "    {{\"threads\": {threads}, \"skipped_oversubscribed\": true}}"
+            ));
+            continue;
+        }
         let start = Instant::now();
-        let (col, stats) = run(&bytes, threads);
+        let (flows, tampered, stats) = run_batched(&bytes, threads);
         let secs = start.elapsed().as_secs_f64();
         assert_eq!(
-            col.total, base_col.total,
+            flows, base_flows,
             "flow totals diverged at {threads} shards"
         );
         assert_eq!(
-            col.possibly_tampered, base_col.possibly_tampered,
+            tampered, base_tampered,
             "verdicts diverged at {threads} shards"
         );
         assert_eq!(stats.ingest.flows, base_stats.ingest.flows);
@@ -145,15 +213,18 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"classify_stream\",\n  \"flows\": {},\n  \"records\": {},\n  \"cores\": {cores},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"classify_stream\",\n  \"flows\": {},\n  \"records\": {},\n  \"cores\": {cores},\n  \"legacy\": {{\"threads\": 1, \"secs\": {legacy_secs:.4}, \"flows_per_sec\": {legacy_fps:.0}}},\n  \"runs\": [\n{}\n  ]\n}}\n",
         base_stats.ingest.flows,
         base_stats.records,
         rows.join(",\n"),
     );
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_classify_stream.json"
-    );
-    std::fs::write(path, &json).expect("write BENCH_classify_stream.json");
+    let path = std::env::var("BENCH_OUT_PATH").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_classify_stream.json"
+        )
+        .to_string()
+    });
+    std::fs::write(&path, &json).expect("write BENCH_classify_stream.json");
     println!("{json}");
 }

@@ -159,6 +159,25 @@ struct ShardOutcome<T> {
     high_water: usize,
 }
 
+/// Drain a shard's emitted outputs into its accumulator, charging the
+/// classify timer and latency histogram per output.
+fn fold_outputs<T, O, FO>(observe: &FO, acc: &mut T, emit: &mut Vec<O>, sm: &mut ScopeMetrics)
+where
+    FO: Fn(&mut T, O),
+{
+    for out in emit.drain(..) {
+        sm.count("flows_closed", 1);
+        let sw = sm.start();
+        observe(acc, out);
+        // One clock read feeds both the stage timer and the latency
+        // histogram.
+        if let Some(ns) = sw.elapsed_ns() {
+            sm.record_timer("classify", ns);
+            sm.record_hist("classify_latency_ns", ns);
+        }
+    }
+}
+
 fn run_shard<W, T, FO>(
     rx: Receiver<Vec<Routed<W::Item>>>,
     mut worker: W,
@@ -175,17 +194,7 @@ where
     let mut emit: Vec<W::Out> = Vec::new();
 
     let fold = |acc: &mut T, emit: &mut Vec<W::Out>, sm: &mut ScopeMetrics| {
-        for out in emit.drain(..) {
-            sm.count("flows_closed", 1);
-            let sw = sm.start();
-            observe(acc, out);
-            // One clock read feeds both the stage timer and the latency
-            // histogram.
-            if let Some(ns) = sw.elapsed_ns() {
-                sm.record_timer("classify", ns);
-                sm.record_hist("classify_latency_ns", ns);
-            }
-        }
+        fold_outputs(observe, acc, emit, sm);
     };
 
     for batch in rx.iter() {
@@ -339,71 +348,33 @@ where
         None => ScopeMetrics::disabled(),
     };
 
-    let outcomes: Vec<(ShardOutcome<T>, ScopeMetrics)> = crossbeam::thread::scope(|s| {
-        let mut senders = Vec::with_capacity(threads);
-        let mut handles = Vec::with_capacity(threads);
-        for i in 0..threads {
-            let (tx, rx) = bounded::<Vec<Routed<S::Item>>>(channel_capacity);
-            senders.push(tx);
-            let sm = match obs {
-                Some(r) => r.scope(format!("shard{i}")),
-                None => ScopeMetrics::disabled(),
-            };
-            let worker = src.shard(cfg);
-            handles.push(
-                s.spawn(move |_| run_shard(rx, worker, final_ref, init_ref(), observe_ref, sm)),
-            );
-        }
-
-        // ---- reader loop (this thread) ----
-        let read_sw = rm.start();
-        let mut batches: Vec<Vec<Routed<S::Item>>> = (0..threads).map(|_| Vec::new()).collect();
+    let outcomes: Vec<(ShardOutcome<T>, ScopeMetrics)> = if threads == 1 {
+        // Single-shard fast path: the one worker runs inline on the
+        // reader thread — the same item sequence and absorb order as the
+        // channel path, so the output is byte-identical, without a
+        // worker thread to hop to. `channel_stalls` stays 0.
+        let mut sm = match obs {
+            Some(r) => r.scope("shard0"),
+            None => ScopeMetrics::disabled(),
+        };
+        let mut worker = src.shard(cfg);
+        let mut shard_stats = ShardStats::default();
+        let mut acc = init();
+        let mut emit: Vec<S::Out> = Vec::new();
         let mut pulled: Vec<S::Item> = Vec::with_capacity(batch_size);
         let mut index = 0u64;
-        let flush = |shard: usize,
-                     batches: &mut Vec<Vec<Routed<S::Item>>>,
-                     stats: &mut EngineStats,
-                     rm: &mut ScopeMetrics| {
-            // tamperlint: allow(index) — shard < threads == batches.len(): routes are clamped below
-            let batch = std::mem::take(&mut batches[shard]);
-            if batch.is_empty() {
-                return;
-            }
-            rm.count("batches_sent", 1);
-            // tamperlint: allow(index) — shard < threads == senders.len(): routes are clamped below
-            match senders[shard].try_send(batch) {
-                Ok(()) => {}
-                Err(TrySendError::Full(batch)) => {
-                    stats.channel_stalls += 1;
-                    rm.count("channel_stalls", 1);
-                    // Worker threads only exit when senders drop, so a
-                    // blocking send can only fail on worker panic.
-                    let sw = rm.start();
-                    // tamperlint: allow(index) — same in-bounds shard as the try_send above
-                    let _ = senders[shard].send(batch);
-                    rm.stop("stalled", sw);
-                }
-                Err(TrySendError::Disconnected(_)) => {}
-            }
-        };
+        let read_sw = rm.start();
         loop {
             pulled.clear();
             let more = src.fill(&mut pulled, batch_size);
             for item in pulled.drain(..) {
                 stats.records += 1;
                 rm.count("records", 1);
-                match src.route(index, &item, threads) {
-                    Some(t) => {
-                        // Sources contract to route in 0..threads; clamp
-                        // so a misbehaving impl degrades instead of
-                        // panicking.
-                        let shard = t.min(threads - 1);
-                        // tamperlint: allow(index) — shard < threads == batches.len() by the clamp above
-                        batches[shard].push(Routed { index, item });
-                        // tamperlint: allow(index) — same in-bounds shard as the push above
-                        if batches[shard].len() >= batch_size {
-                            flush(shard, &mut batches, &mut stats, &mut rm);
-                        }
+                match src.route(index, &item, 1) {
+                    Some(_) => {
+                        sm.count("records", 1);
+                        worker.absorb(index, item, &mut shard_stats, &mut emit, &mut sm);
+                        fold_outputs(&observe, &mut acc, &mut emit, &mut sm);
                     }
                     None => {
                         stats.ingest.unparsable += 1;
@@ -416,25 +387,119 @@ where
                 break;
             }
         }
-        for shard in 0..threads {
-            flush(shard, &mut batches, &mut stats, &mut rm);
-        }
         stats.corrupt_tail = src.corrupt_tail();
         if stats.corrupt_tail {
             rm.count("corrupt_tail", 1);
         }
-        final_stamp.store(src.final_stamp(), Ordering::Release);
-        drop(senders);
         rm.stop("read", read_sw);
+        worker.finish(src.final_stamp(), &mut shard_stats, &mut emit, &mut sm);
+        fold_outputs(&observe, &mut acc, &mut emit, &mut sm);
+        vec![(
+            ShardOutcome {
+                acc,
+                stats: shard_stats,
+                high_water: worker.high_water(),
+            },
+            sm,
+        )]
+    } else {
+        crossbeam::thread::scope(|s| {
+            let mut senders = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for i in 0..threads {
+                let (tx, rx) = bounded::<Vec<Routed<S::Item>>>(channel_capacity);
+                senders.push(tx);
+                let sm = match obs {
+                    Some(r) => r.scope(format!("shard{i}")),
+                    None => ScopeMetrics::disabled(),
+                };
+                let worker = src.shard(cfg);
+                handles.push(
+                    s.spawn(move |_| run_shard(rx, worker, final_ref, init_ref(), observe_ref, sm)),
+                );
+            }
 
-        handles
-            .into_iter()
-            // tamperlint: allow(panic) — join() only fails if the shard itself panicked; re-raising preserves the original panic
-            .map(|h| h.join().expect("engine shard panicked"))
-            .collect()
-    })
-    // tamperlint: allow(panic) — crossbeam scope() only fails if a scoped thread panicked; re-raising preserves it
-    .expect("engine thread scope panicked");
+            // ---- reader loop (this thread) ----
+            let read_sw = rm.start();
+            let mut batches: Vec<Vec<Routed<S::Item>>> = (0..threads).map(|_| Vec::new()).collect();
+            let mut pulled: Vec<S::Item> = Vec::with_capacity(batch_size);
+            let mut index = 0u64;
+            let flush = |shard: usize,
+                         batches: &mut Vec<Vec<Routed<S::Item>>>,
+                         stats: &mut EngineStats,
+                         rm: &mut ScopeMetrics| {
+                // tamperlint: allow(index) — shard < threads == batches.len(): routes are clamped below
+                let batch = std::mem::take(&mut batches[shard]);
+                if batch.is_empty() {
+                    return;
+                }
+                rm.count("batches_sent", 1);
+                // tamperlint: allow(index) — shard < threads == senders.len(): routes are clamped below
+                match senders[shard].try_send(batch) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(batch)) => {
+                        stats.channel_stalls += 1;
+                        rm.count("channel_stalls", 1);
+                        // Worker threads only exit when senders drop, so a
+                        // blocking send can only fail on worker panic.
+                        let sw = rm.start();
+                        // tamperlint: allow(index) — same in-bounds shard as the try_send above
+                        let _ = senders[shard].send(batch);
+                        rm.stop("stalled", sw);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
+            };
+            loop {
+                pulled.clear();
+                let more = src.fill(&mut pulled, batch_size);
+                for item in pulled.drain(..) {
+                    stats.records += 1;
+                    rm.count("records", 1);
+                    match src.route(index, &item, threads) {
+                        Some(t) => {
+                            // Sources contract to route in 0..threads; clamp
+                            // so a misbehaving impl degrades instead of
+                            // panicking.
+                            let shard = t.min(threads - 1);
+                            // tamperlint: allow(index) — shard < threads == batches.len() by the clamp above
+                            batches[shard].push(Routed { index, item });
+                            // tamperlint: allow(index) — same in-bounds shard as the push above
+                            if batches[shard].len() >= batch_size {
+                                flush(shard, &mut batches, &mut stats, &mut rm);
+                            }
+                        }
+                        None => {
+                            stats.ingest.unparsable += 1;
+                            rm.count("unroutable", 1);
+                        }
+                    }
+                    index += 1;
+                }
+                if !more {
+                    break;
+                }
+            }
+            for shard in 0..threads {
+                flush(shard, &mut batches, &mut stats, &mut rm);
+            }
+            stats.corrupt_tail = src.corrupt_tail();
+            if stats.corrupt_tail {
+                rm.count("corrupt_tail", 1);
+            }
+            final_stamp.store(src.final_stamp(), Ordering::Release);
+            drop(senders);
+            rm.stop("read", read_sw);
+
+            handles
+                .into_iter()
+                // tamperlint: allow(panic) — join() only fails if the shard itself panicked; re-raising preserves the original panic
+                .map(|h| h.join().expect("engine shard panicked"))
+                .collect()
+        })
+        // tamperlint: allow(panic) — crossbeam scope() only fails if a scoped thread panicked; re-raising preserves it
+        .expect("engine thread scope panicked")
+    };
 
     // Merge shard accumulators and counters in shard order — deterministic.
     let mut mm = match obs {
@@ -704,6 +769,95 @@ mod tests {
         let shard0 = snap.scope("shard0").unwrap();
         assert!(shard0.histogram("classify_latency_ns").is_some());
         assert!(shard0.timer("parse").is_some());
+    }
+
+    #[test]
+    fn mem_batch_engine_matches_closed_flow_engine() {
+        use crate::record::{FlowBatch, FlowRecord};
+        use crate::source::PcapMemSource;
+        let bytes = capture(300);
+        let (reference, ref_stats) = collect_flows(
+            &bytes,
+            &EngineConfig {
+                threads: 1,
+                ..EngineConfig::default()
+            },
+        );
+        // Exercise cap pressure too, so every eviction cause appears.
+        for (threads, max_flows, batch_flows) in [(1, 0, 16), (2, 0, 1), (8, 0, 512), (2, 32, 7)] {
+            let cfg = EngineConfig {
+                threads,
+                max_flows,
+                ..EngineConfig::default()
+            };
+            let (exp, exp_stats) = if max_flows == 0 {
+                (reference.clone(), ref_stats)
+            } else {
+                collect_flows(
+                    &bytes,
+                    &EngineConfig {
+                        threads,
+                        max_flows,
+                        ..EngineConfig::default()
+                    },
+                )
+            };
+            let src = PcapMemSource::new(Bytes::from(bytes.clone()))
+                .unwrap()
+                .with_batch_flows(batch_flows);
+            let (mut got, stats) = run_source(
+                src,
+                &cfg,
+                Vec::new,
+                |acc: &mut Vec<(u64, FlowRecord, EvictionCause)>, batch: FlowBatch| {
+                    for (i, span) in batch.spans().iter().enumerate() {
+                        acc.push((span.first_index, batch.materialize(i), span.cause));
+                    }
+                },
+                |a, mut b| a.append(&mut b),
+            );
+            got.sort_unstable_by_key(|(idx, _, _)| *idx);
+            assert_eq!(got.len(), exp.len(), "threads={threads}");
+            for ((idx, flow, cause), cf) in got.iter().zip(&exp) {
+                assert_eq!(*idx, cf.first_index, "threads={threads}");
+                assert_eq!(flow, &cf.flow, "threads={threads}");
+                assert_eq!(*cause, cf.cause, "threads={threads}");
+            }
+            assert_eq!(stats.records, exp_stats.records, "threads={threads}");
+            assert_eq!(stats.ingest, exp_stats.ingest, "threads={threads}");
+            assert_eq!(
+                (stats.evicted_timeout, stats.evicted_cap, stats.drained_eof),
+                (
+                    exp_stats.evicted_timeout,
+                    exp_stats.evicted_cap,
+                    exp_stats.drained_eof
+                ),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mem_source_corrupt_tail_matches_stream_source() {
+        use crate::record::FlowBatch;
+        use crate::source::PcapMemSource;
+        let mut bytes = capture(10);
+        bytes.truncate(bytes.len() - 7);
+        let src = PcapMemSource::new(Bytes::from(bytes)).unwrap();
+        let cfg = EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        };
+        let (batches, stats) = run_source(
+            src,
+            &cfg,
+            Vec::new,
+            |acc: &mut Vec<FlowBatch>, b| acc.push(b),
+            |a, mut b| a.append(&mut b),
+        );
+        assert!(stats.corrupt_tail);
+        assert_eq!(stats.records, 29); // the torn 30th record is dropped
+        assert!(batches.iter().any(|b| !b.is_empty()));
     }
 
     #[test]

@@ -21,13 +21,16 @@ pub use engine::{
 };
 pub use offline::{
     flows_from_pcap, flows_from_pcap_observed, flows_from_records, flows_from_records_observed,
-    ClosedFlow, EvictionCause, FlowKey, FlowTable, IngestStats, OfflineConfig,
+    ClosedFlow, ColumnarFlowTable, EvictionCause, FlowKey, FlowKeyHasher, FlowTable, IngestStats,
+    OfflineConfig,
 };
 pub use pcap::{write_session_trace, PcapError, PcapReader, PcapRecord, PcapWriter};
 pub use pipeline::{collect, CollectorConfig};
-pub use record::{FlowRecord, PacketRecord};
+pub use record::{
+    FlowBatch, FlowCols, FlowRecord, FlowSpan, FlowTuple, PacketRecord, PacketRow, NO_IP_ID,
+};
 pub use sampler::Sampler;
 pub use source::{
-    FlowSource, PcapItem, PcapShard, PcapSource, RecordShard, RecordSource, ShardStats, SimShard,
-    SimSource, SourceShard,
+    FlowSource, PcapBatchShard, PcapItem, PcapMemItem, PcapMemSource, PcapShard, PcapSource,
+    RecordShard, RecordSource, ShardStats, SimShard, SimSource, SourceShard, DEFAULT_BATCH_FLOWS,
 };

@@ -6,15 +6,18 @@
 //! by destination filter, 10 packets, 1-second timestamps).
 
 use crate::pcap::{PcapError, PcapReader, PcapRecord};
-use crate::record::{FlowRecord, PacketRecord};
+use crate::record::{FlowBatch, FlowRecord, FlowTuple, PacketRecord, PacketRow, NO_IP_ID};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::io::Read;
 use std::net::IpAddr;
 use tamper_obs::{Registry, ScopeMetrics};
-use tamper_wire::Packet;
+use tamper_wire::{Packet, PacketView};
+
+pub use crate::record::EvictionCause;
 
 /// A connection key: client/server addresses and ports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowKey {
     /// Client address.
     pub client_ip: IpAddr,
@@ -24,6 +27,35 @@ pub struct FlowKey {
     pub src_port: u16,
     /// Server port.
     pub dst_port: u16,
+}
+
+impl std::hash::Hash for FlowKey {
+    /// Packed writes instead of the derived per-field walk: the derived
+    /// impl issues ~8 small `Hasher::write` calls per lookup (enum tags,
+    /// octet arrays, ports), which dominated the ingest profile. The
+    /// common all-IPv4 key packs into two words. V4 keys and V6 keys
+    /// hash into disjoint streams via the trailing tag byte; a v4 and
+    /// its v6-mapped form may collide, which only costs an `Eq` probe.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let ports = (u32::from(self.src_port) << 16) | u32::from(self.dst_port);
+        match (self.client_ip, self.server_ip) {
+            (IpAddr::V4(a), IpAddr::V4(b)) => {
+                state.write_u64((u64::from(u32::from(a)) << 32) | u64::from(u32::from(b)));
+                state.write_u32(ports);
+                state.write_u8(4);
+            }
+            (a, b) => {
+                let map = |ip: IpAddr| match ip {
+                    IpAddr::V4(v) => v.to_ipv6_mapped().octets(),
+                    IpAddr::V6(v) => v.octets(),
+                };
+                state.write(&map(a));
+                state.write(&map(b));
+                state.write_u32(ports);
+                state.write_u8(6);
+            }
+        }
+    }
 }
 
 /// Options for offline assembly.
@@ -46,20 +78,6 @@ impl Default for OfflineConfig {
             flow_timeout_secs: 30,
         }
     }
-}
-
-/// Why the streaming flow table closed a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EvictionCause {
-    /// More than [`OfflineConfig::flow_timeout_secs`] of capture time
-    /// passed since the flow's last packet.
-    Timeout,
-    /// The table hit its live-flow cap and shed its least-recently-active
-    /// flow to stay within the memory bound.
-    CapPressure,
-    /// The capture ended while the flow was still inside its timeout
-    /// window.
-    EndOfCapture,
 }
 
 /// A flow closed by the streaming assembler, ready for classification.
@@ -99,7 +117,7 @@ pub struct FlowTable {
     last_sweep: u64,
     /// Retained scratch for [`Self::sweep`]'s expired-key pass: sized once
     /// to the sweep high-water mark instead of a fresh Vec per sweep.
-    expired_scratch: Vec<(u64, FlowKey)>,
+    expired_scratch: Vec<(u64, u64, FlowKey)>,
 }
 
 impl FlowTable {
@@ -180,8 +198,10 @@ impl FlowTable {
         self.high_water = self.high_water.max(self.flows.len());
     }
 
-    /// Evict every flow whose timeout elapsed before `stamp`, oldest
-    /// first-seen first.
+    /// Evict every flow whose timeout elapsed before `stamp`. Eviction
+    /// order is a pure function of (last activity, first-seen index) —
+    /// never of hash-map iteration order — so shuffled insertion or a
+    /// different hasher cannot change which flows a later cap sheds.
     fn sweep(&mut self, stamp: u64, closed: &mut Vec<ClosedFlow>) {
         if stamp <= self.last_sweep {
             return;
@@ -194,10 +214,10 @@ impl FlowTable {
             self.flows
                 .iter()
                 .filter(|(_, lf)| lf.last_ts + timeout < stamp)
-                .map(|(k, lf)| (lf.first_index, *k)),
+                .map(|(k, lf)| (lf.last_ts, lf.first_index, *k)),
         );
-        expired.sort_unstable_by_key(|&(first_index, _)| first_index);
-        for &(_, key) in &expired {
+        expired.sort_unstable_by_key(|&(last_ts, first_index, _)| (last_ts, first_index));
+        for &(_, _, key) in &expired {
             if let Some(lf) = self.flows.remove(&key) {
                 closed.push(Self::close(
                     lf,
@@ -256,6 +276,363 @@ impl FlowTable {
             first_index: lf.first_index,
             cause,
         }
+    }
+}
+
+/// A fast, non-keyed hasher for [`FlowKey`] lookups in the columnar
+/// table: one multiply-rotate fold per 8-byte chunk, finished with a
+/// splitmix64 avalanche. Flow tables are per-shard and bounded by the
+/// live-flow cap, and eviction order never depends on iteration order
+/// (see [`FlowTable::sweep`]), so the DoS-resistance of SipHash buys
+/// nothing here — but its ~2× lookup cost was visible on the ingest
+/// profile.
+#[derive(Default)]
+pub struct FlowKeyHasher {
+    state: u64,
+}
+
+impl FlowKeyHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FlowKeyHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            // tamperlint: allow(index) — chunks(8) yields at most 8 bytes, so the range fits the stack buffer
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    // Word-sized writes feed the mixer directly; the default trait
+    // methods would round-trip each one through `write`'s chunking
+    // buffer. [`FlowKey::hash`] emits exactly these three widths.
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer.
+        let mut z = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One live flow's buffered packets in the columnar table. Slots are
+/// pooled: a closed flow's slot (and its two buffers' capacity) is
+/// recycled for the next flow birth, so a warm table absorbs without
+/// allocating.
+#[derive(Default)]
+struct Slot {
+    tuple: FlowTuple,
+    first_index: u64,
+    last_ts: u64,
+    truncated: bool,
+    rows: Vec<PacketRow>,
+    payload: Vec<u8>,
+}
+
+impl Default for FlowTuple {
+    fn default() -> FlowTuple {
+        FlowTuple {
+            client_ip: IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+            server_ip: IpAddr::V4(std::net::Ipv4Addr::UNSPECIFIED),
+            src_port: 0,
+            dst_port: 0,
+        }
+    }
+}
+
+impl Slot {
+    fn reset(&mut self, tuple: FlowTuple, first_index: u64, ts: u64) {
+        self.tuple = tuple;
+        self.first_index = first_index;
+        self.last_ts = ts;
+        self.truncated = false;
+        self.rows.clear();
+        self.payload.clear();
+    }
+
+    fn packets(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The columnar twin of [`FlowTable`]: identical assembly, eviction, and
+/// accounting semantics (the `offline` differential tests replay the same
+/// captures through both), but live flows buffer into pooled column
+/// slots and close into a [`FlowBatch`] instead of one heap-allocated
+/// [`FlowRecord`] per flow.
+pub struct ColumnarFlowTable {
+    cfg: OfflineConfig,
+    flows: HashMap<FlowKey, u32, BuildHasherDefault<FlowKeyHasher>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    max_live: usize,
+    high_water: usize,
+    last_sweep: u64,
+    expired_scratch: Vec<(u64, u64, FlowKey)>,
+    /// Lazy timer wheel over expiry seconds: bucket `(last_ts + timeout)
+    /// % wheel.len()` holds `(key, last_ts)` entries pushed whenever a
+    /// flow's activity clock advances. Entries are validated against the
+    /// live slot on drain, so stale ones (flow closed, or active again
+    /// with a newer entry elsewhere) simply drop — the evicted set and
+    /// order remain the same pure function of (last activity, first-seen
+    /// index) as a full scan.
+    wheel: Vec<Vec<(FlowKey, u64)>>,
+    /// Next expiry second the wheel has not yet drained.
+    wheel_pos: u64,
+    /// The key and slot the previous packet landed in. Packets of one
+    /// flow arrive in runs, so this skips the map probe for the common
+    /// case. Cleared whenever any flow closes, which keeps the invariant
+    /// simple: a populated cache always mirrors a live map entry.
+    last_hit: Option<(FlowKey, u32)>,
+}
+
+impl ColumnarFlowTable {
+    /// Create a table; `max_live` of 0 means unbounded.
+    pub fn new(cfg: OfflineConfig, max_live: usize) -> ColumnarFlowTable {
+        // A span of timeout+2 seconds separates every live expiry; wider
+        // timeouts alias modulo the clamp and only cost a lazy re-queue.
+        let buckets = (cfg.flow_timeout_secs.saturating_add(2)).clamp(4, 4096) as usize;
+        ColumnarFlowTable {
+            cfg,
+            flows: HashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            max_live,
+            high_water: 0,
+            last_sweep: 0,
+            expired_scratch: Vec::new(),
+            wheel: vec![Vec::new(); buckets],
+            wheel_pos: 0,
+            last_hit: None,
+        }
+    }
+
+    /// Most live flows ever held at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Live flows currently held.
+    pub fn live(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Absorb one parsed inbound packet — [`FlowTable::absorb`] over a
+    /// borrowed [`PacketView`], closing flows into `out` columns.
+    pub fn absorb(
+        &mut self,
+        index: u64,
+        ts: u64,
+        stamp: u64,
+        pv: &PacketView<'_>,
+        stats: &mut IngestStats,
+        out: &mut FlowBatch,
+    ) {
+        self.sweep(stamp, out);
+        let key = FlowKey {
+            client_ip: pv.src,
+            server_ip: pv.dst,
+            src_port: pv.src_port,
+            dst_port: pv.dst_port,
+        };
+        let (slot_idx, born) = match self.last_hit {
+            Some((k, idx)) if k == key => (idx, false),
+            _ => match self.flows.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    stats.flows += 1;
+                    let tuple = FlowTuple {
+                        client_ip: key.client_ip,
+                        server_ip: key.server_ip,
+                        src_port: key.src_port,
+                        dst_port: key.dst_port,
+                    };
+                    let idx = match self.free.pop() {
+                        Some(idx) => idx,
+                        None => {
+                            self.slots.push(Slot::default());
+                            (self.slots.len() - 1) as u32
+                        }
+                    };
+                    // tamperlint: allow(index) — idx came off the free list or was just pushed; both are in-bounds pool slots
+                    self.slots[idx as usize].reset(tuple, index, ts);
+                    e.insert(idx);
+                    (idx, true)
+                }
+            },
+        };
+        self.last_hit = Some((key, slot_idx));
+        // Queue a wheel entry whenever the flow's activity clock advances;
+        // the entry carries the last_ts it was queued for, so older
+        // entries for the same flow invalidate lazily on drain.
+        // tamperlint: allow(index) — the flow map only holds indices of live pool slots
+        let prev_last = self.slots[slot_idx as usize].last_ts;
+        let new_last = prev_last.max(ts);
+        if born || ts > prev_last {
+            let b = (new_last.saturating_add(self.cfg.flow_timeout_secs) % self.wheel.len() as u64)
+                as usize;
+            // tamperlint: allow(index) — bucket index is reduced modulo the wheel length
+            self.wheel[b].push((key, new_last));
+        }
+        // tamperlint: allow(index) — the flow map only holds indices of live pool slots
+        let slot = &mut self.slots[slot_idx as usize];
+        slot.last_ts = new_last;
+        if slot.packets() >= self.cfg.max_packets {
+            slot.truncated = true;
+            stats.truncated_packets += 1;
+        } else {
+            slot.rows.push(PacketRow {
+                ts_sec: ts,
+                seq: pv.seq,
+                ack: pv.ack,
+                ip_id: pv.ip_id.map_or(NO_IP_ID, u32::from),
+                payload_off: slot.payload.len() as u32,
+                payload_len: pv.payload.len() as u32,
+                window: pv.window,
+                flags: pv.flags,
+                ttl: pv.ttl,
+                has_tcp_options: pv.has_tcp_options,
+            });
+            slot.payload.extend_from_slice(pv.payload);
+            stats.packets += 1;
+        }
+        if self.max_live > 0 && self.flows.len() > self.max_live {
+            self.shed_lru(out);
+        }
+        // Taken after shedding: the retained occupancy is what the memory
+        // bound promises (insertion holds one transient extra entry).
+        self.high_water = self.high_water.max(self.flows.len());
+    }
+
+    /// Evict every flow whose timeout elapsed before `stamp`, in
+    /// (last activity, first-seen index) order — the same pure eviction
+    /// order as [`FlowTable::sweep`], but found by draining the passed
+    /// expiry seconds off the timer wheel instead of scanning every live
+    /// flow once per capture second.
+    fn sweep(&mut self, stamp: u64, out: &mut FlowBatch) {
+        if stamp <= self.last_sweep {
+            return;
+        }
+        self.last_sweep = stamp;
+        let timeout = self.cfg.flow_timeout_secs;
+        let wheel_len = self.wheel.len() as u64;
+        let mut expired = std::mem::take(&mut self.expired_scratch);
+        expired.clear();
+        // One bucket per expiry second the clock passed, capped at a
+        // single lap — a second lap would revisit the same buckets.
+        let start = self.wheel_pos;
+        let gap = stamp.saturating_sub(start).min(wheel_len);
+        for s in start..start + gap {
+            let b = (s % wheel_len) as usize;
+            // tamperlint: allow(index) — bucket index is reduced modulo the wheel length
+            let mut entries = std::mem::take(&mut self.wheel[b]);
+            entries.retain(|&(key, entry_last)| match self.flows.get(&key) {
+                Some(&slot_idx) => {
+                    // tamperlint: allow(index) — the flow map only holds indices of live pool slots
+                    let slot = &self.slots[slot_idx as usize];
+                    if slot.last_ts != entry_last {
+                        false // superseded by a newer entry
+                    } else if slot.last_ts + timeout < stamp {
+                        expired.push((slot.last_ts, slot.first_index, key));
+                        false
+                    } else {
+                        true // aliased future expiry: stays queued
+                    }
+                }
+                None => false, // flow already closed
+            });
+            // tamperlint: allow(index) — same in-bounds bucket the entries came from
+            self.wheel[b] = entries;
+        }
+        self.wheel_pos = stamp;
+        expired.sort_unstable_by_key(|&(last_ts, first_index, _)| (last_ts, first_index));
+        if !expired.is_empty() {
+            self.last_hit = None;
+        }
+        for &(_, _, key) in &expired {
+            if let Some(slot_idx) = self.flows.remove(&key) {
+                self.close_into(slot_idx, EvictionCause::Timeout, out);
+            }
+        }
+        expired.clear();
+        self.expired_scratch = expired;
+    }
+
+    /// Shed the least-recently-active flow (ties broken by first-seen).
+    fn shed_lru(&mut self, out: &mut FlowBatch) {
+        let victim = self
+            .flows
+            .iter()
+            .min_by_key(|(_, &slot_idx)| {
+                // tamperlint: allow(index) — the flow map only holds indices of live pool slots
+                let slot = &self.slots[slot_idx as usize];
+                (slot.last_ts, slot.first_index)
+            })
+            .map(|(k, _)| *k);
+        if let Some(key) = victim {
+            self.last_hit = None;
+            if let Some(slot_idx) = self.flows.remove(&key) {
+                self.close_into(slot_idx, EvictionCause::CapPressure, out);
+            }
+        }
+    }
+
+    /// Close all remaining flows at end of capture, ordered by first-seen
+    /// index, with the same timeout-vs-end-of-capture split as
+    /// [`FlowTable::drain`].
+    pub fn drain(&mut self, final_stamp: u64, out: &mut FlowBatch) {
+        self.last_hit = None;
+        let timeout = self.cfg.flow_timeout_secs;
+        let mut rest: Vec<u32> = self.flows.drain().map(|(_, slot_idx)| slot_idx).collect();
+        // tamperlint: allow(index) — the flow map only holds indices of live pool slots
+        rest.sort_unstable_by_key(|&slot_idx| self.slots[slot_idx as usize].first_index);
+        for slot_idx in rest {
+            // tamperlint: allow(index) — same live pool indices, drained from the map above
+            let cause = if self.slots[slot_idx as usize].last_ts + timeout < final_stamp {
+                EvictionCause::Timeout
+            } else {
+                EvictionCause::EndOfCapture
+            };
+            self.close_into(slot_idx, cause, out);
+        }
+    }
+
+    /// Copy one slot's columns into the output batch and recycle the slot.
+    fn close_into(&mut self, slot_idx: u32, cause: EvictionCause, out: &mut FlowBatch) {
+        // tamperlint: allow(index) — callers pass indices removed from the flow map, all live pool slots
+        let slot = &self.slots[slot_idx as usize];
+        let last = slot.rows.iter().map(|r| r.ts_sec).max().unwrap_or(0);
+        // Mirror an online collector that watched the flow for the timeout
+        // window after its last retained packet.
+        let observation_end_sec = last + self.cfg.flow_timeout_secs;
+        let pkt_start = out.packet_count() as u32;
+        out.extend_rows(&slot.rows, &slot.payload);
+        out.push_flow(
+            slot.tuple,
+            pkt_start,
+            slot.first_index,
+            observation_end_sec,
+            slot.truncated,
+            cause,
+        );
+        self.free.push(slot_idx);
     }
 }
 
@@ -435,6 +812,111 @@ mod tests {
         assert_eq!(flows.len(), 1);
         assert_eq!(stats.not_inbound, 1);
         assert_eq!(stats.unparsable, 1);
+    }
+
+    /// Replay one absorb schedule through both tables and assert the
+    /// closed flows (records, indices, causes) are identical.
+    fn assert_tables_agree(
+        schedule: &[(IpAddr, u16, u64)],
+        cfg: &OfflineConfig,
+        max_live: usize,
+    ) -> Vec<ClosedFlow> {
+        let mut legacy = FlowTable::new(*cfg, max_live);
+        let mut columnar = ColumnarFlowTable::new(*cfg, max_live);
+        let mut legacy_stats = IngestStats::default();
+        let mut columnar_stats = IngestStats::default();
+        let mut closed = Vec::new();
+        let mut batch = FlowBatch::new();
+        let mut stamp = 0u64;
+        for (index, &(src, sport, ts)) in schedule.iter().enumerate() {
+            stamp = stamp.max(ts);
+            let bytes = frame(src, sport, TcpFlags::ACK, index as u32, b"");
+            let pkt = tamper_wire::Packet::parse(&bytes).unwrap();
+            let pv = PacketView::parse(&bytes).unwrap();
+            legacy.absorb(
+                index as u64,
+                ts,
+                stamp,
+                &pkt,
+                &mut legacy_stats,
+                &mut closed,
+            );
+            columnar.absorb(
+                index as u64,
+                ts,
+                stamp,
+                &pv,
+                &mut columnar_stats,
+                &mut batch,
+            );
+        }
+        legacy.drain(stamp, &mut closed);
+        columnar.drain(stamp, &mut batch);
+        assert_eq!(legacy_stats, columnar_stats);
+        assert_eq!(legacy.high_water(), columnar.high_water());
+        assert_eq!(closed.len(), batch.flow_count());
+        for (i, cf) in closed.iter().enumerate() {
+            assert_eq!(cf.flow, batch.materialize(i), "flow {i} differs");
+            assert_eq!(cf.first_index, batch.spans()[i].first_index);
+            assert_eq!(cf.cause, batch.spans()[i].cause);
+        }
+        closed
+    }
+
+    #[test]
+    fn columnar_table_matches_legacy_with_eviction_and_cap() {
+        // Timeouts, cap pressure, reopened 4-tuples, and an end-of-capture
+        // drain all in one schedule.
+        let mut schedule = Vec::new();
+        for i in 0..40u8 {
+            schedule.push((client(i % 7), 4000 + u16::from(i % 3), 100 + u64::from(i)));
+        }
+        // A long quiet gap expires everything, then the same tuples reopen.
+        schedule.push((client(1), 4000, 500));
+        for i in 0..12u8 {
+            schedule.push((client(i % 5), 4100, 500 + u64::from(i)));
+        }
+        let cfg = OfflineConfig {
+            flow_timeout_secs: 10,
+            ..OfflineConfig::default()
+        };
+        assert_tables_agree(&schedule, &cfg, 0);
+        assert_tables_agree(&schedule, &cfg, 4);
+        assert_tables_agree(&schedule, &cfg, 1);
+    }
+
+    #[test]
+    fn cap_survivors_are_independent_of_insertion_identity() {
+        // The same (position, timestamp) schedule dressed with different
+        // 4-tuple identities must evict the same schedule positions: the
+        // eviction order is a pure function of (last activity, first-seen
+        // index), never of where keys land in the hash map.
+        let base: Vec<u64> = vec![100, 100, 101, 101, 102, 102, 103, 104, 105, 106];
+        let identities: [&[u8]; 3] = [
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+            &[10, 9, 8, 7, 6, 5, 4, 3, 2, 1],
+            &[31, 7, 90, 14, 55, 2, 61, 23, 44, 17],
+        ];
+        let cfg = OfflineConfig::default();
+        let mut evicted_sets = Vec::new();
+        for ids in identities {
+            let schedule: Vec<(IpAddr, u16, u64)> = base
+                .iter()
+                .zip(ids)
+                .map(|(&ts, &id)| (client(id), 4000, ts))
+                .collect();
+            let closed = assert_tables_agree(&schedule, &cfg, 3);
+            let mut evicted: Vec<u64> = closed
+                .iter()
+                .filter(|cf| cf.cause == EvictionCause::CapPressure)
+                .map(|cf| cf.first_index)
+                .collect();
+            evicted.sort_unstable();
+            evicted_sets.push(evicted);
+        }
+        assert!(!evicted_sets[0].is_empty(), "cap never fired");
+        assert_eq!(evicted_sets[0], evicted_sets[1]);
+        assert_eq!(evicted_sets[0], evicted_sets[2]);
     }
 
     #[test]

@@ -28,15 +28,16 @@
 //! caller's observe closure in emission order.
 
 use crate::engine::EngineConfig;
-use crate::offline::{ClosedFlow, EvictionCause, FlowTable, IngestStats};
-use crate::pcap::{PcapError, PcapReader};
-use crate::record::FlowRecord;
+use crate::offline::{ClosedFlow, ColumnarFlowTable, EvictionCause, FlowTable, IngestStats};
+use crate::pcap::{PcapError, PcapReader, SNAPLEN};
+use crate::record::{FlowBatch, FlowRecord};
+use bytes::Bytes;
 use std::io::Read;
 use std::marker::PhantomData;
 use std::net::IpAddr;
 use tamper_netsim::splitmix64;
 use tamper_obs::ScopeMetrics;
-use tamper_wire::Packet;
+use tamper_wire::{Packet, PacketView};
 
 /// Deterministic per-shard counters, merged into
 /// [`crate::engine::EngineStats`] in shard order.
@@ -296,6 +297,249 @@ impl SourceShard for PcapShard {
         self.table.drain(final_stamp, &mut self.closed);
         sm.stop("drain", sw);
         self.hand_off(stats, emit);
+        sm.gauge_max("high_water", self.table.high_water() as u64);
+    }
+
+    fn high_water(&self) -> usize {
+        self.table.high_water()
+    }
+}
+
+// ---------------------------------------------------------------------
+// PcapMemSource — an in-memory pcap, framed zero-copy, assembled into
+// columnar FlowBatches on the shards.
+// ---------------------------------------------------------------------
+
+/// One pcap record framed inside a shared in-memory capture: byte range
+/// plus timestamps. The frame bytes stay in the source's buffer — the
+/// reader ships 24 bytes per record instead of a heap `Vec<u8>`.
+#[derive(Debug, Clone, Copy)]
+pub struct PcapMemItem {
+    /// Record timestamp (seconds).
+    pub ts: u64,
+    /// Capture clock: running maximum timestamp up to this record.
+    pub stamp: u64,
+    /// Byte offset of the raw IP frame inside the capture buffer.
+    pub off: usize,
+    /// Frame length in bytes.
+    pub len: u32,
+}
+
+/// Default flow count at which a [`PcapBatchShard`] seals and emits its
+/// pending [`FlowBatch`].
+pub const DEFAULT_BATCH_FLOWS: usize = 512;
+
+/// [`FlowSource`] over an in-memory pcap buffer — the columnar hot path.
+///
+/// Framing is zero-copy: items are byte ranges into one shared [`Bytes`]
+/// buffer, shards parse borrowed [`PacketView`]s straight out of it and
+/// assemble flows in a [`ColumnarFlowTable`], emitting whole
+/// [`FlowBatch`]es. Record framing accepts and rejects exactly what
+/// [`PcapReader`] does: a malformed global header fails construction, an
+/// oversize length claim or a cut mid-header/mid-frame is a corrupt tail
+/// (everything framed before it is still processed).
+pub struct PcapMemSource {
+    bytes: Bytes,
+    pos: usize,
+    stamp: u64,
+    corrupt: bool,
+    done: bool,
+    batch_flows: usize,
+}
+
+impl PcapMemSource {
+    /// Wrap a complete pcap capture held in memory, validating the global
+    /// header exactly as [`PcapReader::new`] does.
+    pub fn new(bytes: Bytes) -> Result<PcapMemSource, PcapError> {
+        PcapReader::new(bytes.as_ref())?;
+        Ok(PcapMemSource {
+            bytes,
+            pos: 24,
+            stamp: 0,
+            corrupt: false,
+            done: false,
+            batch_flows: DEFAULT_BATCH_FLOWS,
+        })
+    }
+
+    /// Override the per-shard batch flush threshold (flows per emitted
+    /// [`FlowBatch`]); clamped to at least 1.
+    pub fn with_batch_flows(mut self, flows: usize) -> PcapMemSource {
+        self.batch_flows = flows.max(1);
+        self
+    }
+
+    /// The framed byte range of an item, as a borrowed slice.
+    fn frame_of<'a>(bytes: &'a Bytes, item: &PcapMemItem) -> &'a [u8] {
+        // tamperlint: allow(index) — fill() only emits items whose frame range it bounds-checked against the buffer
+        &bytes[item.off..item.off + item.len as usize]
+    }
+}
+
+impl FlowSource for PcapMemSource {
+    type Item = PcapMemItem;
+    type Out = FlowBatch;
+    type Shard = PcapBatchShard;
+
+    fn fill(&mut self, out: &mut Vec<PcapMemItem>, max: usize) -> bool {
+        while out.len() < max && !self.done {
+            let rem = self.bytes.len() - self.pos;
+            if rem == 0 {
+                self.done = true;
+                break;
+            }
+            if rem < 16 {
+                // Ragged tail: EOF inside a record header.
+                self.corrupt = true;
+                self.done = true;
+                break;
+            }
+            // tamperlint: allow(index) — rem >= 16 was checked just above
+            let header = &self.bytes[self.pos..self.pos + 16];
+            let mut w = [0u8; 4];
+            // tamperlint: allow(index) — compile-time offsets into the 16-byte header slice
+            w.copy_from_slice(&header[0..4]);
+            let ts = u64::from(u32::from_le_bytes(w));
+            // tamperlint: allow(index) — compile-time offsets into the 16-byte header slice
+            w.copy_from_slice(&header[8..12]);
+            let incl_len = u32::from_le_bytes(w);
+            if incl_len > SNAPLEN || (rem - 16) < incl_len as usize {
+                // Oversize length claim, or EOF inside the frame body.
+                self.corrupt = true;
+                self.done = true;
+                break;
+            }
+            let off = self.pos + 16;
+            self.pos = off + incl_len as usize;
+            self.stamp = self.stamp.max(ts);
+            out.push(PcapMemItem {
+                ts,
+                stamp: self.stamp,
+                off,
+                len: incl_len,
+            });
+        }
+        !self.done
+    }
+
+    fn route(&self, _index: u64, item: &PcapMemItem, shards: usize) -> Option<usize> {
+        if shards == 1 {
+            // Everything lands on the only shard; frames route_hash would
+            // reject fail full parse there and count as unparsable — the
+            // same field the reader charges unroutable frames to.
+            return Some(0);
+        }
+        route_hash(PcapMemSource::frame_of(&self.bytes, item)).map(|h| (h % shards as u64) as usize)
+    }
+
+    fn shard(&self, cfg: &EngineConfig) -> PcapBatchShard {
+        PcapBatchShard {
+            cfg: cfg.offline,
+            bytes: self.bytes.clone(),
+            table: ColumnarFlowTable::new(cfg.offline, cfg.per_shard_cap()),
+            pending: FlowBatch::new(),
+            batch_flows: self.batch_flows,
+        }
+    }
+
+    fn final_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    fn corrupt_tail(&self) -> bool {
+        self.corrupt
+    }
+}
+
+/// Shard worker for [`PcapMemSource`]: parse borrowed views, assemble in
+/// a [`ColumnarFlowTable`], emit sealed [`FlowBatch`]es.
+pub struct PcapBatchShard {
+    cfg: crate::offline::OfflineConfig,
+    bytes: Bytes,
+    table: ColumnarFlowTable,
+    pending: FlowBatch,
+    batch_flows: usize,
+}
+
+impl PcapBatchShard {
+    /// Seal the pending batch and emit it, folding its eviction-cause
+    /// counters into `stats` on the way.
+    fn hand_off(
+        &mut self,
+        stats: &mut ShardStats,
+        emit: &mut Vec<FlowBatch>,
+        sm: &mut ScopeMetrics,
+    ) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let sw = sm.start();
+        sm.gauge_max("arena_bytes", self.pending.arena_bytes() as u64);
+        sm.gauge_max("batch_flows", self.pending.flow_count() as u64);
+        for span in self.pending.spans() {
+            match span.cause {
+                EvictionCause::Timeout => stats.evicted_timeout += 1,
+                EvictionCause::CapPressure => stats.evicted_cap += 1,
+                EvictionCause::EndOfCapture => stats.drained_eof += 1,
+            }
+        }
+        emit.push(std::mem::take(&mut self.pending));
+        sm.stop("batch", sw);
+    }
+}
+
+impl SourceShard for PcapBatchShard {
+    type Item = PcapMemItem;
+    type Out = FlowBatch;
+
+    fn absorb(
+        &mut self,
+        index: u64,
+        item: PcapMemItem,
+        stats: &mut ShardStats,
+        emit: &mut Vec<FlowBatch>,
+        sm: &mut ScopeMetrics,
+    ) {
+        let frame = PcapMemSource::frame_of(&self.bytes, &item);
+        let sw = sm.start();
+        let parsed = PacketView::parse(frame);
+        sm.stop("parse", sw);
+        match parsed {
+            Err(_) => stats.ingest.unparsable += 1,
+            Ok(pv) => {
+                if !self.cfg.server_ports.contains(&pv.dst_port) {
+                    stats.ingest.not_inbound += 1;
+                } else {
+                    let sw = sm.start();
+                    self.table.absorb(
+                        index,
+                        item.ts,
+                        item.stamp,
+                        &pv,
+                        &mut stats.ingest,
+                        &mut self.pending,
+                    );
+                    sm.stop("absorb_evict", sw);
+                    sm.gauge_max("live_flows", self.table.live() as u64);
+                    if self.pending.flow_count() >= self.batch_flows {
+                        self.hand_off(stats, emit, sm);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(
+        &mut self,
+        final_stamp: u64,
+        stats: &mut ShardStats,
+        emit: &mut Vec<FlowBatch>,
+        sm: &mut ScopeMetrics,
+    ) {
+        let sw = sm.start();
+        self.table.drain(final_stamp, &mut self.pending);
+        sm.stop("drain", sw);
+        self.hand_off(stats, emit, sm);
         sm.gauge_max("high_water", self.table.high_water() as u64);
     }
 
@@ -593,7 +837,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
     use std::net::{IpAddr, Ipv4Addr};
     use tamper_wire::{PacketBuilder, TcpFlags};
 

@@ -1,0 +1,180 @@
+//! Batch classification over columnar flow storage.
+//!
+//! A [`FlowBatch`] packs many finished flows into shared columns; the
+//! [`BatchClassifier`] walks every flow in one call, driving the same
+//! generic classification body ([`classify_view`]) the per-flow
+//! [`FlowMachine`](crate::machine::FlowMachine) uses — so verdicts are
+//! identical by construction — while reusing one set of scratch buffers
+//! across the whole batch. Warm (after the first few batches have grown
+//! the scratch to steady state), classifying a batch of domain-free
+//! flows performs **zero** heap requests; the `alloc_discipline` suite
+//! enforces that budget.
+
+use crate::classify::{ClassifierConfig, FlowAnalysis};
+use crate::machine::classify_view;
+use crate::view::PacketsView;
+use tamper_capture::{FlowBatch, FlowCols};
+use tamper_wire::TcpFlags;
+
+impl PacketsView for FlowCols<'_> {
+    fn len(&self) -> usize {
+        FlowCols::len(self)
+    }
+
+    fn ts_sec(&self, i: usize) -> u64 {
+        self.ts_sec[i]
+    }
+
+    fn flags(&self, i: usize) -> TcpFlags {
+        self.flags[i]
+    }
+
+    fn seq(&self, i: usize) -> u32 {
+        self.seq[i]
+    }
+
+    fn ack(&self, i: usize) -> u32 {
+        self.ack[i]
+    }
+
+    fn ip_id(&self, i: usize) -> Option<u16> {
+        self.ip_id_of(i)
+    }
+
+    fn ttl(&self, i: usize) -> u8 {
+        self.ttl[i]
+    }
+
+    fn payload_len(&self, i: usize) -> u32 {
+        self.payload_len[i]
+    }
+
+    fn payload(&self, i: usize) -> &[u8] {
+        self.payload_of(i)
+    }
+
+    fn has_tcp_options(&self, i: usize) -> bool {
+        self.has_tcp_options[i]
+    }
+}
+
+/// Classifies whole [`FlowBatch`]es of finished flows, one column walk
+/// per flow, with scratch buffers reused across flows and batches.
+pub struct BatchClassifier {
+    cfg: ClassifierConfig,
+    order: Vec<usize>,
+    rsts: Vec<(bool, u32)>,
+    seen_data_seqs: Vec<u32>,
+    out: Vec<FlowAnalysis>,
+}
+
+impl BatchClassifier {
+    /// A classifier with the given configuration and empty scratch.
+    pub fn new(cfg: ClassifierConfig) -> BatchClassifier {
+        BatchClassifier {
+            cfg,
+            order: Vec::new(),
+            rsts: Vec::new(),
+            seen_data_seqs: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// The configuration verdicts are produced under.
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.cfg
+    }
+
+    /// Classify flow `i` of a batch — identical output to running
+    /// [`FlowMachine::analyze`](crate::machine::FlowMachine::analyze)
+    /// over the materialized [`FlowRecord`](tamper_capture::FlowRecord).
+    pub fn classify_span(&mut self, batch: &FlowBatch, i: usize) -> FlowAnalysis {
+        let span = &batch.spans()[i];
+        let tuple = batch.tuple(span);
+        let cols = batch.flow_cols(i);
+        classify_view(
+            &self.cfg,
+            tuple.dst_port,
+            &cols,
+            span.truncated,
+            span.observation_end_sec,
+            &mut self.order,
+            &mut self.rsts,
+            &mut self.seen_data_seqs,
+        )
+    }
+
+    /// Classify every flow in the batch, in span order. The returned
+    /// slice lives until the next `classify_batch` call.
+    pub fn classify_batch(&mut self, batch: &FlowBatch) -> &[FlowAnalysis] {
+        self.out.clear();
+        for i in 0..batch.flow_count() {
+            let analysis = self.classify_span(batch, i);
+            self.out.push(analysis);
+        }
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::FlowMachine;
+    use std::net::{IpAddr, Ipv4Addr};
+    use tamper_capture::{EvictionCause, FlowTuple};
+    use tamper_wire::TcpFlags;
+
+    fn tuple(sport: u16) -> FlowTuple {
+        FlowTuple {
+            client_ip: IpAddr::V4(Ipv4Addr::new(203, 0, 113, 7)),
+            server_ip: IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+            src_port: sport,
+            dst_port: 443,
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_flow_machine() {
+        let mut batch = FlowBatch::new();
+        // Flow 0: SYN, data, RST.
+        batch.push_packet(100, TcpFlags::SYN, 1, 0, Some(7), 64, 1024, b"", false);
+        batch.push_packet(
+            100,
+            TcpFlags::PSH_ACK,
+            2,
+            900,
+            Some(8),
+            64,
+            1024,
+            b"hello",
+            false,
+        );
+        batch.push_packet(101, TcpFlags::RST, 7, 0, Some(9), 44, 0, b"", false);
+        batch.push_flow(tuple(4000), 0, 0, 131, false, EvictionCause::EndOfCapture);
+        // Flow 1: empty (zero packets).
+        batch.push_flow(tuple(4001), 3, 1, 131, false, EvictionCause::EndOfCapture);
+        // Flow 2: single truncated SYN.
+        batch.push_packet(105, TcpFlags::SYN, 9, 0, None, 32, 512, b"", true);
+        batch.push_flow(tuple(4002), 3, 2, 140, true, EvictionCause::Timeout);
+
+        let mut clf = BatchClassifier::new(ClassifierConfig::default());
+        let got: Vec<FlowAnalysis> = clf.classify_batch(&batch).to_vec();
+        assert_eq!(got.len(), 3);
+        let mut machine = FlowMachine::new(ClassifierConfig::default());
+        for (i, analysis) in got.iter().enumerate() {
+            let record = batch.materialize(i);
+            assert_eq!(analysis, &machine.analyze(&record), "flow {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_batches() {
+        let mut clf = BatchClassifier::new(ClassifierConfig::default());
+        let mut batch = FlowBatch::new();
+        batch.push_packet(10, TcpFlags::SYN, 1, 0, Some(1), 64, 64, b"", false);
+        batch.push_flow(tuple(5000), 0, 0, 41, false, EvictionCause::EndOfCapture);
+        let first = clf.classify_batch(&batch).to_vec();
+        let second = clf.classify_batch(&batch).to_vec();
+        assert_eq!(first, second);
+    }
+}

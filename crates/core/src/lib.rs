@@ -18,6 +18,7 @@
 //! touches simulation ground truth, which lives only in `tamper-netsim`
 //! traces and is used by tests to measure precision/recall.
 
+pub mod batch;
 pub mod classify;
 pub mod evidence;
 pub mod explain;
@@ -25,7 +26,9 @@ pub mod machine;
 pub mod reorder;
 pub mod signature;
 pub mod trigger;
+pub mod view;
 
+pub use batch::BatchClassifier;
 pub use classify::{classify, Classifier, ClassifierConfig, FlowAnalysis};
 pub use evidence::{
     is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta, max_rst_ipid_delta,
@@ -34,12 +37,15 @@ pub use evidence::{
 };
 pub use explain::explain;
 pub use machine::{
-    event_of, reachable_graph, stage_of, transition, Count, Event, FlowMachine, Input, Output,
-    StageState,
+    classify_view, event_of, reachable_graph, stage_of, transition, Count, Event, FlowMachine,
+    Input, Output, StageState,
 };
-pub use reorder::{reconstruct_order, reconstruct_order_into, reordered};
+pub use reorder::{
+    reconstruct_order, reconstruct_order_into, reconstruct_order_view_into, reordered,
+};
 pub use signature::{Classification, Signature, Stage};
 pub use trigger::{
     extract as extract_trigger, extract_from_parts as extract_trigger_from_parts, user_agent,
     AppProtocol, TriggerInfo,
 };
+pub use view::PacketsView;

@@ -43,11 +43,13 @@
 use std::net::{IpAddr, Ipv4Addr};
 
 use crate::classify::{merge_rst_counts, rst_signature, ClassifierConfig, FlowAnalysis};
-use crate::reorder::reconstruct_order_into;
+use crate::reorder::reconstruct_order_view_into;
 use crate::signature::{Classification, Signature, Stage};
 use crate::trigger;
+use crate::view::PacketsView;
 use tamper_capture::{FlowRecord, PacketRecord};
 use tamper_netsim::SimTime;
+use tamper_wire::TcpFlags;
 
 /// A saturating 0 / 1 / many counter — the only multiplicities the
 /// paper's stage logic ever distinguishes.
@@ -134,18 +136,36 @@ impl Event {
 /// segments by sequence number through `seen_data_seqs` (caller-owned
 /// scratch so the machine can reuse its allocation).
 pub fn event_of(p: &PacketRecord, seen_data_seqs: &mut Vec<u32>) -> Event {
-    let f = p.flags;
+    event_of_fields(p.flags, p.seq, p.has_payload(), seen_data_seqs)
+}
+
+/// [`event_of`] for packet `i` of any storage layout.
+pub fn event_of_view<V: PacketsView + ?Sized>(
+    v: &V,
+    i: usize,
+    seen_data_seqs: &mut Vec<u32>,
+) -> Event {
+    event_of_fields(v.flags(i), v.seq(i), v.has_payload(i), seen_data_seqs)
+}
+
+/// The shared event-classification body.
+fn event_of_fields(
+    f: TcpFlags,
+    seq: u32,
+    has_payload: bool,
+    seen_data_seqs: &mut Vec<u32>,
+) -> Event {
     if f.has_syn() {
         Event::Syn
     } else if f.has_rst() {
         Event::Rst
     } else if f.has_fin() {
         Event::Fin
-    } else if p.has_payload() {
-        if seen_data_seqs.contains(&p.seq) {
+    } else if has_payload {
+        if seen_data_seqs.contains(&seq) {
             Event::DupData
         } else {
-            seen_data_seqs.push(p.seq);
+            seen_data_seqs.push(seq);
             Event::NewData
         }
     } else if f.has_ack() {
@@ -407,95 +427,126 @@ impl FlowMachine {
     /// Terminal step: reconstruct order, fold the event stream through
     /// the transition table, and read the verdict off the final state.
     fn finish(&mut self, truncated: bool, now: SimTime) -> FlowAnalysis {
-        let observation_end_sec = now.as_secs();
-        let trigger = trigger::extract_from_parts(self.dst_port, &self.packets);
-        reconstruct_order_into(&self.packets, &mut self.order);
-        self.rsts.clear();
-        self.seen_data_seqs.clear();
+        classify_view(
+            &self.cfg,
+            self.dst_port,
+            self.packets.as_slice(),
+            truncated,
+            now.as_secs(),
+            &mut self.order,
+            &mut self.rsts,
+            &mut self.seen_data_seqs,
+        )
+    }
+}
 
-        let mut state = StageState::START;
-        let mut max_gap = 0u64;
-        let mut prev_ts = None;
-        for &pi in &self.order {
-            let p = &self.packets[pi];
-            if let Some(prev) = prev_ts {
-                max_gap = max_gap.max(p.ts_sec.saturating_sub(prev));
-            }
-            prev_ts = Some(p.ts_sec);
-            let ev = event_of(p, &mut self.seen_data_seqs);
-            if ev == Event::Rst {
-                self.rsts.push((p.flags.is_pure_rst(), p.ack));
-            }
-            state = transition(state, ev);
+/// The one classification body, generic over packet storage.
+///
+/// Both terminal paths end here: [`FlowMachine::process`] on `Input::End`
+/// with its arrival-order `Vec<PacketRecord>` buffer, and
+/// [`BatchClassifier`](crate::batch::BatchClassifier) with the column
+/// slices of each finished flow in a batch — so the two produce
+/// bit-identical [`FlowAnalysis`] values by construction. The caller
+/// owns the three scratch buffers (reconstructed order, RST multiset,
+/// data-seq dedup); once they are warm no packet count inside the
+/// corpus' high-water marks allocates.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_view<V: PacketsView + ?Sized>(
+    cfg: &ClassifierConfig,
+    dst_port: u16,
+    v: &V,
+    truncated: bool,
+    observation_end_sec: u64,
+    order: &mut Vec<usize>,
+    rsts: &mut Vec<(bool, u32)>,
+    seen_data_seqs: &mut Vec<u32>,
+) -> FlowAnalysis {
+    let trigger = trigger::extract_from_view(dst_port, v);
+    reconstruct_order_view_into(v, order);
+    rsts.clear();
+    seen_data_seqs.clear();
+
+    let mut state = StageState::START;
+    let mut max_gap = 0u64;
+    let mut prev_ts = None;
+    for &pi in order.iter() {
+        let ts = v.ts_sec(pi);
+        if let Some(prev) = prev_ts {
+            max_gap = max_gap.max(ts.saturating_sub(prev));
         }
-
-        let tail_gap = if truncated {
-            // The record stopped because the packet cap hit, not because
-            // the flow went quiet; the tail says nothing.
-            0
-        } else {
-            self.packets
-                .iter()
-                .map(|p| p.ts_sec)
-                .max()
-                .map(|last| observation_end_sec.saturating_sub(last))
-                .unwrap_or(0)
-        };
-
-        let rst_count = self.rsts.iter().filter(|(pure, _)| *pure).count();
-        let rst_ack_count = self.rsts.len() - rst_count;
-        let silent = !state.fin_any
-            && (max_gap >= self.cfg.inactivity_secs || tail_gap >= self.cfg.inactivity_secs);
-        let possibly_tampered = state.rst || silent;
-
-        if !possibly_tampered || self.order.is_empty() {
-            return FlowAnalysis {
-                classification: Classification::NotTampered,
-                stage: None,
-                rst_count,
-                rst_ack_count,
-                trigger,
-            };
+        prev_ts = Some(ts);
+        let ev = event_of_view(v, pi, seen_data_seqs);
+        if ev == Event::Rst {
+            rsts.push((v.flags(pi).is_pure_rst(), v.ack(pi)));
         }
+        state = transition(state, ev);
+    }
 
-        let stage = stage_of(state);
-        let signature = stage.and_then(|st| {
-            if state.fin_before {
-                // Teardown was already under way when the evidence
-                // arrived: counted in its stage, matching no signature.
-                return None;
-            }
-            if state.rst {
-                if st == Stage::PostSyn && state.syns != Count::One {
-                    // Post-SYN signatures require "a single SYN".
-                    return None;
-                }
-                rst_signature(st, &self.rsts)
-            } else {
-                match st {
-                    Stage::PostSyn if state.syns == Count::One => Some(Signature::SynNone),
-                    Stage::PostSyn => None, // multiple SYNs then silence
-                    Stage::PostAck => Some(Signature::AckNone),
-                    Stage::PostPsh | Stage::PostData => Some(Signature::PshNone),
-                }
-            }
-        });
-        let signature = if self.cfg.split_rst_counts {
-            signature
-        } else {
-            signature.map(merge_rst_counts)
-        };
+    let tail_gap = if truncated {
+        // The record stopped because the packet cap hit, not because
+        // the flow went quiet; the tail says nothing.
+        0
+    } else {
+        (0..v.len())
+            .map(|i| v.ts_sec(i))
+            .max()
+            .map(|last| observation_end_sec.saturating_sub(last))
+            .unwrap_or(0)
+    };
 
-        FlowAnalysis {
-            classification: match signature {
-                Some(sig) => Classification::Tampered(sig),
-                None => Classification::PossiblyTamperedOther,
-            },
-            stage,
+    let rst_count = rsts.iter().filter(|(pure, _)| *pure).count();
+    let rst_ack_count = rsts.len() - rst_count;
+    let silent =
+        !state.fin_any && (max_gap >= cfg.inactivity_secs || tail_gap >= cfg.inactivity_secs);
+    let possibly_tampered = state.rst || silent;
+
+    if !possibly_tampered || order.is_empty() {
+        return FlowAnalysis {
+            classification: Classification::NotTampered,
+            stage: None,
             rst_count,
             rst_ack_count,
             trigger,
+        };
+    }
+
+    let stage = stage_of(state);
+    let signature = stage.and_then(|st| {
+        if state.fin_before {
+            // Teardown was already under way when the evidence
+            // arrived: counted in its stage, matching no signature.
+            return None;
         }
+        if state.rst {
+            if st == Stage::PostSyn && state.syns != Count::One {
+                // Post-SYN signatures require "a single SYN".
+                return None;
+            }
+            rst_signature(st, rsts)
+        } else {
+            match st {
+                Stage::PostSyn if state.syns == Count::One => Some(Signature::SynNone),
+                Stage::PostSyn => None, // multiple SYNs then silence
+                Stage::PostAck => Some(Signature::AckNone),
+                Stage::PostPsh | Stage::PostData => Some(Signature::PshNone),
+            }
+        }
+    });
+    let signature = if cfg.split_rst_counts {
+        signature
+    } else {
+        signature.map(merge_rst_counts)
+    };
+
+    FlowAnalysis {
+        classification: match signature {
+            Some(sig) => Classification::Tampered(sig),
+            None => Classification::PossiblyTamperedOther,
+        },
+        stage,
+        rst_count,
+        rst_ack_count,
+        trigger,
     }
 }
 

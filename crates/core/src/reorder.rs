@@ -7,7 +7,9 @@
 //! ordered by sequence number, and tear-down packets follow the data that
 //! triggered them.
 
+use crate::view::PacketsView;
 use tamper_capture::PacketRecord;
+use tamper_wire::TcpFlags;
 
 /// Coarse within-bucket rank of a packet.
 ///
@@ -16,8 +18,7 @@ use tamper_capture::PacketRecord;
 /// sequence number — empty payloads first on ties, since the handshake
 /// ACK precedes the request it shares a sequence number with — recovers
 /// the true order, which matters for the IP-ID/TTL evidence.
-fn rank(p: &PacketRecord) -> u8 {
-    let f = p.flags;
+fn rank(f: TcpFlags) -> u8 {
     if f.has_syn() {
         0
     } else if f.has_rst() {
@@ -46,13 +47,18 @@ pub fn reconstruct_order(packets: &[PacketRecord]) -> Vec<usize> {
 /// [`reconstruct_order`] writing into a caller-owned buffer, so hot loops
 /// (one classification per evicted flow) can reuse the allocation.
 pub fn reconstruct_order_into(packets: &[PacketRecord], idx: &mut Vec<usize>) {
+    reconstruct_order_view_into(packets, idx);
+}
+
+/// [`reconstruct_order_into`] over any packet storage layout — the one
+/// sort key, shared by the `Vec<PacketRecord>` and columnar paths.
+pub fn reconstruct_order_view_into<V: PacketsView + ?Sized>(v: &V, idx: &mut Vec<usize>) {
     // The ISN is the sequence number of the (lowest-ranked) SYN if one was
     // logged, else the minimum data sequence seen.
-    let isn = packets
-        .iter()
-        .find(|p| p.flags.has_syn())
-        .map(|p| p.seq)
-        .or_else(|| packets.iter().map(|p| p.seq).min())
+    let isn = (0..v.len())
+        .find(|&i| v.flags(i).has_syn())
+        .map(|i| v.seq(i))
+        .or_else(|| (0..v.len()).map(|i| v.seq(i)).min())
         .unwrap_or(0);
     // Ack numbers need the same relative treatment as sequence numbers:
     // the server's ISN can sit just below the u32 wrap, so raw acks would
@@ -61,26 +67,24 @@ pub fn reconstruct_order_into(packets: &[PacketRecord], idx: &mut Vec<usize>) {
     // acks just before the anchor must sort just before it, not 4 GiB
     // after. (Acks of 0 are pre-handshake and keep sorting first, via the
     // bool key.)
-    let ack0 = packets
-        .iter()
-        .find(|p| p.ack != 0)
-        .map(|p| p.ack)
+    let ack0 = (0..v.len())
+        .find(|&i| v.ack(i) != 0)
+        .map(|i| v.ack(i))
         .unwrap_or(0);
 
     idx.clear();
-    idx.extend(0..packets.len());
+    idx.extend(0..v.len());
     // Unstable sort: the trailing index makes every key unique, so order
     // is deterministic — and unlike the stable sort it never allocates,
     // which the steady-state analyze path depends on.
     idx.sort_unstable_by_key(|&i| {
-        let p = &packets[i];
         (
-            p.ts_sec,
-            rank(p),
-            p.seq.wrapping_sub(isn),
-            p.has_payload(), // the handshake ACK precedes its request
-            (p.ack != 0, p.ack.wrapping_sub(ack0).cast_signed()),
-            p.flags.has_fin(), // the final data ACK precedes the FIN
+            v.ts_sec(i),
+            rank(v.flags(i)),
+            v.seq(i).wrapping_sub(isn),
+            v.has_payload(i), // the handshake ACK precedes its request
+            (v.ack(i) != 0, v.ack(i).wrapping_sub(ack0).cast_signed()),
+            v.flags(i).has_fin(), // the final data ACK precedes the FIN
             i,
         )
     });

@@ -4,6 +4,7 @@
 //! pipeline report affected domains without any a-priori test list
 //! (paper §3.4).
 
+use crate::view::PacketsView;
 use tamper_capture::{FlowRecord, PacketRecord};
 use tamper_wire::{http, tls};
 
@@ -36,19 +37,33 @@ pub fn extract(flow: &FlowRecord) -> TriggerInfo {
 /// [`extract`] over a flow's parts — the sans-IO machine calls this with
 /// its own packet buffer, before any [`FlowRecord`] exists.
 pub fn extract_from_parts(dst_port: u16, packets: &[PacketRecord]) -> TriggerInfo {
+    extract_from_view(dst_port, packets)
+}
+
+/// [`extract_from_parts`] over any packet storage layout — the batch
+/// classifier calls this with a column-slice view.
+pub fn extract_from_view<V: PacketsView + ?Sized>(dst_port: u16, v: &V) -> TriggerInfo {
     // First data-bearing packet (including data riding a SYN).
-    let first_data = packets.iter().find(|p| p.has_payload());
-    if let Some(p) = first_data {
-        if tls::is_client_hello(&p.payload) {
+    let first_data = (0..v.len())
+        .find(|&i| v.has_payload(i))
+        .map(|i| v.payload(i));
+    from_first_payload(dst_port, first_data)
+}
+
+/// The shared extraction body: inspect the first data payload, fall back
+/// to the destination port.
+fn from_first_payload(dst_port: u16, first_data: Option<&[u8]>) -> TriggerInfo {
+    if let Some(payload) = first_data {
+        if tls::is_client_hello(payload) {
             return TriggerInfo {
                 // tamperlint: allow(discarded-wire-error) — best-effort trigger extraction: a malformed ClientHello means no SNI by design
-                domain: tls::parse_sni(&p.payload).ok().flatten(),
+                domain: tls::parse_sni(payload).ok().flatten(),
                 protocol: AppProtocol::Tls,
             };
         }
-        if http::is_http_request(&p.payload) {
+        if http::is_http_request(payload) {
             // tamperlint: allow(discarded-wire-error) — best-effort trigger extraction: a malformed request means no Host by design
-            let host = http::parse_host(&p.payload).ok().flatten();
+            let host = http::parse_host(payload).ok().flatten();
             return TriggerInfo {
                 domain: host,
                 protocol: AppProtocol::Http,

@@ -79,13 +79,14 @@ use std::time::Instant;
 /// `impl Trait for Type` block implements. Everything the call graph can
 /// reach from these runs once per packet or per flow at line rate, so
 /// `hot-path-alloc` bans fresh allocations on the whole closure.
-pub const HOT_ROOTS: [(&str, &str); 6] = [
+pub const HOT_ROOTS: [(&str, &str); 7] = [
     ("FlowMachine", "process"),
     ("FlowMachine", "analyze"),
     ("FlowSource", "fill"),
     ("SourceShard", "fill"),
     ("SourceShard", "absorb"),
     ("EndpointMachine", "process"),
+    ("BatchClassifier", "classify_batch"),
 ];
 
 /// The outcome of a whole-repo analysis.

@@ -68,6 +68,32 @@ fn hot_alloc_reaches_a_sink_two_hops_from_the_root() {
 }
 
 #[test]
+fn hot_alloc_fires_in_the_batch_classifier_root() {
+    // The columnar batch walk is a registered hot root: a fresh
+    // allocation inside classify_batch must be flagged like one inside
+    // FlowMachine::process.
+    let src = "pub struct BatchClassifier;\n\
+        impl BatchClassifier {\n    \
+        pub fn classify_batch(&mut self) -> Vec<u8> {\n        \
+        Vec::new()\n    \
+        }\n}\n";
+    let lint = lint_source(CORE, src);
+    assert_eq!(
+        fired(&lint.findings),
+        vec![("hot-path-alloc", 4)],
+        "{:?}",
+        lint.findings
+    );
+    assert!(
+        lint.findings[0]
+            .message
+            .contains("in hot root BatchClassifier::classify_batch"),
+        "{}",
+        lint.findings[0].message
+    );
+}
+
+#[test]
 fn hot_alloc_waiver_suppresses_the_finding() {
     let src = "pub struct FlowMachine;\n\
         impl FlowMachine {\n    \

@@ -45,7 +45,7 @@ pub use error::WireError;
 pub use flags::TcpFlags;
 pub use ipv4::Ipv4Header;
 pub use ipv6::Ipv6Header;
-pub use packet::{IpHeader, Packet, PacketBuilder};
+pub use packet::{IpHeader, Packet, PacketBuilder, PacketView};
 pub use reader::Reader;
 pub use tcp::{TcpHeader, TcpOption};
 

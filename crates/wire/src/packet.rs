@@ -183,6 +183,164 @@ impl Packet {
     }
 }
 
+/// A borrowed, allocation-free view of one parsed frame.
+///
+/// This is the columnar ingest path's counterpart of [`Packet::parse`]:
+/// the same validation (IPv4 header checksum, TCP checksum over the
+/// pseudo-header, TCP option-length walk) with the payload left as a
+/// slice into the caller's frame and the option list reduced to the
+/// `has_tcp_options` bit the classifier actually consumes. A frame is
+/// accepted by [`PacketView::parse`] if and only if [`Packet::parse`]
+/// accepts it, with the same error on rejection — the equivalence tests
+/// below and the `properties` suite hold the two parsers together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketView<'a> {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// TTL (IPv4) or hop limit (IPv6).
+    pub ttl: u8,
+    /// IPv4 identification field; `None` for IPv6.
+    pub ip_id: Option<u16>,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag byte.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// True if the TCP header carried any options.
+    pub has_tcp_options: bool,
+    /// Payload bytes, borrowed from the input frame.
+    pub payload: &'a [u8],
+}
+
+impl<'a> PacketView<'a> {
+    /// Parse a frame starting at the IP header without allocating.
+    pub fn parse(frame: &'a [u8]) -> Result<PacketView<'a>> {
+        let version = frame.first().map(|b| b >> 4).ok_or(WireError::Truncated)?;
+        match version {
+            4 => {
+                let (ip, off) = Ipv4Header::parse(frame)?;
+                if ip.protocol != 6 {
+                    return Err(WireError::UnsupportedProtocol(ip.protocol));
+                }
+                let segment = frame
+                    .get(off..ip.total_len as usize)
+                    .ok_or(WireError::BadLength)?;
+                if tcp_checksum_v4(ip.src, ip.dst, segment) != 0 {
+                    return Err(WireError::BadChecksum);
+                }
+                Self::finish_tcp(
+                    IpAddr::V4(ip.src),
+                    IpAddr::V4(ip.dst),
+                    ip.ttl,
+                    Some(ip.identification),
+                    segment,
+                )
+            }
+            6 => {
+                let (ip, off) = Ipv6Header::parse(frame)?;
+                if ip.next_header != 6 {
+                    return Err(WireError::UnsupportedProtocol(ip.next_header));
+                }
+                let seg_end = off
+                    .checked_add(ip.payload_len as usize)
+                    .ok_or(WireError::BadLength)?;
+                let segment = frame.get(off..seg_end).ok_or(WireError::BadLength)?;
+                if tcp_checksum_v6(ip.src, ip.dst, segment) != 0 {
+                    return Err(WireError::BadChecksum);
+                }
+                Self::finish_tcp(
+                    IpAddr::V6(ip.src),
+                    IpAddr::V6(ip.dst),
+                    ip.hop_limit,
+                    None,
+                    segment,
+                )
+            }
+            v => Err(WireError::BadVersion(v)),
+        }
+    }
+
+    /// Parse the TCP fixed header, validate the option region exactly as
+    /// [`TcpHeader::parse`] does (without materializing the option list),
+    /// and borrow the payload.
+    fn finish_tcp(
+        src: IpAddr,
+        dst: IpAddr,
+        ttl: u8,
+        ip_id: Option<u16>,
+        segment: &'a [u8],
+    ) -> Result<PacketView<'a>> {
+        let mut r = crate::reader::Reader::new(segment);
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let seq = r.u32()?;
+        let ack = r.u32()?;
+        let off_byte = r.u8()?;
+        let flags = TcpFlags::from_bits(r.u8()?);
+        let window = r.u16()?;
+        r.skip(2)?; // checksum: already verified over the pseudo-header
+        r.skip(2)?; // urgent pointer
+        let data_offset = (off_byte >> 4) as usize * 4;
+        if data_offset > segment.len() {
+            return Err(WireError::BadLength);
+        }
+        let opts_len = data_offset
+            .checked_sub(crate::tcp::TCP_HEADER_LEN)
+            .ok_or(WireError::BadLength)?;
+        let mut opts = crate::reader::Reader::new(r.take(opts_len)?);
+        while !opts.is_empty() {
+            let kind = opts.u8()?;
+            match kind {
+                0 => break,
+                1 => {}
+                _ => {
+                    let len = opts
+                        .u8()
+                        .map_err(|_| WireError::Malformed("tcp option length"))?
+                        as usize;
+                    if len < 2 {
+                        return Err(WireError::Malformed("tcp option length"));
+                    }
+                    opts.take(len - 2)
+                        .map_err(|_| WireError::Malformed("tcp option length"))?;
+                }
+            }
+        }
+        let payload = segment.get(data_offset..).ok_or(WireError::BadLength)?;
+        Ok(PacketView {
+            src,
+            dst,
+            ttl,
+            ip_id,
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            // TcpHeader::parse pushes at least one option whenever the
+            // option region is non-empty, so this bit matches its
+            // `!options.is_empty()` on every accepted frame.
+            has_tcp_options: opts_len > 0,
+            payload,
+        })
+    }
+
+    /// True for IPv4 frames.
+    pub fn is_v4(&self) -> bool {
+        self.src.is_ipv4()
+    }
+}
+
 /// Fluent builder for constructing packets in simulators and tests.
 #[derive(Debug, Clone)]
 pub struct PacketBuilder {
@@ -346,5 +504,74 @@ mod tests {
     #[test]
     fn empty_frame_truncated() {
         assert_eq!(Packet::parse(&[]), Err(WireError::Truncated));
+    }
+
+    /// Assert the borrowed view and the owning parser agree on one frame:
+    /// same accept/reject decision, same error, same field values.
+    fn assert_view_matches(frame: &[u8]) {
+        match (Packet::parse(frame), PacketView::parse(frame)) {
+            (Ok(p), Ok(v)) => {
+                assert_eq!(v.src, p.ip.src());
+                assert_eq!(v.dst, p.ip.dst());
+                assert_eq!(v.ttl, p.ip.ttl());
+                assert_eq!(v.ip_id, p.ip.ip_id());
+                assert_eq!(v.src_port, p.tcp.src_port);
+                assert_eq!(v.dst_port, p.tcp.dst_port);
+                assert_eq!(v.seq, p.tcp.seq);
+                assert_eq!(v.ack, p.tcp.ack);
+                assert_eq!(v.flags, p.tcp.flags);
+                assert_eq!(v.window, p.tcp.window);
+                assert_eq!(v.has_tcp_options, !p.tcp.options.is_empty());
+                assert_eq!(v.payload, &p.payload[..]);
+                assert_eq!(v.is_v4(), p.ip.is_v4());
+            }
+            (Err(e), Err(ve)) => assert_eq!(e, ve, "parsers rejected with different errors"),
+            (p, v) => panic!("parsers disagree on acceptance: parse={p:?} view={v:?}"),
+        }
+    }
+
+    #[test]
+    fn view_matches_parse_on_valid_and_corrupt_frames() {
+        let good_v4 = PacketBuilder::new(v4(1), v4(2), 45000, 443)
+            .flags(TcpFlags::PSH_ACK)
+            .seq(1000)
+            .ack(2000)
+            .ttl(57)
+            .ip_id(777)
+            .options(TcpHeader::standard_syn_options())
+            .payload(Bytes::from_static(b"hello tls"))
+            .build()
+            .emit();
+        let good_v6 = PacketBuilder::new(v6(1), v6(2), 45000, 80)
+            .flags(TcpFlags::SYN)
+            .seq(42)
+            .options(TcpHeader::standard_syn_options())
+            .build()
+            .emit();
+        let bare = PacketBuilder::new(v4(9), v4(8), 50000, 80)
+            .flags(TcpFlags::RST)
+            .build()
+            .emit();
+        assert_view_matches(&good_v4);
+        assert_view_matches(&good_v6);
+        assert_view_matches(&bare);
+        assert!(PacketView::parse(&good_v4).unwrap().has_tcp_options);
+        assert!(!PacketView::parse(&bare).unwrap().has_tcp_options);
+
+        // Every truncation point and every single-bit corruption must get
+        // the same verdict from both parsers.
+        for cut in 0..good_v4.len() {
+            assert_view_matches(&good_v4[..cut]);
+        }
+        for byte in 0..good_v4.len() {
+            let mut bad = good_v4.to_vec();
+            bad[byte] ^= 0x04;
+            assert_view_matches(&bad);
+        }
+        for byte in 0..good_v6.len() {
+            let mut bad = good_v6.to_vec();
+            bad[byte] ^= 0x81;
+            assert_view_matches(&bad);
+        }
     }
 }

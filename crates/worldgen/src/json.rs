@@ -173,9 +173,16 @@ impl<'a> Parser<'a> {
                     Some(b'u') => {
                         let hi = self.hex4()?;
                         if (0xD800..0xDC00).contains(&hi) {
-                            // Surrogate pair.
-                            self.expect(b'\\')?;
-                            self.expect(b'u')?;
+                            // A high surrogate is only valid as the first
+                            // half of a `\uD8xx\uDCxx` pair; anything else
+                            // (closing quote, EOF, ordinary text) is an
+                            // unpaired surrogate, not a missing delimiter.
+                            if self.peek() != Some(b'\\')
+                                || self.bytes.get(self.pos + 1) != Some(&b'u')
+                            {
+                                return self.err("unpaired high surrogate");
+                            }
+                            self.pos += 2;
                             let lo = self.hex4()?;
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return self.err("bad low surrogate");
@@ -455,6 +462,47 @@ mod tests {
             assert!(!e.message.is_empty());
             assert!(e.to_string().contains("JSON error"));
         }
+    }
+
+    #[test]
+    fn unpaired_surrogates_are_named_errors() {
+        // Every way a \uD800-range escape can fail to form a pair gets a
+        // specific message, not a generic "expected" complaint.
+        for (bad, want) in [
+            (r#""\ud800""#, "unpaired high surrogate"),
+            (r#""\ud83d""#, "unpaired high surrogate"),
+            (r#""\ud800x""#, "unpaired high surrogate"),
+            (r#""\ud800\n""#, "unpaired high surrogate"),
+            (r#""\ud800"#, "unpaired high surrogate"),
+            (r#""\ud800\u"#, "truncated \\u escape"),
+            (r#""\ud800\udc"#, "truncated \\u escape"),
+            (r#""\ud800\ud800""#, "bad low surrogate"),
+            (r#""\udc00""#, "lone low surrogate"),
+        ] {
+            let e = Json::parse(bad).expect_err(bad);
+            assert_eq!(e.message, want, "{bad}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_round_trip_in_jsonl_records() {
+        // A JSONL record line carrying astral-plane text, both as raw
+        // UTF-8 and as escaped surrogate pairs, parses to the same value
+        // and survives re-emission.
+        let escaped = concat!(
+            r#"{"flow":7,"sni":""#,
+            "\\ud83d\\ude00",
+            r#".example","note":""#,
+            "\\ud801\\udc37",
+            r#""}"#
+        );
+        let raw = "{\"flow\":7,\"sni\":\"\u{1F600}.example\",\"note\":\"\u{10437}\"}";
+        let a = Json::parse(escaped).unwrap();
+        let b = Json::parse(raw).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.get("sni").unwrap().as_str(), Some("\u{1F600}.example"));
+        let emitted = a.to_compact_string();
+        assert_eq!(Json::parse(&emitted).unwrap(), a);
     }
 
     #[test]

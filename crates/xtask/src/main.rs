@@ -314,6 +314,132 @@ fn report_determinism_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Throughput regression smoke: re-run the `classify_stream` bench and
+/// compare its single-thread flows/s against the committed
+/// `BENCH_classify_stream.json` at the repo root. A drop of more than 20%
+/// below the committed number fails the gate — that is the margin between
+/// "host noise" and "someone put a per-packet allocation back in the hot
+/// path". On a shared box, though, external load alone can cost 20%; the
+/// bench's own legacy-path row is the control for that. The legacy code
+/// is untouched by hot-path work and runs in the same process seconds
+/// apart, so genuine regressions collapse the batched/legacy *ratio*
+/// while host load leaves it intact: an absolute drop is forgiven only
+/// when the ratio stayed within 20% of the committed ratio. Three
+/// attempts guard against one unlucky scheduling window; the bench
+/// writes to a scratch path so the committed artifact stays untouched.
+fn throughput_smoke() -> Result<(), String> {
+    let root = repo_root();
+    let committed = root.join("BENCH_classify_stream.json");
+    let text = std::fs::read_to_string(&committed).map_err(|e| {
+        format!(
+            "throughput smoke: committed baseline {} unreadable: {e}",
+            committed.display()
+        )
+    })?;
+    let base =
+        bench_numbers(&text).map_err(|e| format!("throughput smoke: committed baseline: {e}"))?;
+    let floor = base.batched * 0.8;
+    let ratio_floor = base.ratio().map(|r| r * 0.8);
+    let scratch = root.join("target").join("xtask-bench-smoke.json");
+    let mut best = 0f64;
+    for attempt in 1..=3 {
+        let _ = std::fs::remove_file(&scratch);
+        eprintln!(
+            "==> throughput smoke: classify_stream attempt {attempt} \
+             (floor {floor:.0} flows/s)"
+        );
+        let status = Command::new("cargo")
+            .args([
+                "bench",
+                "-q",
+                "--bench",
+                "classify_stream",
+                "-p",
+                "tamper-bench",
+            ])
+            .env("BENCH_OUT_PATH", &scratch)
+            .current_dir(&root)
+            .stdout(std::process::Stdio::null())
+            .status()
+            .map_err(|e| format!("throughput smoke: failed to spawn cargo: {e}"))?;
+        if !status.success() {
+            return Err(format!("throughput smoke: bench exited with {status}"));
+        }
+        let text = std::fs::read_to_string(&scratch)
+            .map_err(|e| format!("throughput smoke: bench wrote no JSON: {e}"))?;
+        let run =
+            bench_numbers(&text).map_err(|e| format!("throughput smoke: bench output: {e}"))?;
+        if run.batched >= floor {
+            eprintln!(
+                "==> throughput smoke: {:.0} flows/s (baseline {:.0}, floor {floor:.0})",
+                run.batched, base.batched
+            );
+            return Ok(());
+        }
+        if let (Some(rf), Some(r)) = (ratio_floor, run.ratio()) {
+            if r >= rf {
+                eprintln!(
+                    "==> throughput smoke: {:.0} flows/s is under the floor, but the \
+                     legacy control slowed to match ({:.2}x vs committed {:.2}x) — \
+                     host load, not a regression",
+                    run.batched,
+                    r,
+                    base.ratio().unwrap_or(0.0)
+                );
+                return Ok(());
+            }
+        }
+        best = best.max(run.batched);
+        eprintln!(
+            "==> throughput smoke: attempt {attempt} measured {:.0} < floor {floor:.0}",
+            run.batched
+        );
+    }
+    Err(format!(
+        "throughput smoke: single-thread classify_stream stayed below 80% of the \
+         committed baseline across 3 runs without the legacy control slowing to \
+         match (best {best:.0} flows/s, floor {floor:.0}, baseline {:.0})",
+        base.batched
+    ))
+}
+
+/// The two single-thread throughput numbers of a bench JSON document:
+/// the batched engine path and the legacy per-flow control.
+struct BenchNumbers {
+    batched: f64,
+    legacy: Option<f64>,
+}
+
+impl BenchNumbers {
+    /// Batched-over-legacy speedup, when the control row is present.
+    fn ratio(&self) -> Option<f64> {
+        self.legacy.filter(|&l| l > 0.0).map(|l| self.batched / l)
+    }
+}
+
+fn bench_numbers(text: &str) -> Result<BenchNumbers, String> {
+    let doc = tamper_worldgen::json::Json::parse(text.trim())
+        .map_err(|e| format!("does not parse: {e}"))?;
+    let batched = doc
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .and_then(|runs| {
+            runs.iter().find_map(|run| {
+                if run.get("threads")?.as_u64()? != 1 {
+                    return None;
+                }
+                run.get("flows_per_sec")?.as_u64().map(|v| v as f64)
+            })
+        })
+        .ok_or_else(|| "no single-thread run row".to_string())?;
+    let legacy = doc
+        .get("legacy")
+        .and_then(|l| l.get("flows_per_sec"))
+        .and_then(|v| v.as_u64())
+        .map(|v| v as f64);
+    Ok(BenchNumbers { batched, legacy })
+}
+
 /// Pinned proptest environment for the CI gate: an explicit case count
 /// and generation seed, so every CI run draws the identical case stream
 /// regardless of local defaults or per-test overrides.
@@ -384,6 +510,7 @@ fn ci() -> Result<(), String> {
         }
         sw.time("metrics smoke", metrics_smoke)?;
         sw.time("report smoke", report_determinism_smoke)?;
+        sw.time("throughput smoke", throughput_smoke)?;
         sw.time("analyze", || {
             eprintln!("==> analyze: tamperlint --deny-new (in-process)");
             analyze(false, AnalyzeMode::DenyNew)
@@ -425,7 +552,7 @@ fn main() -> ExitCode {
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
              determinism gates + alloc discipline + lint suite + metrics + \
-             report smokes + tamperlint --deny-new\n  \
+             report + throughput smokes + tamperlint --deny-new\n  \
              analyze [--json] [--deny-new] [--write-baseline] [--prune-baseline]\n                     \
              tamperlint static-analysis gate (determinism, panic-safety, \
              wraparound, taxonomy, dataflow); --deny-new fails only on \

@@ -14,7 +14,7 @@
 //! subcommands drive the simulation substrate that reproduces the paper.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 use tamperscope::analysis::{
@@ -22,10 +22,11 @@ use tamperscope::analysis::{
     label_capture_flow, pct, report, summary_to_json, write_metrics_json, Collector,
 };
 use tamperscope::capture::{
-    run_engine_observed, run_source_observed, EngineConfig, OfflineConfig, PcapWriter, SimSource,
+    run_source_observed, EngineConfig, FlowBatch, OfflineConfig, PcapMemSource, PcapWriter,
+    SimSource,
 };
 use tamperscope::cli::Args;
-use tamperscope::core::{ClassifierConfig, FlowMachine};
+use tamperscope::core::{BatchClassifier, ClassifierConfig};
 use tamperscope::middlebox::{RuleSet, Vendor, ALL_VENDORS};
 use tamperscope::netsim::{
     derive_rng, run_session, ClientConfig, Link, Path, ServerConfig, SessionParams, SimDuration,
@@ -143,12 +144,12 @@ enum ClassifyMode {
     Explain,
 }
 
-/// Per-shard classify state: a scratch-reusing sans-IO flow machine, a
-/// collector slice, and the output lines tagged with each flow's global
-/// first-record index so the merged output sorts into a
+/// Per-shard classify state: a scratch-reusing columnar batch
+/// classifier, a collector slice, and the output lines tagged with each
+/// flow's global first-record index so the merged output sorts into a
 /// thread-count-independent order.
 struct ClassifySink {
-    clf: FlowMachine,
+    clf: BatchClassifier,
     col: Collector,
     lines: Vec<(u64, String)>,
     matched: u64,
@@ -158,8 +159,8 @@ fn cmd_classify(args: &Args) -> ExitCode {
     let Some(path) = args.positional.first() else {
         return usage();
     };
-    let file = match File::open(path) {
-        Ok(f) => f,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("cannot open {path}: {e}");
             return ExitCode::FAILURE;
@@ -180,42 +181,46 @@ fn cmd_classify(args: &Args) -> ExitCode {
     };
     let clf_cfg = ClassifierConfig::default();
     let init = || ClassifySink {
-        clf: FlowMachine::new(clf_cfg),
+        clf: BatchClassifier::new(clf_cfg),
         col: capture_collector(clf_cfg, 0),
         lines: Vec::new(),
         matched: 0,
     };
-    let observe = |sink: &mut ClassifySink, closed: tamperscope::capture::ClosedFlow| {
-        let first_index = closed.first_index;
-        let lf = label_capture_flow(closed.flow);
-        let analysis = sink.clf.analyze(&lf.flow);
-        sink.col.observe_analyzed(&lf, &analysis);
-        if analysis.signature().is_some() {
-            sink.matched += 1;
-        }
-        let flow = &lf.flow;
-        let line = match mode {
-            ClassifyMode::Jsonl => flow_to_jsonl(flow, &analysis),
-            ClassifyMode::Explain => tamperscope::core::explain(flow, &analysis),
-            ClassifyMode::Lines => {
-                let verdict = match analysis.signature() {
-                    Some(sig) => format!("TAMPERED  {sig}"),
-                    None if analysis.is_possibly_tampered() => "possibly tampered".to_owned(),
-                    None => "clean".to_owned(),
-                };
-                let domain = analysis.trigger.domain.as_deref().unwrap_or("-");
-                format!(
-                    "{}:{} -> :{}  [{} pkts]  {:<40} {}",
-                    flow.client_ip,
-                    flow.src_port,
-                    flow.dst_port,
-                    flow.packets.len(),
-                    verdict,
-                    domain
-                )
+    let observe = |sink: &mut ClassifySink, batch: FlowBatch| {
+        for i in 0..batch.flow_count() {
+            let first_index = batch.spans()[i].first_index;
+            // Verdicts come straight off the column slices; the owning
+            // record is materialized only for labeling and rendering.
+            let analysis = sink.clf.classify_span(&batch, i);
+            let lf = label_capture_flow(batch.materialize(i));
+            sink.col.observe_analyzed(&lf, &analysis);
+            if analysis.signature().is_some() {
+                sink.matched += 1;
             }
-        };
-        sink.lines.push((first_index, line));
+            let flow = &lf.flow;
+            let line = match mode {
+                ClassifyMode::Jsonl => flow_to_jsonl(flow, &analysis),
+                ClassifyMode::Explain => tamperscope::core::explain(flow, &analysis),
+                ClassifyMode::Lines => {
+                    let verdict = match analysis.signature() {
+                        Some(sig) => format!("TAMPERED  {sig}"),
+                        None if analysis.is_possibly_tampered() => "possibly tampered".to_owned(),
+                        None => "clean".to_owned(),
+                    };
+                    let domain = analysis.trigger.domain.as_deref().unwrap_or("-");
+                    format!(
+                        "{}:{} -> :{}  [{} pkts]  {:<40} {}",
+                        flow.client_ip,
+                        flow.src_port,
+                        flow.dst_port,
+                        flow.packets.len(),
+                        verdict,
+                        domain
+                    )
+                }
+            };
+            sink.lines.push((first_index, line));
+        }
     };
     let merge = |a: &mut ClassifySink, mut b: ClassifySink| {
         a.col.merge(b.col);
@@ -227,20 +232,14 @@ fn cmd_classify(args: &Args) -> ExitCode {
     // (and across thread counts).
     let metrics_path = args.get("metrics-json");
     let registry = metrics_path.map(|_| Registry::new());
-    let (mut sink, stats) = match run_engine_observed(
-        BufReader::new(file),
-        &cfg,
-        registry.as_ref(),
-        init,
-        observe,
-        merge,
-    ) {
-        Ok(r) => r,
+    let src = match PcapMemSource::new(bytes.into()) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let (mut sink, stats) = run_source_observed(src, &cfg, registry.as_ref(), init, observe, merge);
     eprintln!(
         "[{path}] {} flows / {} packets ({} non-inbound, {} unparsable frames skipped, {} threads)",
         stats.ingest.flows,

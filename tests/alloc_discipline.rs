@@ -14,8 +14,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use tamperscope::capture::{run_engine, ClosedFlow, EngineConfig, OfflineConfig};
-use tamperscope::core::{ClassifierConfig, FlowMachine};
+use tamperscope::capture::{
+    run_engine, ClosedFlow, EngineConfig, FlowBatch, FlowTuple, OfflineConfig,
+};
+use tamperscope::core::{BatchClassifier, ClassifierConfig, FlowMachine};
 
 /// A counting pass-through allocator: every heap request bumps a global
 /// counter. Counting is process-wide, so measured sections must run with
@@ -156,4 +158,91 @@ fn warm_machine_analyzes_the_golden_corpus_without_allocating() {
         .map(|cf| machine.analyze(&cf.flow).classification)
         .collect();
     assert_eq!(verdicts, warm_verdicts, "verdicts drifted between passes");
+}
+
+/// Pack closed flows into one columnar [`FlowBatch`], the shape the
+/// batched engine hands to per-shard sinks.
+fn batch_of(flows: &[&ClosedFlow]) -> FlowBatch {
+    let mut batch = FlowBatch::new();
+    for cf in flows {
+        let start = batch.packet_count() as u32;
+        for p in &cf.flow.packets {
+            batch.push_packet(
+                p.ts_sec,
+                p.flags,
+                p.seq,
+                p.ack,
+                p.ip_id,
+                p.ttl,
+                p.window,
+                &p.payload,
+                p.has_tcp_options,
+            );
+        }
+        batch.push_flow(
+            FlowTuple {
+                client_ip: cf.flow.client_ip,
+                server_ip: cf.flow.server_ip,
+                src_port: cf.flow.src_port,
+                dst_port: cf.flow.dst_port,
+            },
+            start,
+            cf.first_index,
+            cf.flow.observation_end_sec,
+            cf.flow.truncated,
+            cf.cause,
+        );
+    }
+    batch
+}
+
+#[test]
+fn warm_batch_classifier_processes_a_batch_without_allocating() {
+    let flows = golden_flows();
+    let mut machine = FlowMachine::new(ClassifierConfig::default());
+    // Domain-bearing flows legitimately allocate their verdict-owned
+    // host string; the zero-alloc guarantee covers everything else.
+    let domain_free: Vec<&ClosedFlow> = flows
+        .iter()
+        .filter(|cf| machine.analyze(&cf.flow).trigger.domain.is_none())
+        .collect();
+    assert!(
+        domain_free.len() >= flows.len() / 2,
+        "expected most golden flows to be domain-free ({} of {})",
+        domain_free.len(),
+        flows.len()
+    );
+    let batch = batch_of(&domain_free);
+    let mut clf = BatchClassifier::new(ClassifierConfig::default());
+
+    // Warm pass: the classifier's scratch and output buffers grow to the
+    // batch's high-water marks.
+    let warm: Vec<_> = clf
+        .classify_batch(&batch)
+        .iter()
+        .map(|a| a.classification)
+        .collect();
+    assert_eq!(warm.len(), domain_free.len());
+
+    // Steady state: re-classifying a whole batch is allocation-free — the
+    // engine's per-batch hot loop makes zero heap requests once warm.
+    let before = allocations();
+    let n = clf.classify_batch(&batch).len();
+    let after = allocations();
+    assert_eq!(n, domain_free.len());
+    assert_eq!(
+        after - before,
+        0,
+        "warm BatchClassifier::classify_batch allocated {} time(s) over a {}-flow batch",
+        after - before,
+        n
+    );
+
+    // And the batch path agrees with the per-flow machine, flow for flow.
+    let again: Vec<_> = clf
+        .classify_batch(&batch)
+        .iter()
+        .map(|a| a.classification)
+        .collect();
+    assert_eq!(again, warm, "verdicts drifted between batch passes");
 }

@@ -557,6 +557,126 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Columnar batch classification: the BatchClassifier walking FlowCols
+// column slices must agree byte-for-byte with the per-flow FlowMachine
+// over the same flows — including wrap-band ISNs, empty and one-packet
+// flows, IPv6 (no IP-ID) packets, and truncated flows.
+// ---------------------------------------------------------------------------
+
+use tamper_capture::{EvictionCause, FlowBatch, FlowTuple};
+use tamper_core::BatchClassifier;
+
+/// Degenerate flows the batch layout must get right: zero or one packet,
+/// arbitrary flags, wrap-band seq, IPv6-style missing IP-ID.
+fn arb_tiny_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        proptest::bool::ANY, // zero packets vs one
+        arb_flags(),
+        arb_wrap_isn(),
+        proptest::bool::ANY, // carry an IP-ID?
+        0u64..200,           // observation end
+    )
+        .prop_map(|(empty, flags, isn, with_id, obs_end)| {
+            let packets = if empty {
+                Vec::new()
+            } else {
+                let mut p = rec(100, flags, isn, 0, 0);
+                p.ip_id = with_id.then_some(4242);
+                vec![p]
+            };
+            FlowRecord {
+                client_ip: IpAddr::V4(Ipv4Addr::new(203, 0, 113, 3)),
+                server_ip: IpAddr::V4(Ipv4Addr::new(198, 51, 100, 1)),
+                src_port: 40002,
+                dst_port: 443,
+                packets,
+                observation_end_sec: obs_end,
+                truncated: false,
+            }
+        })
+}
+
+fn arb_any_flow() -> impl Strategy<Value = FlowRecord> {
+    prop_oneof![arb_flow(), arb_wrap_flow(), arb_tiny_flow()]
+}
+
+/// Pack owned records into the columnar arena layout, one span per flow.
+fn batch_from_records(flows: &[FlowRecord]) -> FlowBatch {
+    let mut batch = FlowBatch::new();
+    for (i, f) in flows.iter().enumerate() {
+        let start = batch.packet_count() as u32;
+        for p in &f.packets {
+            batch.push_packet(
+                p.ts_sec,
+                p.flags,
+                p.seq,
+                p.ack,
+                p.ip_id,
+                p.ttl,
+                p.window,
+                &p.payload,
+                p.has_tcp_options,
+            );
+        }
+        batch.push_flow(
+            FlowTuple {
+                client_ip: f.client_ip,
+                server_ip: f.server_ip,
+                src_port: f.src_port,
+                dst_port: f.dst_port,
+            },
+            start,
+            i as u64,
+            f.observation_end_sec,
+            f.truncated,
+            EvictionCause::EndOfCapture,
+        );
+    }
+    batch
+}
+
+proptest! {
+    /// Random record batches through the BatchClassifier produce exactly
+    /// the `FlowAnalysis` the per-flow machine produces — for both
+    /// classifier configs, with truncation flags flipped per flow.
+    #[test]
+    fn batch_classifier_matches_flow_machine(
+        flows in proptest::collection::vec(arb_any_flow(), 0..12),
+        truncated_mask in any::<u16>(),
+    ) {
+        let mut flows = flows;
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.truncated = (truncated_mask >> (i % 16)) & 1 == 1;
+        }
+        let batch = batch_from_records(&flows);
+        prop_assert_eq!(batch.flow_count(), flows.len());
+        for cfg in [
+            ClassifierConfig::default(),
+            ClassifierConfig { split_rst_counts: false, ..ClassifierConfig::default() },
+        ] {
+            let mut clf = BatchClassifier::new(cfg);
+            let analyses = clf.classify_batch(&batch).to_vec();
+            prop_assert_eq!(analyses.len(), flows.len());
+            let mut machine = FlowMachine::new(cfg);
+            for (i, f) in flows.iter().enumerate() {
+                let want = machine.analyze(f);
+                prop_assert_eq!(&analyses[i], &want, "flow {} diverged", i);
+            }
+        }
+    }
+
+    /// The batch round-trips: materializing span `i` recovers the record
+    /// that was packed, so the arena layout loses nothing.
+    #[test]
+    fn batch_materialize_round_trips(flows in proptest::collection::vec(arb_any_flow(), 0..8)) {
+        let batch = batch_from_records(&flows);
+        for (i, f) in flows.iter().enumerate() {
+            prop_assert_eq!(&batch.materialize(i), f, "flow {} did not round-trip", i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Malformed capture input: the streaming engine must degrade to counted
 // drops, never panic, on truncation, garbage frames, or bit corruption.
 // ---------------------------------------------------------------------------
