@@ -47,7 +47,7 @@ pub fn capture_collector(cfg: tamper_core::ClassifierConfig, start_unix: u64) ->
 /// The deterministic summary line for a classify run: ingest counters
 /// plus classification aggregates. Field values depend only on the input
 /// capture and classifier configuration — never on thread count.
-pub fn capture_summary_to_json(col: &Collector, stats: &EngineStats) -> String {
+pub fn capture_summary_to_json(col: &crate::PartialAggregate, stats: &EngineStats) -> String {
     let mut sig_counts = [0u64; 19];
     for row in &col.country_class {
         for (i, c) in row.iter().take(19).enumerate() {

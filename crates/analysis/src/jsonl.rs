@@ -170,7 +170,8 @@ pub fn flow_to_jsonl(flow: &FlowRecord, analysis: &FlowAnalysis) -> String {
 }
 
 /// A compact JSON summary of a collector run (headline statistics).
-pub fn summary_to_json(col: &crate::Collector) -> String {
+/// Takes the aggregate layer directly; a `&Collector` coerces via deref.
+pub fn summary_to_json(col: &crate::PartialAggregate) -> String {
     JsonObject::new()
         .uint("total_flows", col.total)
         .uint("possibly_tampered", col.possibly_tampered)

@@ -5,9 +5,10 @@
 //! series, ready to plot, with headline statistics (regression slopes,
 //! peak values) computed inline.
 
-use crate::collector::{class_code_label, Collector, CLASS_NOT_TAMPERED, CLASS_OTHER};
+use crate::agg::{class_code_label, CLASS_NOT_TAMPERED, CLASS_OTHER};
 use crate::fmt::{pct, pct_f, Table};
 use crate::stats::{slope_through_origin, Cdf};
+use crate::view::ReportView;
 use std::collections::{BTreeMap, BTreeSet};
 use tamper_core::{Signature, Stage};
 use tamper_worldgen::{country_index, Category, TestLists, WorldSim};
@@ -25,7 +26,7 @@ pub const FIG6_COUNTRIES: [&str; 7] = ["CN", "DE", "GB", "IN", "IR", "RU", "US"]
 /// Table 1: the signature taxonomy with observed counts, plus the §4.1
 /// headline statistics (possibly-tampered rate, per-stage shares, per-stage
 /// signature coverage, overall coverage).
-pub fn table1(col: &Collector) -> String {
+pub fn table1(col: &ReportView) -> String {
     let mut out = String::new();
     let pt = col.possibly_tampered;
     out.push_str(&format!(
@@ -100,7 +101,7 @@ pub fn table1(col: &Collector) -> String {
 
 /// Figure 1: for each signature, the countries contributing the most
 /// matching connections (the paper's stacked columns, as top-k lists).
-pub fn fig1(col: &Collector, sim: &WorldSim, top_k: usize) -> String {
+pub fn fig1(col: &ReportView, sim: &WorldSim, top_k: usize) -> String {
     let mut out = String::from("Figure 1 — country composition of each signature's matches\n\n");
     let world = sim.world();
     for sig in Signature::ALL {
@@ -171,26 +172,26 @@ fn class_label(idx: usize) -> String {
 
 /// Figure 2: CDF of the maximum absolute IP-ID change between the RST and
 /// the preceding packet, per signature, against the Not-Tampering baseline.
-pub fn fig2(col: &Collector) -> String {
+pub fn fig2(col: &ReportView) -> String {
     let xs = [0.0, 1.0, 10.0, 100.0, 1000.0, 10_000.0, 30_000.0, 65_535.0];
     cdf_block(
         "Figure 2 — max |ΔIP-ID| between RST and preceding packet (CDF)",
         &xs,
-        &col.ipid_res,
+        &col.ipid_samples,
         class_label,
     )
 }
 
 /// Figure 3: CDF of the signed TTL change between the RST and the
 /// preceding packet, per signature.
-pub fn fig3(col: &Collector) -> String {
+pub fn fig3(col: &ReportView) -> String {
     let xs = [
         -200.0, -100.0, -50.0, -10.0, -1.0, 0.0, 1.0, 10.0, 50.0, 100.0, 200.0,
     ];
     cdf_block(
         "Figure 3 — max TTL change between RST and preceding packet (CDF)",
         &xs,
-        &col.ttl_res,
+        &col.ttl_samples,
         class_label,
     )
 }
@@ -202,7 +203,7 @@ pub fn fig3(col: &Collector) -> String {
 /// Figure 4: per-country match percentages, countries ordered by total
 /// match rate (the paper's x-axis ordering), with each country's dominant
 /// signatures.
-pub fn fig4(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
+pub fn fig4(col: &ReportView, sim: &WorldSim, min_flows: u64) -> String {
     let world = sim.world();
     let mut rows: Vec<(f64, usize)> = (0..world.len())
         .filter(|&c| col.country_total(c) >= min_flows)
@@ -255,7 +256,7 @@ pub fn fig4(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
 /// Figure 5: per-AS match proportion for the ASes carrying the top 80% of
 /// each country's traffic — centralized countries show tight spreads,
 /// decentralized ones wide spreads.
-pub fn fig5(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
+pub fn fig5(col: &ReportView, sim: &WorldSim, min_flows: u64) -> String {
     let world = sim.world();
     let mut t = Table::new([
         "Country",
@@ -316,7 +317,7 @@ pub fn fig5(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
 /// Figure 6: hourly percentage of connections matching Post-ACK/Post-PSH
 /// signatures for the selected countries (TSV: hour, then one column per
 /// country).
-pub fn fig6(col: &Collector, sim: &WorldSim, codes: &[&str]) -> String {
+pub fn fig6(col: &ReportView, sim: &WorldSim, codes: &[&str]) -> String {
     let world = sim.world();
     let indices: Vec<usize> = codes
         .iter()
@@ -344,7 +345,7 @@ pub fn fig6(col: &Collector, sim: &WorldSim, codes: &[&str]) -> String {
 
 /// Diurnal summary used in tests and EXPERIMENTS.md: for a country, the
 /// average match rate in local night hours (0–8) vs the rest of the day.
-pub fn diurnal_contrast(col: &Collector, sim: &WorldSim, code: &str) -> Option<(f64, f64)> {
+pub fn diurnal_contrast(col: &ReportView, sim: &WorldSim, code: &str) -> Option<(f64, f64)> {
     let world = sim.world();
     let ci = country_index(world, code)? as usize;
     let tz = world[ci].country.tz_offset_hours;
@@ -367,7 +368,7 @@ pub fn diurnal_contrast(col: &Collector, sim: &WorldSim, code: &str) -> Option<(
 
 /// Figure 9 (Appendix A): hourly percentage of connections matching each
 /// signature, globally (TSV).
-pub fn fig9(col: &Collector) -> String {
+pub fn fig9(col: &ReportView) -> String {
     let mut out = String::from("Figure 9 — hourly match % per signature (global)\nhour");
     for sig in Signature::ALL {
         out.push_str(&format!("\t{}", sig.label()));
@@ -393,7 +394,7 @@ pub fn fig9(col: &Collector) -> String {
 
 /// Figure 8: the Iran case study — identical layout to Figure 9 but run on
 /// an Iran-scenario collector (only IR traffic, Sept 2022 window).
-pub fn fig8(col: &Collector) -> String {
+pub fn fig8(col: &ReportView) -> String {
     let mut s = fig9(col);
     s = s.replacen(
         "Figure 9 — hourly match % per signature (global)",
@@ -409,7 +410,7 @@ pub fn fig8(col: &Collector) -> String {
 
 /// Figure 7(a): per-country Post-ACK/Post-PSH match % on IPv4 vs IPv6,
 /// with the through-origin regression slope.
-pub fn fig7a(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
+pub fn fig7a(col: &ReportView, sim: &WorldSim, min_flows: u64) -> String {
     let world = sim.world();
     let mut points: Vec<(f64, f64)> = Vec::new();
     let mut t = Table::new(["Country", "IPv4 %", "IPv6 %"]);
@@ -435,7 +436,7 @@ pub fn fig7a(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
 }
 
 /// Figure 7(b): per-country Post-PSH match % on TLS vs HTTP, with slope.
-pub fn fig7b(col: &Collector, sim: &WorldSim, min_flows: u64) -> String {
+pub fn fig7b(col: &ReportView, sim: &WorldSim, min_flows: u64) -> String {
     let world = sim.world();
     let mut points: Vec<(f64, f64)> = Vec::new();
     let mut t = Table::new(["Country", "TLS %", "HTTP %"]);
@@ -471,7 +472,7 @@ struct RegionCategoryView {
 }
 
 fn region_categories(
-    col: &Collector,
+    col: &ReportView,
     sim: &WorldSim,
     country: Option<u16>,
     threshold: u32,
@@ -525,7 +526,7 @@ fn region_categories(
 
 /// Table 2: the top-3 most affected categories per region with their share
 /// of tampered connections and category coverage.
-pub fn table2(col: &Collector, sim: &WorldSim, threshold: u32) -> String {
+pub fn table2(col: &ReportView, sim: &WorldSim, threshold: u32) -> String {
     let world = sim.world();
     let mut t = Table::new([
         "Region",
@@ -566,7 +567,7 @@ pub fn table2(col: &Collector, sim: &WorldSim, threshold: u32) -> String {
 // ---------------------------------------------------------------------------
 
 fn observed_tampered_domains(
-    col: &Collector,
+    col: &ReportView,
     sim: &WorldSim,
     country: Option<u16>,
     threshold: u32,
@@ -592,7 +593,7 @@ fn observed_tampered_domains(
 
 /// Table 3: coverage of each test list over the passively observed
 /// tampered domains, per region, in exact (eTLD+1) and substring modes.
-pub fn table3(col: &Collector, sim: &WorldSim, lists: &TestLists, threshold: u32) -> String {
+pub fn table3(col: &ReportView, sim: &WorldSim, lists: &TestLists, threshold: u32) -> String {
     let world = sim.world();
     let mut regions: Vec<(String, Option<u16>)> = vec![("Global".to_owned(), None)];
     for code in ["CN", "IN", "IR", "KR", "MX", "PE", "RU", "US"] {
@@ -708,9 +709,9 @@ pub fn table3(col: &Collector, sim: &WorldSim, lists: &TestLists, threshold: u32
 /// Figure 10 (Appendix B): for repeated (IP, domain) pairs, the transition
 /// matrix from the first matched class to subsequent ones. A strong
 /// diagonal means tampering is consistent.
-pub fn fig10(col: &Collector) -> String {
+pub fn fig10(col: &ReportView) -> String {
     let mut matrix = [[0u64; 9]; 9];
-    for seq in col.pair_seqs.values() {
+    for seq in &col.pair_codes {
         if seq.len() < 2 {
             continue;
         }
@@ -751,10 +752,10 @@ pub fn fig10(col: &Collector) -> String {
 
 /// Fraction of repeat-pair transitions that stay on the diagonal — the
 /// headline consistency number for Appendix B.
-pub fn fig10_diagonal_mass(col: &Collector) -> f64 {
+pub fn fig10_diagonal_mass(col: &ReportView) -> f64 {
     let mut diag = 0u64;
     let mut total = 0u64;
-    for seq in col.pair_seqs.values() {
+    for seq in &col.pair_codes {
         if seq.len() < 2 {
             continue;
         }
@@ -777,7 +778,7 @@ pub fn fig10_diagonal_mass(col: &Collector) -> f64 {
 // ---------------------------------------------------------------------------
 
 /// The §4.1–§4.3 validation numbers plus simulation-only ground truth.
-pub fn validation(col: &Collector) -> String {
+pub fn validation(col: &ReportView) -> String {
     let mut out = String::from("Validation (paper §4.1–4.3)\n\n");
     out.push_str(&format!(
         "V1 scanners: {} of ⟨SYN → RST⟩ matches carry the ZMap fingerprint (IP-ID 54321, no options)\n",
@@ -828,7 +829,7 @@ pub fn validation(col: &Collector) -> String {
 /// except the Iran case study (which needs its own scenario world). This
 /// is what `examples/global_report.rs` and the CLI `report` subcommand
 /// print.
-pub fn full_report(col: &Collector, sim: &WorldSim, lists: &TestLists) -> String {
+pub fn full_report(col: &ReportView, sim: &WorldSim, lists: &TestLists) -> String {
     let mut out = String::new();
     let mut push = |s: String| {
         out.push_str(&s);
@@ -855,7 +856,7 @@ pub fn full_report(col: &Collector, sim: &WorldSim, lists: &TestLists) -> String
 /// The anatomy of the benign population (§4.2, simulation-only): for each
 /// benign client behaviour, where its flows land in the classification —
 /// which signature absorbs it, or whether it stays unmatched/clean.
-pub fn benign_attribution(col: &Collector) -> String {
+pub fn benign_attribution(col: &ReportView) -> String {
     let mut t = Table::new([
         "Benign behaviour",
         "n",
@@ -903,7 +904,7 @@ pub fn benign_attribution(col: &Collector) -> String {
 
 /// Percentage of possibly-tampered flows whose sequence-type stage matched
 /// a signature, by stage — convenience for tests.
-pub fn stage_share(col: &Collector, stage: Stage) -> f64 {
+pub fn stage_share(col: &ReportView, stage: Stage) -> f64 {
     let idx = match stage {
         Stage::PostSyn => 0,
         Stage::PostAck => 1,
@@ -919,6 +920,7 @@ pub fn stage_share(col: &Collector, stage: Stage) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Collector;
     use tamper_core::ClassifierConfig;
     use tamper_worldgen::{WorldConfig, WorldSim};
 
@@ -942,7 +944,7 @@ mod tests {
     #[test]
     fn table1_contains_all_signatures_and_totals() {
         let (col, _) = tiny();
-        let t = table1(&col);
+        let t = table1(&col.view());
         for sig in Signature::ALL {
             assert!(t.contains(sig.label()), "missing {sig}");
         }
@@ -953,7 +955,7 @@ mod tests {
     #[test]
     fn fig1_has_a_line_per_signature() {
         let (col, sim) = tiny();
-        let f = fig1(&col, &sim, 3);
+        let f = fig1(&col.view(), &sim, 3);
         for sig in Signature::ALL {
             assert!(f.contains(sig.label()), "missing {sig}");
         }
@@ -962,7 +964,7 @@ mod tests {
     #[test]
     fn fig4_sorted_descending() {
         let (col, sim) = tiny();
-        let f = fig4(&col, &sim, 10);
+        let f = fig4(&col.view(), &sim, 10);
         // Parse the "Match any sig" column and check monotonicity.
         let rates: Vec<f64> = f
             .lines()
@@ -982,17 +984,17 @@ mod tests {
     #[test]
     fn cdf_figures_are_tsv_with_headers() {
         let (col, _) = tiny();
-        let f2 = fig2(&col);
+        let f2 = fig2(&col.view());
         assert!(f2.starts_with("Figure 2"));
         assert!(f2.contains("Not Tampering"));
-        let f3 = fig3(&col);
+        let f3 = fig3(&col.view());
         assert!(f3.contains("F(0)"));
     }
 
     #[test]
     fn fig6_has_hour_rows() {
         let (col, sim) = tiny();
-        let f = fig6(&col, &sim, &["CN", "US"]);
+        let f = fig6(&col.view(), &sim, &["CN", "US"]);
         let lines: Vec<&str> = f.lines().collect();
         assert_eq!(lines[1], "hour\tCN\tUS");
         assert_eq!(lines.len(), 2 + col.hours());
@@ -1001,17 +1003,17 @@ mod tests {
     #[test]
     fn fig7_reports_slopes() {
         let (col, sim) = tiny();
-        assert!(fig7a(&col, &sim, 5).contains("slope"));
-        assert!(fig7b(&col, &sim, 5).contains("slope"));
+        assert!(fig7a(&col.view(), &sim, 5).contains("slope"));
+        assert!(fig7b(&col.view(), &sim, 5).contains("slope"));
     }
 
     #[test]
     fn tables_2_and_3_render() {
         let (col, sim) = tiny();
-        let t2 = table2(&col, &sim, 1);
+        let t2 = table2(&col.view(), &sim, 1);
         assert!(t2.contains("Global"));
         let lists = tamper_worldgen::generate_lists(&sim);
-        let t3 = table3(&col, &sim, &lists, 1);
+        let t3 = table3(&col.view(), &sim, &lists, 1);
         assert!(t3.contains("Tranco_1K"));
         assert!(t3.contains("Substring: All lists"));
     }
@@ -1019,11 +1021,11 @@ mod tests {
     #[test]
     fn fig10_diagonal_in_unit_range() {
         let (col, _) = tiny();
-        let d = fig10_diagonal_mass(&col);
+        let d = fig10_diagonal_mass(&col.view());
         if !d.is_nan() {
             assert!((0.0..=1.0).contains(&d));
         }
-        assert!(fig10(&col).contains("first \\ next"));
+        assert!(fig10(&col.view()).contains("first \\ next"));
     }
 
     #[test]
@@ -1037,16 +1039,16 @@ mod tests {
         let stall = row(tamper_worldgen::BenignKind::StallOk);
         let n: u64 = stall.iter().sum();
         if n > 0 {
-            assert!(stall[crate::collector::CLASS_NOT_TAMPERED] as f64 / n as f64 > 0.8);
+            assert!(stall[crate::agg::CLASS_NOT_TAMPERED] as f64 / n as f64 > 0.8);
         }
-        let text = benign_attribution(&col);
+        let text = benign_attribution(&col.view());
         assert!(text.contains("ZMap"));
     }
 
     #[test]
     fn validation_mentions_all_checks() {
         let (col, _) = tiny();
-        let v = validation(&col);
+        let v = validation(&col.view());
         for needle in ["V1", "V2", "V3", "ZMap", "recall"] {
             assert!(v.contains(needle), "missing {needle}");
         }
@@ -1056,7 +1058,7 @@ mod tests {
     fn full_report_contains_every_artifact() {
         let (col, sim) = tiny();
         let lists = tamper_worldgen::generate_lists(&sim);
-        let r = full_report(&col, &sim, &lists);
+        let r = full_report(&col.view(), &sim, &lists);
         for needle in [
             "possibly tampered",
             "Figure 1",
@@ -1081,9 +1083,9 @@ mod tests {
     #[test]
     fn fig9_and_fig8_share_layout() {
         let (col, _) = tiny();
-        let f9 = fig9(&col);
+        let f9 = fig9(&col.view());
         assert!(f9.contains("Figure 9"));
-        let f8 = fig8(&col);
+        let f8 = fig8(&col.view());
         assert!(f8.contains("Figure 8"));
         assert_eq!(f8.lines().count(), f9.lines().count());
     }

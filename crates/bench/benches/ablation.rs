@@ -51,10 +51,10 @@ fn headline(col: &Collector) -> String {
     format!(
         "possibly tampered {} | stages {:.1}/{:.1}/{:.1}/{:.1} | coverage {}",
         pct(col.possibly_tampered, col.total),
-        100.0 * report::stage_share(col, Stage::PostSyn),
-        100.0 * report::stage_share(col, Stage::PostAck),
-        100.0 * report::stage_share(col, Stage::PostPsh),
-        100.0 * report::stage_share(col, Stage::PostData),
+        100.0 * report::stage_share(&col.view(), Stage::PostSyn),
+        100.0 * report::stage_share(&col.view(), Stage::PostAck),
+        100.0 * report::stage_share(&col.view(), Stage::PostPsh),
+        100.0 * report::stage_share(&col.view(), Stage::PostData),
         pct(col.stage_matched.iter().sum::<u64>(), col.possibly_tampered),
     )
 }

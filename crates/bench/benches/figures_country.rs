@@ -9,9 +9,10 @@ use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESS
 fn emit_artifacts() {
     let sim = standard_world(EMIT_SESSIONS);
     let col = run_pipeline(&sim);
-    emit("Figure 1", &report::fig1(&col, &sim, 6));
-    emit("Figure 4", &report::fig4(&col, &sim, 80));
-    emit("Figure 5", &report::fig5(&col, &sim, 300));
+    let view = col.view();
+    emit("Figure 1", &report::fig1(&view, &sim, 6));
+    emit("Figure 4", &report::fig4(&view, &sim, 80));
+    emit("Figure 5", &report::fig5(&view, &sim, 300));
 }
 
 fn bench(c: &mut Criterion) {
@@ -19,9 +20,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let sim = standard_world(BENCH_SESSIONS);
     let col = run_pipeline(&sim);
-    g.bench_function("fig1_render", |b| b.iter(|| report::fig1(&col, &sim, 6)));
-    g.bench_function("fig4_render", |b| b.iter(|| report::fig4(&col, &sim, 20)));
-    g.bench_function("fig5_render", |b| b.iter(|| report::fig5(&col, &sim, 50)));
+    let view = col.view();
+    g.bench_function("fig1_render", |b| b.iter(|| report::fig1(&view, &sim, 6)));
+    g.bench_function("fig4_render", |b| b.iter(|| report::fig4(&view, &sim, 20)));
+    g.bench_function("fig5_render", |b| b.iter(|| report::fig5(&view, &sim, 50)));
     g.finish();
 }
 

@@ -10,9 +10,10 @@ use tamper_core::{max_rst_ipid_delta, max_rst_ttl_delta, scanner_marks};
 fn emit_artifacts() {
     let sim = standard_world(EMIT_SESSIONS);
     let col = run_pipeline(&sim);
-    emit("Figure 2", &report::fig2(&col));
-    emit("Figure 3", &report::fig3(&col));
-    emit("Validation (§4.1–4.3)", &report::validation(&col));
+    let view = col.view();
+    emit("Figure 2", &report::fig2(&view));
+    emit("Figure 3", &report::fig3(&view));
+    emit("Validation (§4.1–4.3)", &report::validation(&view));
 }
 
 fn bench(c: &mut Criterion) {

@@ -10,13 +10,14 @@ use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESS
 fn emit_artifacts() {
     let sim = standard_world(EMIT_SESSIONS);
     let col = run_pipeline(&sim);
+    let view = col.view();
     emit(
         "Figure 6",
-        &report::fig6(&col, &sim, &report::FIG6_COUNTRIES),
+        &report::fig6(&view, &sim, &report::FIG6_COUNTRIES),
     );
-    emit("Figure 7(a)", &report::fig7a(&col, &sim, 150));
-    emit("Figure 7(b)", &report::fig7b(&col, &sim, 150));
-    emit("Figure 9 (Appendix A)", &report::fig9(&col));
+    emit("Figure 7(a)", &report::fig7a(&view, &sim, 150));
+    emit("Figure 7(b)", &report::fig7b(&view, &sim, 150));
+    emit("Figure 9 (Appendix A)", &report::fig9(&view));
 }
 
 fn bench(c: &mut Criterion) {
@@ -24,13 +25,19 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let sim = standard_world(BENCH_SESSIONS);
     let col = run_pipeline(&sim);
+    let view = col.view();
     g.bench_function("fig6_render", |b| {
-        b.iter(|| report::fig6(&col, &sim, &report::FIG6_COUNTRIES))
+        b.iter(|| report::fig6(&view, &sim, &report::FIG6_COUNTRIES))
     });
     g.bench_function("fig7_render", |b| {
-        b.iter(|| (report::fig7a(&col, &sim, 50), report::fig7b(&col, &sim, 50)))
+        b.iter(|| {
+            (
+                report::fig7a(&view, &sim, 50),
+                report::fig7b(&view, &sim, 50),
+            )
+        })
     });
-    g.bench_function("fig9_render", |b| b.iter(|| report::fig9(&col)));
+    g.bench_function("fig9_render", |b| b.iter(|| report::fig9(&view)));
     g.finish();
 }
 

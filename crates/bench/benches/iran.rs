@@ -8,7 +8,7 @@ use tamper_bench::{emit, iran_world, run_pipeline};
 fn emit_artifact() {
     let sim = iran_world(40_000);
     let col = run_pipeline(&sim);
-    emit("Figure 8 (Iran, Sept 2022)", &report::fig8(&col));
+    emit("Figure 8 (Iran, Sept 2022)", &report::fig8(&col.view()));
 }
 
 fn bench(c: &mut Criterion) {
@@ -17,7 +17,8 @@ fn bench(c: &mut Criterion) {
     let sim = iran_world(3_000);
     g.bench_function("iran_scenario_pipeline", |b| b.iter(|| run_pipeline(&sim)));
     let col = run_pipeline(&sim);
-    g.bench_function("fig8_render", |b| b.iter(|| report::fig8(&col)));
+    let view = col.view();
+    g.bench_function("fig8_render", |b| b.iter(|| report::fig8(&view)));
     g.finish();
 }
 

@@ -1,0 +1,102 @@
+//! Throughput of the partial-aggregate merge pipeline: decode N per-PoP
+//! `.agg` blobs and fold them into one aggregate, as `tamperscope merge`
+//! does. Records decode+merge rates in `BENCH_merge.json` at the repo
+//! root (set `BENCH_OUT_PATH` to write elsewhere), with the honest host
+//! core count — merging is single-threaded by design, so the core count
+//! documents the host, not a parallelism claim.
+//!
+//! The run also proves the merge identity end-to-end: the folded result
+//! must re-encode to the exact bytes of the unsplit single-pass fold.
+
+use std::time::Instant;
+
+use tamper_analysis::{decode_agg, encode_agg, Collector};
+use tamper_core::ClassifierConfig;
+use tamper_worldgen::{world_fingerprint, WorldConfig, WorldSim};
+
+const SESSIONS: u64 = 20_000;
+const POPS: usize = 8;
+const REPS: u32 = 20;
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cfg = WorldConfig {
+        sessions: SESSIONS,
+        days: 2,
+        catalog_size: 1_000,
+        ..Default::default()
+    };
+    let salt = world_fingerprint(&cfg);
+    let sim = WorldSim::new(cfg);
+    let mk = || {
+        Collector::with_salt(
+            ClassifierConfig::default(),
+            sim.world().len(),
+            sim.config().days,
+            sim.config().start_unix,
+            salt,
+        )
+    };
+
+    eprintln!("generating {SESSIONS} sessions into {POPS} PoP partials...");
+    let mut pops: Vec<Collector> = (0..POPS).map(|_| mk()).collect();
+    let mut unsplit = mk();
+    sim.run(|lf| {
+        pops[sim.pop_of(POPS, &lf)].observe(&lf);
+        unsplit.observe(&lf);
+    });
+    let flows = unsplit.total;
+    let want = encode_agg(unsplit.partial());
+
+    let blobs: Vec<Vec<u8>> = pops.iter().map(|c| encode_agg(c.partial())).collect();
+    let total_bytes: usize = blobs.iter().map(Vec::len).sum();
+    eprintln!(
+        "{POPS} partials, {flows} flows, {} KiB of .agg on {cores} core(s)",
+        total_bytes >> 10
+    );
+
+    // Warm-up + correctness: the folded partials re-encode to the exact
+    // bytes of the unsplit fold.
+    let fold = || {
+        let mut it = blobs.iter();
+        let mut acc = decode_agg(it.next().expect("at least one blob")).expect("decode");
+        for b in it {
+            acc.merge(decode_agg(b).expect("decode"));
+        }
+        acc
+    };
+    assert_eq!(
+        encode_agg(&fold()),
+        want,
+        "merged partials diverge from the unsplit fold"
+    );
+
+    let start = Instant::now();
+    for _ in 0..REPS {
+        let acc = fold();
+        assert_eq!(acc.total, flows);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let merges_per_sec = f64::from(REPS) * POPS as f64 / secs;
+    let flows_per_sec = f64::from(REPS) * flows as f64 / secs;
+    let mib_per_sec = f64::from(REPS) * total_bytes as f64 / secs / (1024.0 * 1024.0);
+    eprintln!(
+        "{REPS} folds in {secs:.3}s: {merges_per_sec:.0} partials/s, \
+         {flows_per_sec:.0} merged flows/s, {mib_per_sec:.1} MiB/s"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"merge\",\n  \"partials\": {POPS},\n  \"flows\": {flows},\n  \
+         \"agg_bytes_total\": {total_bytes},\n  \"cores\": {cores},\n  \"runs\": [\n    \
+         {{\"threads\": 1, \"reps\": {REPS}, \"secs\": {secs:.4}, \
+         \"partials_per_sec\": {merges_per_sec:.0}, \"flows_per_sec\": {flows_per_sec:.0}, \
+         \"mib_per_sec\": {mib_per_sec:.1}}}\n  ]\n}}\n"
+    );
+    let path = std::env::var("BENCH_OUT_PATH").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_merge.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write BENCH_merge.json");
+    println!("{json}");
+}

@@ -8,7 +8,7 @@ use tamper_bench::{emit, run_pipeline, standard_world, BENCH_SESSIONS, EMIT_SESS
 fn emit_artifact() {
     let sim = standard_world(EMIT_SESSIONS);
     let col = run_pipeline(&sim);
-    emit("Figure 10 (Appendix B)", &report::fig10(&col));
+    emit("Figure 10 (Appendix B)", &report::fig10(&col.view()));
 }
 
 fn bench(c: &mut Criterion) {
@@ -16,9 +16,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let sim = standard_world(BENCH_SESSIONS);
     let col = run_pipeline(&sim);
-    g.bench_function("fig10_render", |b| b.iter(|| report::fig10(&col)));
+    let view = col.view();
+    g.bench_function("fig10_render", |b| b.iter(|| report::fig10(&view)));
     g.bench_function("fig10_diagonal_mass", |b| {
-        b.iter(|| report::fig10_diagonal_mass(&col))
+        b.iter(|| report::fig10_diagonal_mass(&view))
     });
     g.finish();
 }

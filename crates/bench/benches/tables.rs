@@ -10,10 +10,11 @@ use tamper_worldgen::generate_lists;
 fn emit_artifacts() {
     let sim = standard_world(EMIT_SESSIONS);
     let col = run_pipeline(&sim);
-    emit("Table 1 (+ §4.1 statistics)", &report::table1(&col));
-    emit("Table 2", &report::table2(&col, &sim, 3));
+    let view = col.view();
+    emit("Table 1 (+ §4.1 statistics)", &report::table1(&view));
+    emit("Table 2", &report::table2(&view, &sim, 3));
     let lists = generate_lists(&sim);
-    emit("Table 3", &report::table3(&col, &sim, &lists, 3));
+    emit("Table 3", &report::table3(&view, &sim, &lists, 3));
 }
 
 fn bench(c: &mut Criterion) {
@@ -24,17 +25,18 @@ fn bench(c: &mut Criterion) {
     g.bench_function("table1_full_pipeline", |b| {
         b.iter(|| {
             let col = run_pipeline(&sim);
-            report::table1(&col)
+            report::table1(&col.view())
         })
     });
 
     let col = run_pipeline(&sim);
+    let view = col.view();
     let lists = generate_lists(&sim);
     g.bench_function("table2_render", |b| {
-        b.iter(|| report::table2(&col, &sim, 3))
+        b.iter(|| report::table2(&view, &sim, 3))
     });
     g.bench_function("table3_render", |b| {
-        b.iter(|| report::table3(&col, &sim, &lists, 3))
+        b.iter(|| report::table3(&view, &sim, &lists, 3))
     });
     g.bench_function("testlist_generation", |b| b.iter(|| generate_lists(&sim)));
     g.finish();

@@ -203,7 +203,8 @@ pub fn scope_for(path: &str) -> Scope {
         // FlowSource. The worldgen driver once carried a second crossbeam
         // shard loop — this rule keeps it from coming back.
         thread_containment: pipeline && path != "crates/capture/src/engine.rs",
-        // Panic-safety: bytes-off-the-wire parsing surface.
+        // Panic-safety: bytes-off-the-wire parsing surface — including
+        // the partial-aggregate decoder, which reads untrusted .agg files.
         panic_index: path.starts_with("crates/wire/src/")
             || matches!(
                 path,
@@ -211,6 +212,7 @@ pub fn scope_for(path: &str) -> Scope {
                     | "crates/capture/src/offline.rs"
                     | "crates/capture/src/engine.rs"
                     | "crates/capture/src/source.rs"
+                    | "crates/analysis/src/aggfile.rs"
             ),
         // Sequence-space arithmetic lives in the wire parsers and the core
         // classifier; PR 3 fixed a real u32-wraparound bug in
@@ -231,6 +233,7 @@ pub fn scope_for(path: &str) -> Scope {
                     | "crates/capture/src/offline.rs"
                     | "crates/capture/src/engine.rs"
                     | "crates/capture/src/source.rs"
+                    | "crates/analysis/src/aggfile.rs"
             ),
         // Narrowing casts on sequence-space values: same home as the
         // wraparound rule.

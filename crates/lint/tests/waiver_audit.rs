@@ -84,3 +84,24 @@ fn sans_io_machine_modules_are_in_determinism_scope() {
     // CI summary by design.
     assert!(!scope_for("crates/xtask/src/main.rs").ambient);
 }
+
+#[test]
+fn partial_aggregate_modules_are_in_scope() {
+    // The .agg decoder parses untrusted bytes off disk, so it joins the
+    // wire/capture parsing surface under the panic/index and
+    // untrusted-length rules.
+    let decoder = scope_for("crates/analysis/src/aggfile.rs");
+    assert!(decoder.panic_index, "aggfile.rs escaped the panic scope");
+    assert!(decoder.taint_len, "aggfile.rs escaped the taint-len scope");
+    // The aggregate layer feeds report bytes directly: deterministic
+    // iteration and ambient-clock containment both apply.
+    for path in [
+        "crates/analysis/src/agg.rs",
+        "crates/analysis/src/aggfile.rs",
+        "crates/analysis/src/view.rs",
+    ] {
+        let scope = scope_for(path);
+        assert!(scope.map_iter, "{path} escaped the determinism scope");
+        assert!(scope.ambient, "{path} escaped the ambient/clock scope");
+    }
+}

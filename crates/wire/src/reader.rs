@@ -72,6 +72,11 @@ impl<'a> Reader<'a> {
     pub fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_be_bytes(self.array()?))
     }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.array()?))
+    }
 }
 
 #[cfg(test)]
@@ -80,10 +85,11 @@ mod tests {
 
     #[test]
     fn sequential_reads() {
-        let mut r = Reader::new(&[1, 0, 2, 0, 0, 0, 3, 9]);
+        let mut r = Reader::new(&[1, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 4, 9]);
         assert_eq!(r.u8().unwrap(), 1);
         assert_eq!(r.u16().unwrap(), 2);
         assert_eq!(r.u32().unwrap(), 3);
+        assert_eq!(r.u64().unwrap(), 4);
         assert_eq!(r.remaining(), 1);
         assert_eq!(r.take(1).unwrap(), &[9]);
         assert!(r.is_empty());

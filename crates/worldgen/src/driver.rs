@@ -706,6 +706,97 @@ impl WorldSim {
         );
         acc
     }
+
+    /// Which of `pops` points of presence observes this flow. Routing is
+    /// anycast-style: stable per client address (one client always lands
+    /// on the same PoP), uniform across PoPs, and independent of session
+    /// index or thread count, so splitting a world across PoPs partitions
+    /// the flow multiset exactly.
+    pub fn pop_of(&self, pops: usize, lf: &LabeledFlow) -> usize {
+        if pops <= 1 {
+            return 0;
+        }
+        let h = splitmix64(self.cfg.seed ^ POP_ROUTE_SALT ^ ip_route_key(lf.flow.client_ip));
+        (h % pops as u64) as usize
+    }
+
+    /// [`WorldSim::run_sharded_observed`] restricted to the slice of
+    /// traffic that lands on PoP `pop` of `pops`. The whole world is still
+    /// generated (routing must see every client), but only flows whose
+    /// [`WorldSim::pop_of`] matches reach `observe`. The union of the
+    /// accumulators over all `pops` values covers every flow exactly once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_pop_observed<T, FI, FO, FM>(
+        &self,
+        threads: usize,
+        pops: usize,
+        pop: usize,
+        obs: Option<&Registry>,
+        init: FI,
+        observe: FO,
+        merge: FM,
+    ) -> T
+    where
+        T: Send,
+        FI: Fn() -> T + Sync,
+        FO: Fn(&mut T, LabeledFlow) + Sync,
+        FM: FnMut(&mut T, T),
+    {
+        self.run_sharded_observed(
+            threads,
+            obs,
+            init,
+            |acc, lf| {
+                if self.pop_of(pops, &lf) == pop {
+                    observe(acc, lf);
+                }
+            },
+            merge,
+        )
+    }
+}
+
+/// Salt separating PoP routing from every other consumer of the world
+/// seed, so routing never correlates with per-session generation streams.
+const POP_ROUTE_SALT: u64 = 0x9e6c_5f0a_7d01_b3e5;
+
+/// Collapse a client address to a routing key. Worldgen keeps its own
+/// copy (the analysis crate has an identical `ip_key` for reservoir
+/// priorities) because the dependency points the other way.
+fn ip_route_key(ip: IpAddr) -> u64 {
+    match ip {
+        IpAddr::V4(v4) => splitmix64(u64::from(u32::from(v4))),
+        IpAddr::V6(v6) => {
+            let o = v6.octets();
+            let hi = u64::from_be_bytes([o[0], o[1], o[2], o[3], o[4], o[5], o[6], o[7]]);
+            let lo = u64::from_be_bytes([o[8], o[9], o[10], o[11], o[12], o[13], o[14], o[15]]);
+            splitmix64(hi ^ lo.rotate_left(32))
+        }
+    }
+}
+
+/// A stable fingerprint of everything in a [`WorldConfig`] that changes
+/// the generated flow multiset. Per-PoP partial aggregates are salted
+/// with it so `tamperscope merge` refuses to combine partials produced
+/// from different worlds.
+pub fn world_fingerprint(cfg: &WorldConfig) -> u64 {
+    let scenario = match cfg.scenario {
+        Scenario::Standard => 0u64,
+        Scenario::IranProtest => 1u64,
+    };
+    let mut h: u64 = 0x5707_1d00_2023_0112;
+    for v in [
+        cfg.seed,
+        cfg.sessions,
+        cfg.start_unix,
+        u64::from(cfg.days),
+        cfg.sample_denominator,
+        u64::from(cfg.catalog_size),
+        scenario,
+    ] {
+        h = splitmix64(h ^ v);
+    }
+    h
 }
 
 /// Interest weight of a domain for one country.

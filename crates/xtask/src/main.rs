@@ -314,6 +314,109 @@ fn report_determinism_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Multi-PoP pipeline smoke: split a small world across 3 points of
+/// presence with `pop-run`, `merge` the emitted partial aggregates, and
+/// require the merged report bytes to equal a single-machine `report` of
+/// the same flags. This is the merge pipeline's headline identity, run
+/// against the real binary end to end.
+fn multi_pop_smoke() -> Result<(), String> {
+    let root = repo_root();
+    let dir = root.join("target").join("xtask-pop-smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("multi-pop smoke: mkdir: {e}"))?;
+    let world_flags = ["--sessions", "4000", "--days", "2", "--seed", "20230112"];
+    let tamperscope = |step: &str, args: &[&str]| -> Result<Vec<u8>, String> {
+        let out = Command::new("cargo")
+            .args(["run", "--release", "--quiet", "--bin", "tamperscope", "--"])
+            .args(args)
+            .current_dir(&root)
+            .output()
+            .map_err(|e| format!("multi-pop smoke: failed to spawn cargo: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "multi-pop smoke: {step} exited with {}:\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        Ok(out.stdout)
+    };
+
+    let dir_s = dir.to_string_lossy().into_owned();
+    eprintln!("==> multi-pop smoke: tamperscope pop-run --pops 3 --out {dir_s}");
+    let mut args: Vec<&str> = vec!["pop-run", "--pops", "3", "--out", &dir_s];
+    args.extend_from_slice(&world_flags);
+    tamperscope("pop-run", &args)?;
+
+    let parts: Vec<String> = (0..3)
+        .map(|i| {
+            dir.join(format!("pop{i}.agg"))
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    for p in &parts {
+        if !std::path::Path::new(p).exists() {
+            return Err(format!("multi-pop smoke: pop-run did not write {p}"));
+        }
+    }
+    eprintln!("==> multi-pop smoke: tamperscope merge pop0..2.agg");
+    let mut args: Vec<&str> = vec!["merge"];
+    args.extend(parts.iter().map(String::as_str));
+    args.extend_from_slice(&world_flags);
+    let merged = tamperscope("merge", &args)?;
+
+    eprintln!("==> multi-pop smoke: tamperscope report (single-machine reference)");
+    let mut args: Vec<&str> = vec!["report", "--threads", "2"];
+    args.extend_from_slice(&world_flags);
+    let single = tamperscope("report", &args)?;
+
+    if merged.is_empty() {
+        return Err("multi-pop smoke: merge produced no output".into());
+    }
+    if merged != single {
+        return Err(
+            "multi-pop smoke: merged 3-PoP report differs from the single-machine report".into(),
+        );
+    }
+    eprintln!(
+        "==> multi-pop smoke: {} byte(s), 3-PoP merge identical to single run",
+        merged.len()
+    );
+    Ok(())
+}
+
+/// Merge throughput smoke: run the `merge` bench (decode + fold of 8
+/// per-PoP partials, with its built-in unsplit-fold byte identity
+/// assertion) against a scratch path, and require a sane, non-zero
+/// throughput row. The committed `BENCH_merge.json` is the reference
+/// artifact; this step proves the bench still runs and the identity
+/// still holds without holding CI hostage to host noise.
+fn merge_bench_smoke() -> Result<(), String> {
+    let root = repo_root();
+    let scratch = root.join("target").join("xtask-merge-bench.json");
+    let _ = std::fs::remove_file(&scratch);
+    eprintln!("==> merge bench: cargo bench --bench merge");
+    let status = Command::new("cargo")
+        .args(["bench", "-q", "--bench", "merge", "-p", "tamper-bench"])
+        .env("BENCH_OUT_PATH", &scratch)
+        .current_dir(&root)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .map_err(|e| format!("merge bench: failed to spawn cargo: {e}"))?;
+    if !status.success() {
+        return Err(format!("merge bench: bench exited with {status}"));
+    }
+    let text = std::fs::read_to_string(&scratch)
+        .map_err(|e| format!("merge bench: bench wrote no JSON: {e}"))?;
+    let run = bench_numbers(&text).map_err(|e| format!("merge bench: bench output: {e}"))?;
+    if run.batched <= 0.0 {
+        return Err("merge bench: zero merged flows/s".into());
+    }
+    eprintln!("==> merge bench: {:.0} merged flows/s", run.batched);
+    Ok(())
+}
+
 /// Throughput regression smoke: re-run the `classify_stream` bench and
 /// compare its single-thread flows/s against the committed
 /// `BENCH_classify_stream.json` at the repo root. A drop of more than 20%
@@ -510,7 +613,9 @@ fn ci() -> Result<(), String> {
         }
         sw.time("metrics smoke", metrics_smoke)?;
         sw.time("report smoke", report_determinism_smoke)?;
+        sw.time("multi-pop smoke", multi_pop_smoke)?;
         sw.time("throughput smoke", throughput_smoke)?;
+        sw.time("merge bench", merge_bench_smoke)?;
         sw.time("analyze", || {
             eprintln!("==> analyze: tamperlint --deny-new (in-process)");
             analyze(false, AnalyzeMode::DenyNew)
@@ -552,7 +657,8 @@ fn main() -> ExitCode {
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
              determinism gates + alloc discipline + lint suite + metrics + \
-             report + throughput smokes + tamperlint --deny-new\n  \
+             report + multi-pop + throughput + merge-bench smokes + \
+             tamperlint --deny-new\n  \
              analyze [--json] [--deny-new] [--write-baseline] [--prune-baseline]\n                     \
              tamperlint static-analysis gate (determinism, panic-safety, \
              wraparound, taxonomy, dataflow); --deny-new fails only on \

@@ -103,6 +103,6 @@ fn main() {
         );
     }
     println!();
-    println!("{}", report::fig4(&col, &sim, 100));
-    println!("{}", report::table2(&col, &sim, 3));
+    println!("{}", report::fig4(&col.view(), &sim, 100));
+    println!("{}", report::table2(&col.view(), &sim, 3));
 }

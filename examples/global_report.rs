@@ -49,7 +49,7 @@ fn main() {
 
     println!("{}", tamper_analysis::comparison_table(&col));
     let lists = generate_lists(&sim);
-    println!("{}", report::full_report(&col, &sim, &lists));
+    println!("{}", report::full_report(&col.view(), &sim, &lists));
 
     // Iran case study (Figure 8): separate 17-day scenario world.
     let iran_sessions = (sessions / 6).max(20_000);
@@ -70,5 +70,5 @@ fn main() {
         )
     };
     let iran_col = iran.run_sharded(threads, mk_iran, |c, lf| c.observe(&lf), |a, b| a.merge(b));
-    println!("{}", report::fig8(&iran_col));
+    println!("{}", report::fig8(&iran_col.view()));
 }

@@ -49,7 +49,7 @@ fn main() {
     let col = sim.run_sharded(threads, mk, |c, lf| c.observe(&lf), |a, b| a.merge(b));
 
     // Figure 8: the full hourly TSV.
-    println!("{}", report::fig8(&col));
+    println!("{}", report::fig8(&col.view()));
 
     // Headline 1: peak hourly rate of post-handshake timeouts.
     let ack_none = Signature::AckNone.index();

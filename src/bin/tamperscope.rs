@@ -18,8 +18,9 @@ use std::io::{BufWriter, Write};
 use std::process::ExitCode;
 
 use tamperscope::analysis::{
-    capture_collector, capture_summary_to_json, engine_perf_to_json, flow_to_jsonl,
-    label_capture_flow, pct, report, summary_to_json, write_metrics_json, Collector,
+    capture_collector, capture_summary_to_json, config_fingerprint, decode_agg, encode_agg,
+    engine_perf_to_json, flow_to_jsonl, label_capture_flow, merge_checked, pct, report,
+    summary_to_json, write_metrics_json, AggError, Collector, PartialAggregate,
 };
 use tamperscope::capture::{
     run_source_observed, EngineConfig, FlowBatch, OfflineConfig, PcapMemSource, PcapWriter,
@@ -33,7 +34,9 @@ use tamperscope::netsim::{
     SimTime,
 };
 use tamperscope::obs::{Registry, ScopeMetrics, Stopwatch};
-use tamperscope::worldgen::{generate_lists, Scenario, WorldConfig, WorldSim, SEP13_2022_UNIX};
+use tamperscope::worldgen::{
+    generate_lists, world_fingerprint, Scenario, WorldConfig, WorldSim, SEP13_2022_UNIX,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -44,6 +47,10 @@ USAGE:
                          [--max-flows M] [--json-summary] [--metrics-json m.json]
     tamperscope report   [--sessions N] [--days D] [--seed S] [--threads T]
                          [--json-summary] [--world spec.json] [--metrics-json m.json]
+    tamperscope pop-run  --pops P --out DIR [--sessions N] [--days D] [--seed S]
+                         [--threads T]   (one partial aggregate .agg file per PoP)
+    tamperscope merge    <pop0.agg> [pop1.agg ...] [--sessions N] [--days D] [--seed S]
+                         [--json-summary]   (merge partials; bytes match `report`)
     tamperscope iran     [--sessions N] [--seed S] [--threads T] [--metrics-json m.json]
     tamperscope synthesize <out.pcap> [--sessions N] [--seed S] [--threads T]
                          [--metrics-json m.json]
@@ -76,6 +83,8 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "classify" => cmd_classify(&args),
         "report" => cmd_report(&args),
+        "pop-run" => cmd_pop_run(&args),
+        "merge" => cmd_merge(&args),
         "iran" => cmd_iran(&args),
         "synthesize" => cmd_synthesize(&args),
         "signatures" => cmd_signatures(),
@@ -354,7 +363,7 @@ fn cmd_report(args: &Args) -> ExitCode {
     } else {
         let render_sw = rep.start();
         let lists = generate_lists(&sim);
-        let text = report::full_report(&col, &sim, &lists);
+        let text = report::full_report(&col.view(), &sim, &lists);
         rep.stop("render", render_sw);
         println!("{text}");
     }
@@ -365,6 +374,162 @@ fn cmd_report(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("[{mpath}] pipeline metrics written");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The world configuration shared by `pop-run` and `merge` (and matching
+/// `report`'s defaults), so a merged run can be byte-compared against a
+/// single-machine `report` of the same flags.
+fn pop_world_config(args: &Args) -> Result<WorldConfig, String> {
+    Ok(WorldConfig {
+        sessions: args.get_u64_strict("sessions", 200_000)?,
+        days: args.get_u64_strict("days", 14)? as u32,
+        seed: args.get_u64_strict("seed", 20230112)?,
+        ..Default::default()
+    })
+}
+
+fn cmd_pop_run(args: &Args) -> ExitCode {
+    let threads = match threads(args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tamperscope: {e}");
+            return usage();
+        }
+    };
+    let pops = flag_u64!(args, "pops", 0) as usize;
+    if pops == 0 {
+        eprintln!("tamperscope: pop-run requires --pops P (P >= 1)");
+        return usage();
+    }
+    let Some(out_dir) = args.get("out") else {
+        eprintln!("tamperscope: pop-run requires --out DIR");
+        return usage();
+    };
+    let cfg = match pop_world_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tamperscope: {e}");
+            return usage();
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let salt = world_fingerprint(&cfg);
+    let sim = WorldSim::new(cfg);
+    // One generation pass; each flow routes to exactly one PoP's
+    // collector, so the union of the emitted partials is the whole world.
+    let mk = || {
+        (0..pops)
+            .map(|_| {
+                Collector::with_salt(
+                    ClassifierConfig::default(),
+                    sim.world().len(),
+                    sim.config().days,
+                    sim.config().start_unix,
+                    salt,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let cols = sim.run_sharded_observed(
+        threads,
+        None,
+        mk,
+        |cs, lf| cs[sim.pop_of(pops, &lf)].observe(&lf),
+        |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                x.merge(y);
+            }
+        },
+    );
+    for (pop, col) in cols.into_iter().enumerate() {
+        let flows = col.total;
+        let fingerprint = col.fingerprint();
+        let bytes = encode_agg(col.partial());
+        let path = format!("{out_dir}/pop{pop}.agg");
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[{path}] {flows} flows, {} bytes (fingerprint {fingerprint:016x})",
+            bytes.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_merge(args: &Args) -> ExitCode {
+    if args.positional.is_empty() {
+        eprintln!("tamperscope: merge requires at least one .agg file");
+        return usage();
+    }
+    let cfg = match pop_world_config(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tamperscope: {e}");
+            return usage();
+        }
+    };
+    let sim = WorldSim::new(cfg);
+    // The same combined fingerprint `pop-run` stamps into each partial:
+    // collector shape plus the world salt.
+    let expected = config_fingerprint(
+        &ClassifierConfig::default(),
+        sim.world().len(),
+        sim.config().days as usize * 24,
+        sim.config().start_unix,
+        world_fingerprint(sim.config()),
+    );
+    let mut acc: Option<PartialAggregate> = None;
+    for path in &args.positional {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let part = match decode_agg(&bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("tamperscope: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if part.fingerprint() != expected {
+            eprintln!(
+                "tamperscope: {path}: {} (file {:016x}, flags imply {expected:016x})",
+                AggError::ConfigMismatch,
+                part.fingerprint()
+            );
+            return ExitCode::from(2);
+        }
+        match acc.as_mut() {
+            None => acc = Some(part),
+            Some(a) => {
+                if let Err(e) = merge_checked(a, part) {
+                    eprintln!("tamperscope: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let acc = acc.expect("at least one partial checked above");
+    eprintln!(
+        "[merge] {} partials, {} flows (fingerprint {expected:016x})",
+        args.positional.len(),
+        acc.total
+    );
+    if args.has("json-summary") {
+        println!("{}", summary_to_json(&acc));
+    } else {
+        let lists = generate_lists(&sim);
+        println!("{}", report::full_report(&acc.view(), &sim, &lists));
     }
     ExitCode::SUCCESS
 }
@@ -404,7 +569,7 @@ fn cmd_iran(args: &Args) -> ExitCode {
     };
     rep.count("flows", col.total);
     let render_sw = rep.start();
-    let text = report::fig8(&col);
+    let text = report::fig8(&col.view());
     rep.stop("render", render_sw);
     println!("{text}");
     if let (Some(mpath), Some(reg)) = (metrics_path, &registry) {

@@ -18,6 +18,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "max-flows",
     "metrics-json",
     "tamper-share",
+    "pops",
+    "out",
 ];
 
 /// Parsed command line: positionals in order, flags with optional values.

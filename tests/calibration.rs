@@ -203,7 +203,7 @@ fn diurnal_night_peaks() {
     let (col, sim) = run_world(150_000);
     // Figure 6: tampering share peaks between midnight and 8 AM local.
     for code in ["CN", "IR", "IN"] {
-        let (night, day) = report::diurnal_contrast(&col, &sim, code).unwrap();
+        let (night, day) = report::diurnal_contrast(&col.view(), &sim, code).unwrap();
         assert!(night > day, "{code}: night {night} should exceed day {day}");
     }
 }
@@ -218,7 +218,7 @@ fn stage_share_helper_consistency() {
         Stage::PostData,
     ]
     .iter()
-    .map(|s| report::stage_share(&col, *s))
+    .map(|s| report::stage_share(&col.view(), *s))
     .sum();
     assert!((0.9..=1.0).contains(&sum), "stage shares sum {sum}");
 }

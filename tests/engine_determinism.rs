@@ -422,7 +422,7 @@ fn report_is_byte_identical_across_threads_and_observation() {
             |a, b| a.merge(b),
         );
         (
-            report::full_report(&col, &sim, &lists),
+            report::full_report(&col.view(), &sim, &lists),
             summary_to_json(&col),
         )
     };

@@ -240,8 +240,8 @@ fn sampling_ablation_preserves_proportions() {
     );
     // Stage shares stay within a few points too.
     for stage in [Stage::PostSyn, Stage::PostData] {
-        let s_full = tamper_analysis::report::stage_share(&full, stage);
-        let s_sampled = tamper_analysis::report::stage_share(&sampled, stage);
+        let s_full = tamper_analysis::report::stage_share(&full.view(), stage);
+        let s_sampled = tamper_analysis::report::stage_share(&sampled.view(), stage);
         assert!(
             (s_full - s_sampled).abs() < 0.06,
             "{stage:?}: {s_full} vs {s_sampled}"

@@ -812,3 +812,169 @@ proptest! {
         prop_assert_eq!(accounted, stats.records);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mergeable partial aggregates: folding any partition of the flow multiset
+// into per-PoP partials and merging them — in any order, through any
+// grouping, with encode/decode round-trips in between — must produce an
+// aggregate byte-identical to the unsplit single-machine fold.
+// ---------------------------------------------------------------------------
+
+use std::sync::OnceLock;
+use tamper_analysis::{decode_agg, encode_agg, Collector};
+use tamper_worldgen::{LabeledFlow, WorldConfig, WorldSim};
+
+/// A shared flow pool: generated once, partitioned differently per case.
+fn flow_pool() -> &'static (Vec<LabeledFlow>, usize, u64) {
+    static POOL: OnceLock<(Vec<LabeledFlow>, usize, u64)> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let sim = WorldSim::new(WorldConfig {
+            sessions: 800,
+            days: 1,
+            catalog_size: 300,
+            ..Default::default()
+        });
+        let mut flows = Vec::new();
+        sim.run(|lf| flows.push(lf));
+        let n_countries = sim.world().len();
+        let start_unix = sim.config().start_unix;
+        (flows, n_countries, start_unix)
+    })
+}
+
+fn pool_collector() -> Collector {
+    let (_, n_countries, start_unix) = flow_pool();
+    Collector::new(ClassifierConfig::default(), *n_countries, 1, *start_unix)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any assignment of flows to up to 6 partials, merged in an arbitrary
+    /// permutation with an encode/decode round-trip on every partial,
+    /// yields the exact bytes of the unsplit fold — merge is associative,
+    /// commutative, and insensitive to how the multiset was partitioned.
+    #[test]
+    fn partial_merge_is_partition_and_order_insensitive(
+        assign_seed in any::<u64>(),
+        parts in 1usize..=6,
+        order_seed in any::<u64>(),
+    ) {
+        let (flows, _, _) = flow_pool();
+
+        let mut unsplit = pool_collector();
+        for lf in flows {
+            unsplit.observe(lf);
+        }
+        let want = encode_agg(unsplit.partial());
+
+        // Deterministic pseudo-random partition of the pool.
+        let mut partials: Vec<Collector> = (0..parts).map(|_| pool_collector()).collect();
+        let mut state = assign_seed | 1;
+        for lf in flows {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            partials[(state as usize) % parts].observe(lf);
+        }
+
+        // Encode/decode each partial (the .agg wire trip), then merge in a
+        // shuffled order.
+        let mut decoded: Vec<_> = partials
+            .iter()
+            .map(|c| decode_agg(&encode_agg(c.partial())).expect("round trip"))
+            .collect();
+        let mut state = order_seed | 1;
+        for i in (1..decoded.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            decoded.swap(i, (state as usize) % (i + 1));
+        }
+        let mut acc = decoded.remove(0);
+        for part in decoded {
+            acc.merge(part);
+        }
+        prop_assert_eq!(
+            encode_agg(&acc),
+            want,
+            "merged partition bytes differ from the unsplit fold"
+        );
+    }
+
+    /// Pairwise (tree) grouping agrees with left-fold grouping: merging
+    /// ((a+b)+(c+d)) equals (((a+b)+c)+d).
+    #[test]
+    fn partial_merge_grouping_is_associative(assign_seed in any::<u64>()) {
+        let (flows, _, _) = flow_pool();
+        let mut partials: Vec<Collector> = (0..4).map(|_| pool_collector()).collect();
+        let mut state = assign_seed | 1;
+        for lf in flows {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            partials[(state as usize) % 4].observe(lf);
+        }
+        let ps: Vec<_> = partials.iter().map(|c| c.partial().clone()).collect();
+
+        let mut left = ps[0].clone();
+        for p in &ps[1..] {
+            left.merge(p.clone());
+        }
+
+        let mut ab = ps[0].clone();
+        ab.merge(ps[1].clone());
+        let mut cd = ps[2].clone();
+        cd.merge(ps[3].clone());
+        ab.merge(cd);
+
+        prop_assert_eq!(encode_agg(&ab), encode_agg(&left));
+    }
+
+    /// The .agg decoder is total: arbitrary bytes produce `Ok` or a named
+    /// error, never a panic — including bytes that start with the real
+    /// magic and version.
+    #[test]
+    fn agg_decoder_never_panics(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        with_header in proptest::bool::ANY,
+    ) {
+        let mut data = data;
+        if with_header && data.len() >= 6 {
+            data[0..4].copy_from_slice(b"TAGG");
+            data[4] = 0;
+            data[5] = 1;
+        }
+        let _ = decode_agg(&data); // must not panic
+    }
+
+    /// Every truncation of a valid encoding is a clean named error, and
+    /// every single-byte corruption decodes or fails without panicking.
+    #[test]
+    fn agg_decoder_survives_truncation_and_corruption(
+        cut in any::<u16>(),
+        flip_at in any::<u32>(),
+        flip_bits in 1u8..=255,
+    ) {
+        static VALID: OnceLock<Vec<u8>> = OnceLock::new();
+        let valid = VALID.get_or_init(|| {
+            let (flows, _, _) = flow_pool();
+            let mut col = pool_collector();
+            for lf in flows.iter().take(200) {
+                col.observe(lf);
+            }
+            encode_agg(col.partial())
+        });
+
+        let cut = usize::from(cut) % valid.len();
+        prop_assert!(
+            decode_agg(&valid[..cut]).is_err(),
+            "truncated prefix decoded successfully"
+        );
+
+        let mut corrupt = valid.clone();
+        let idx = (flip_at as usize) % corrupt.len();
+        corrupt[idx] ^= flip_bits;
+        let _ = decode_agg(&corrupt); // must not panic
+    }
+}
