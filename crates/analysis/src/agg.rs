@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use tamper_core::{
     is_zmap_fingerprint, max_consecutive_ipid_delta, max_consecutive_ttl_delta, max_rst_ipid_delta,
-    max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks,
+    max_rst_ttl_delta, min_consecutive_ipid_delta, scanner_marks, user_agent,
 };
 use tamper_core::{ClassifierConfig, FlowAnalysis, Signature, Stage};
 use tamper_netsim::splitmix64;
@@ -34,6 +34,14 @@ pub const RESERVOIR_CAP: usize = 1000;
 
 /// Cap on per-(ip, domain) Post-PSH class sequences (Appendix B).
 pub const PAIR_SEQ_CAP: usize = 8;
+
+/// Cap on the number of `(ip, domain)` pair-sequence *keys* a partial
+/// keeps: the lowest `PAIR_KEY_CAP` keys in `(ip_key, domain)` order.
+/// Keep-lowest-K over a keyed union is associative and commutative, and
+/// a key can never re-enter once capped out (every kept key is smaller),
+/// so per-PoP partials still merge to exactly the single-machine map —
+/// while a long-running ingest stays bounded.
+pub const PAIR_KEY_CAP: usize = 65536;
 
 /// Ground-truth confusion counts (simulation-only luxury).
 #[derive(Debug, Clone, Copy, Default)]
@@ -527,10 +535,9 @@ impl PartialAggregate {
         }
 
         // AS view.
-        let as_entry = self
-            .as_counts
-            .entry((lf.meta.country, lf.meta.asn.0))
-            .or_insert((0, 0));
+        let as_key = (lf.meta.country, lf.meta.asn.0);
+        // tamperlint: allow(unbounded-growth) — keyed by (country, ASN), both from finite worldgen tables
+        let as_entry = self.as_counts.entry(as_key).or_insert((0, 0));
         as_entry.0 += 1;
         if matched_any {
             as_entry.1 += 1;
@@ -564,6 +571,7 @@ impl PartialAggregate {
         // Domain view (ground-truth domain labels mirror the paper's use
         // of the SNI/Host it observed or the CDN's own hostname records).
         if let Some(d) = lf.meta.domain {
+            // tamperlint: allow(unbounded-growth) — keyed by (country, domain) from the fixed monitored-domain table
             let cell = self.domain_cells.entry((lf.meta.country, d)).or_default();
             cell.seen += 1;
             if matched_psh {
@@ -587,6 +595,7 @@ impl PartialAggregate {
                 max_rst_ipid_delta(&lf.flow)
             };
             if let Some(d) = delta {
+                // tamperlint: allow(unbounded-growth) — fixed-length Vec of Reservoirs; Reservoir::insert keeps lowest-K
                 self.ipid_res[ri].insert(pri, d);
             }
             let delta = if ri == 19 {
@@ -595,6 +604,7 @@ impl PartialAggregate {
                 max_rst_ttl_delta(&lf.flow)
             };
             if let Some(d) = delta {
+                // tamperlint: allow(unbounded-growth) — fixed-length Vec of Reservoirs; Reservoir::insert keeps lowest-K
                 self.ttl_res[ri].insert(pri, d);
             }
         }
@@ -642,6 +652,7 @@ impl PartialAggregate {
             if syn_payload {
                 self.port80_syn_payload += 1;
                 if let Some(d) = lf.meta.domain {
+                    // tamperlint: allow(unbounded-growth) — keyed by domain id from the fixed monitored-domain table
                     *self.syn_payload_domains.entry(d).or_default() += 1;
                 }
             }
@@ -654,9 +665,7 @@ impl PartialAggregate {
 
         if matches!(sig.map(|s| s.stage()), Some(Stage::PostData)) {
             self.postdata_matches += 1;
-            if tamper_core::user_agent(&lf.flow)
-                .is_some_and(|ua| ua == tamper_worldgen::FIREWALL_USER_AGENT)
-            {
+            if user_agent(&lf.flow).is_some_and(|ua| ua == tamper_worldgen::FIREWALL_USER_AGENT) {
                 self.postdata_fw_ua += 1;
             }
         }
@@ -685,11 +694,25 @@ impl PartialAggregate {
             let in_scope = code != 0 || a.trigger.domain.is_some();
             if in_scope {
                 let key = (ip_key(lf.flow.client_ip), domain);
-                self.pair_seqs.entry(key).or_default().insert(
-                    lf.meta.start_unix,
-                    flow_priority(lf),
-                    code,
-                );
+                // Keep-lowest-K keys: at cap, a key above the current
+                // maximum is rejected (and, once rejected, can never
+                // rejoin — see PAIR_KEY_CAP).
+                let within = self.pair_seqs.len() < PAIR_KEY_CAP
+                    || self.pair_seqs.contains_key(&key)
+                    || self
+                        .pair_seqs
+                        .last_key_value()
+                        .is_some_and(|(top, _)| key < *top);
+                if within {
+                    self.pair_seqs.entry(key).or_default().insert(
+                        lf.meta.start_unix,
+                        flow_priority(lf),
+                        code,
+                    );
+                    if self.pair_seqs.len() > PAIR_KEY_CAP {
+                        self.pair_seqs.pop_last();
+                    }
+                }
             }
         }
     }
@@ -714,6 +737,7 @@ impl PartialAggregate {
             }
         }
         for (k, v) in other.as_counts {
+            // tamperlint: allow(unbounded-growth) — merge unions the same finite (country, ASN) key space
             let e = self.as_counts.entry(k).or_insert((0, 0));
             e.0 += v.0;
             e.1 += v.1;
@@ -745,6 +769,7 @@ impl PartialAggregate {
             }
         }
         for (k, v) in other.domain_cells {
+            // tamperlint: allow(unbounded-growth) — merge unions the same finite (country, domain) key space
             let e = self.domain_cells.entry(k).or_default();
             e.seen += v.seen;
             e.psh_tampered += v.psh_tampered;
@@ -769,6 +794,7 @@ impl PartialAggregate {
         self.port443_flows += other.port443_flows;
         self.port443_syn_payload += other.port443_syn_payload;
         for (k, v) in other.syn_payload_domains {
+            // tamperlint: allow(unbounded-growth) — merge unions the same fixed monitored-domain key space
             *self.syn_payload_domains.entry(k).or_default() += v;
         }
         self.truth.true_positive += other.truth.true_positive;
@@ -789,6 +815,11 @@ impl PartialAggregate {
         }
         for (k, v) in other.pair_seqs {
             self.pair_seqs.entry(k).or_default().merge(&v);
+        }
+        // Re-cap after the union: lowest-K of a union of lowest-Ks is the
+        // lowest-K of the union, so merge order cannot change the result.
+        while self.pair_seqs.len() > PAIR_KEY_CAP {
+            self.pair_seqs.pop_last();
         }
     }
 

@@ -467,6 +467,7 @@ impl ColumnarFlowTable {
                     let idx = match self.free.pop() {
                         Some(idx) => idx,
                         None => {
+                            // tamperlint: allow(unbounded-growth) — pool slots recycle through the free list; live size is bounded by the eviction wheel
                             self.slots.push(Slot::default());
                             (self.slots.len() - 1) as u32
                         }

@@ -1,0 +1,630 @@
+//! Incremental analysis cache: per-file artifacts keyed by content hash.
+//!
+//! A cache file holds one record block per source file, keyed by the
+//! file's repo-relative path and the FNV-1a 64 hash of its bytes, under
+//! a header salt derived from the cache format version, the rule list,
+//! both root registries, and the `Signature` variant set. Anything that
+//! could change what a per-file stage produces changes the salt, and a
+//! salt mismatch empties the cache wholesale. Every decode path fails
+//! closed: a malformed header, a truncated block, an unknown tag, an
+//! unparsable number, or a stale hash is a *miss* (the file is re-
+//! analyzed from source), never a wrong answer.
+//!
+//! The format is line-oriented, tab-separated, with `\\`/`\t`/`\n`/`\r`
+//! escapes in free-text fields — greppable on purpose, like the
+//! baseline. Cached artifacts drop the token stream (`scan.code` is
+//! empty when restored); the pre-normalized `norm_lines` map carries the
+//! per-line text that fingerprinting needs, so warm findings are
+//! byte-identical to cold ones. `MatchExpr` bodies are not cached: the
+//! only rule that reads them (`exhaustive-signature-match`) runs at scan
+//! time and its findings are cached as findings.
+
+use crate::ast::{Call, FnDef, ParsedFile};
+use crate::callgraph::{Sink, SinkKind};
+use crate::effects::{Effect, EffectSet, EffectSite, GrowthKind, GrowthSite};
+use crate::rules::{self, DiscardCand, Finding, Waiver, RULES};
+use crate::{fingerprint, FileArtifacts, HOT_ROOTS, PURE_ROOTS};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Bumped whenever the record grammar or any per-file stage's semantics
+/// change; part of the salt, so old caches die instantly.
+pub const CACHE_VERSION: u32 = 1;
+
+/// The header salt: version ⊕ rules ⊕ registries ⊕ signature taxonomy.
+pub fn salt(ctx: &rules::ScanCtx) -> u64 {
+    let mut text = format!("v{CACHE_VERSION}");
+    for r in RULES {
+        text.push('\u{1}');
+        text.push_str(r);
+    }
+    for (owner, name) in HOT_ROOTS {
+        text.push('\u{2}');
+        text.push_str(owner);
+        text.push(':');
+        text.push_str(name);
+    }
+    for (owner, name) in PURE_ROOTS {
+        text.push('\u{3}');
+        text.push_str(owner);
+        text.push(':');
+        text.push_str(name);
+    }
+    for v in &ctx.signature_variants {
+        text.push('\u{4}');
+        text.push_str(v);
+    }
+    fingerprint::fnv1a64(text.as_bytes())
+}
+
+/// Escape a free-text field for one-line storage.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`esc`]; `None` on a malformed escape (fail closed).
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Encode an `Option<String>`: `-` for `None`, `+<escaped>` for `Some`.
+fn opt(o: &Option<String>) -> String {
+    match o {
+        None => "-".to_string(),
+        Some(s) => format!("+{}", esc(s)),
+    }
+}
+
+/// Invert [`opt`].
+fn unopt(s: &str) -> Option<Option<String>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        s.strip_prefix('+').and_then(unesc).map(Some)
+    }
+}
+
+/// Map a rule string back to its static name; unknown rules fail closed.
+fn static_rule(s: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| **r == s).copied()
+}
+
+fn sink_tag(kind: SinkKind) -> &'static str {
+    match kind {
+        SinkKind::Clock => "C",
+        SinkKind::Rng => "R",
+        SinkKind::Thread => "T",
+    }
+}
+
+fn sink_from_tag(tag: &str) -> Option<SinkKind> {
+    match tag {
+        "C" => Some(SinkKind::Clock),
+        "R" => Some(SinkKind::Rng),
+        "T" => Some(SinkKind::Thread),
+        _ => None,
+    }
+}
+
+/// Serialize one file's artifacts to record lines (no header).
+pub fn encode(art: &FileArtifacts) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    out.push(format!(
+        "ok\t{}",
+        if art.scan.parsed.parsed_ok { 1 } else { 0 }
+    ));
+    for f in &art.scan.raw {
+        out.push(format!("F\t{}\t{}\t{}", f.rule, f.line, esc(&f.message)));
+    }
+    for f in &art.dataflow_findings {
+        out.push(format!("D\t{}\t{}\t{}", f.rule, f.line, esc(&f.message)));
+    }
+    for (w, covered) in &art.scan.waivers {
+        let lines: Vec<String> = covered.iter().map(|l| l.to_string()).collect();
+        out.push(format!(
+            "W\t{}\t{}\t{}\t{}",
+            esc(&w.rule),
+            w.line,
+            esc(&w.reason),
+            lines.join(",")
+        ));
+    }
+    for s in &art.fail_closed_allocs {
+        out.push(format!("X\t{}\t{}", s.line, esc(&s.what)));
+    }
+    for c in &art.discard_cands {
+        let names: Vec<String> = c.names.iter().map(|n| esc(n)).collect();
+        out.push(format!(
+            "dc\t{}\t{}\t{}",
+            if c.let_form { "L" } else { "O" },
+            c.line,
+            names.join(",")
+        ));
+    }
+    for (line, text) in &art.norm_lines {
+        out.push(format!("N\t{line}\t{}", esc(text)));
+    }
+    for (local, f) in art.scan.parsed.fns.iter().enumerate() {
+        out.push(format!(
+            "fn\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            esc(&f.name),
+            opt(&f.owner),
+            opt(&f.trait_of),
+            esc(&f.ret),
+            f.start_line,
+            f.end_line,
+            f.body.0,
+            f.body.1
+        ));
+        for (ty, name) in f.params.iter().zip(&f.param_names) {
+            out.push(format!("P\t{}\t{}", esc(ty), esc(name)));
+        }
+        for c in &f.calls {
+            out.push(format!(
+                "C\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                c.line,
+                esc(&c.name),
+                opt(&c.qualifier),
+                if c.method { 1 } else { 0 },
+                if c.recv_self { 1 } else { 0 },
+                c.args,
+                opt(&c.recv_type)
+            ));
+        }
+        out.push(format!("B\t{}", art.fn_effects[local].0));
+        for s in &art.fn_sinks[local] {
+            out.push(format!(
+                "S\t{}\t{}\t{}",
+                sink_tag(s.kind),
+                s.line,
+                esc(&s.what)
+            ));
+        }
+        for s in &art.fn_sites[local] {
+            out.push(format!(
+                "E\t{}\t{}\t{}",
+                s.effect.name(),
+                s.line,
+                esc(&s.what)
+            ));
+        }
+        for s in &art.fn_allocs[local] {
+            out.push(format!("A\t{}\t{}", s.line, esc(&s.what)));
+        }
+        for s in &art.fn_growth[local] {
+            out.push(format!(
+                "G\t{}\t{}\t{}\t{}",
+                esc(&s.field),
+                s.line,
+                s.kind.tag(),
+                esc(&s.what)
+            ));
+        }
+    }
+    out
+}
+
+/// Rebuild artifacts from record lines. Any anomaly returns `None` and
+/// the caller treats the entry as a miss. The restored `scan.code` is
+/// empty; `norm_lines` carries fingerprint text instead.
+pub fn decode(path: &str, lines: &[String]) -> Option<FileArtifacts> {
+    let mut parsed_ok: Option<bool> = None;
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut dataflow_findings: Vec<Finding> = Vec::new();
+    let mut waivers: Vec<(Waiver, BTreeSet<u32>)> = Vec::new();
+    let mut fail_closed_allocs = Vec::new();
+    let mut discard_cands: Vec<DiscardCand> = Vec::new();
+    let mut norm_lines: BTreeMap<u32, String> = BTreeMap::new();
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut fn_sinks: Vec<Vec<Sink>> = Vec::new();
+    let mut fn_effects: Vec<EffectSet> = Vec::new();
+    let mut fn_sites: Vec<Vec<EffectSite>> = Vec::new();
+    let mut fn_allocs: Vec<Vec<crate::dataflow::AllocSite>> = Vec::new();
+    let mut fn_growth: Vec<Vec<GrowthSite>> = Vec::new();
+
+    for line in lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["ok", v] => parsed_ok = Some(*v == "1"),
+            ["F", rule, line, msg] | ["D", rule, line, msg] => {
+                let f = Finding::new(path, line.parse().ok()?, static_rule(rule)?, unesc(msg)?);
+                if fields[0] == "F" {
+                    raw.push(f);
+                } else {
+                    dataflow_findings.push(f);
+                }
+            }
+            ["W", rule, line, reason, covered] => {
+                let mut set: BTreeSet<u32> = BTreeSet::new();
+                if !covered.is_empty() {
+                    for part in covered.split(',') {
+                        set.insert(part.parse().ok()?);
+                    }
+                }
+                waivers.push((
+                    Waiver {
+                        rule: unesc(rule)?,
+                        line: line.parse().ok()?,
+                        reason: unesc(reason)?,
+                    },
+                    set,
+                ));
+            }
+            ["X", line, what] => fail_closed_allocs.push(crate::dataflow::AllocSite {
+                line: line.parse().ok()?,
+                what: unesc(what)?,
+            }),
+            ["dc", form, line, names] => {
+                let let_form = match *form {
+                    "L" => true,
+                    "O" => false,
+                    _ => return None,
+                };
+                let mut parsed_names = Vec::new();
+                if !names.is_empty() {
+                    for part in names.split(',') {
+                        parsed_names.push(unesc(part)?);
+                    }
+                }
+                discard_cands.push(DiscardCand {
+                    line: line.parse().ok()?,
+                    let_form,
+                    names: parsed_names,
+                });
+            }
+            ["N", line, text] => {
+                norm_lines.insert(line.parse().ok()?, unesc(text)?);
+            }
+            ["fn", name, owner, trait_of, ret, start, end, b0, b1] => {
+                fns.push(FnDef {
+                    name: unesc(name)?,
+                    owner: unopt(owner)?,
+                    trait_of: unopt(trait_of)?,
+                    params: Vec::new(),
+                    param_names: Vec::new(),
+                    ret: unesc(ret)?,
+                    start_line: start.parse().ok()?,
+                    end_line: end.parse().ok()?,
+                    body: (b0.parse().ok()?, b1.parse().ok()?),
+                    calls: Vec::new(),
+                    matches: Vec::new(),
+                });
+                fn_sinks.push(Vec::new());
+                fn_effects.push(EffectSet::EMPTY);
+                fn_sites.push(Vec::new());
+                fn_allocs.push(Vec::new());
+                fn_growth.push(Vec::new());
+            }
+            ["P", ty, name] => {
+                let f = fns.last_mut()?;
+                f.params.push(unesc(ty)?);
+                f.param_names.push(unesc(name)?);
+            }
+            ["C", line, name, qual, method, recv_self, args, recv_type] => {
+                fns.last_mut()?.calls.push(Call {
+                    line: line.parse().ok()?,
+                    name: unesc(name)?,
+                    qualifier: unopt(qual)?,
+                    method: *method == "1",
+                    recv_self: *recv_self == "1",
+                    args: args.parse().ok()?,
+                    recv_type: unopt(recv_type)?,
+                });
+            }
+            ["B", bits] => {
+                if fn_effects.is_empty() {
+                    return None;
+                }
+                let i = fn_effects.len() - 1;
+                fn_effects[i] = EffectSet(bits.parse().ok()?);
+            }
+            ["S", kind, line, what] => {
+                fn_sinks.last_mut()?.push(Sink {
+                    kind: sink_from_tag(kind)?,
+                    line: line.parse().ok()?,
+                    what: unesc(what)?,
+                });
+            }
+            ["E", effect, line, what] => {
+                fn_sites.last_mut()?.push(EffectSite {
+                    effect: Effect::from_name(effect)?,
+                    line: line.parse().ok()?,
+                    what: unesc(what)?,
+                });
+            }
+            ["A", line, what] => {
+                fn_allocs.last_mut()?.push(crate::dataflow::AllocSite {
+                    line: line.parse().ok()?,
+                    what: unesc(what)?,
+                });
+            }
+            ["G", field, line, kind, what] => {
+                fn_growth.last_mut()?.push(GrowthSite {
+                    field: unesc(field)?,
+                    line: line.parse().ok()?,
+                    kind: GrowthKind::from_tag(kind)?,
+                    what: unesc(what)?,
+                });
+            }
+            _ => return None,
+        }
+    }
+
+    let parsed_ok = parsed_ok?;
+    Some(FileArtifacts {
+        scan: rules::FileScan {
+            path: path.to_string(),
+            scope: rules::scope_for(path),
+            raw,
+            waivers,
+            code: Vec::new(),
+            parsed: ParsedFile { fns, parsed_ok },
+        },
+        fn_sinks,
+        fn_effects,
+        fn_sites,
+        fn_allocs,
+        fn_growth,
+        fail_closed_allocs,
+        dataflow_findings,
+        discard_cands,
+        norm_lines,
+    })
+}
+
+/// The on-disk store. `prev` holds what the cache file contained; `next`
+/// accumulates this run's entries (hits carried over, misses re-encoded)
+/// so files that vanished from the tree age out on save.
+pub struct Store {
+    salt: u64,
+    prev: BTreeMap<String, (u64, Vec<String>)>,
+    next: BTreeMap<String, (u64, Vec<String>)>,
+}
+
+impl Store {
+    /// A store with no prior entries (cache disabled or cold).
+    pub fn empty(salt: u64) -> Store {
+        Store {
+            salt,
+            prev: BTreeMap::new(),
+            next: BTreeMap::new(),
+        }
+    }
+
+    /// Load a cache file. A missing file, bad header, salt mismatch, or
+    /// any structural damage yields an empty store (fail closed).
+    pub fn load(path: &Path, salt: u64) -> Store {
+        let empty = Store::empty(salt);
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return empty;
+        };
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return empty;
+        };
+        if header != format!("tamperlint-cache v{CACHE_VERSION} {salt:016x}") {
+            return empty;
+        }
+        let mut prev: BTreeMap<String, (u64, Vec<String>)> = BTreeMap::new();
+        let mut cur: Option<(String, u64, usize, Vec<String>)> = None;
+        for line in lines {
+            match &mut cur {
+                Some((_, _, want, records)) => {
+                    records.push(line.to_string());
+                    if records.len() == *want {
+                        let (p, h, _, r) = cur.take().unwrap();
+                        prev.insert(p, (h, r));
+                    }
+                }
+                None => {
+                    let fields: Vec<&str> = line.split('\t').collect();
+                    let ["file", p, h, n] = fields.as_slice() else {
+                        return empty;
+                    };
+                    let (Some(p), Ok(h), Ok(n)) =
+                        (unesc(p), u64::from_str_radix(h, 16), n.parse::<usize>())
+                    else {
+                        return empty;
+                    };
+                    if n == 0 {
+                        return empty; // every block has at least `ok`
+                    }
+                    cur = Some((p, h, n, Vec::new()));
+                }
+            }
+        }
+        if cur.is_some() {
+            return empty; // truncated final block
+        }
+        Store {
+            salt,
+            prev,
+            next: BTreeMap::new(),
+        }
+    }
+
+    /// Look up a file by (path, content hash). On a hit the decoded
+    /// artifacts are returned and the entry is carried into this run's
+    /// save set; a hash mismatch or decode failure is a miss.
+    pub fn take_hit(&mut self, path: &str, hash: u64) -> Option<FileArtifacts> {
+        let (stored_hash, records) = self.prev.get(path)?;
+        if *stored_hash != hash {
+            return None;
+        }
+        let art = decode(path, records)?;
+        self.next.insert(path.to_string(), (hash, records.clone()));
+        Some(art)
+    }
+
+    /// Record a freshly built file for this run's save set.
+    pub fn record(&mut self, path: &str, hash: u64, art: &FileArtifacts) {
+        self.next.insert(path.to_string(), (hash, encode(art)));
+    }
+
+    /// Write the store. Best-effort: an unwritable target is ignored (the
+    /// next run is simply cold).
+    pub fn save(&self, path: &Path) {
+        let mut out = format!("tamperlint-cache v{CACHE_VERSION} {:016x}\n", self.salt);
+        for (p, (hash, records)) in &self.next {
+            out.push_str(&format!(
+                "file\t{}\t{hash:016x}\t{}\n",
+                esc(p),
+                records.len()
+            ));
+            for r in records {
+                out.push_str(r);
+                out.push('\n');
+            }
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StageAcc;
+
+    const SRC: &str = "use std::time::Instant;\n\
+        // tamperlint: allow(ambient-clock) — test fixture\n\
+        pub fn parse_header(buf: &[u8]) -> u32 {\n\
+            let t = Instant::now();\n\
+            buf.len() as u32\n\
+        }\n";
+
+    fn sample() -> FileArtifacts {
+        let ctx = rules::ScanCtx::default();
+        let mut acc = StageAcc::default();
+        crate::build_artifacts(
+            "crates/analysis/src/sample.rs",
+            SRC,
+            rules::scope_for("crates/analysis/src/sample.rs"),
+            &ctx,
+            &mut acc,
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_artifacts() {
+        let art = sample();
+        let lines = encode(&art);
+        let back = decode(&art.scan.path, &lines).expect("decode");
+        assert_eq!(back.scan.parsed.parsed_ok, art.scan.parsed.parsed_ok);
+        assert_eq!(back.scan.raw.len(), art.scan.raw.len());
+        for (a, b) in art.scan.raw.iter().zip(&back.scan.raw) {
+            assert_eq!((a.rule, a.line, &a.message), (b.rule, b.line, &b.message));
+        }
+        assert_eq!(back.scan.waivers, art.scan.waivers);
+        assert_eq!(back.scan.parsed.fns.len(), art.scan.parsed.fns.len());
+        for (a, b) in art.scan.parsed.fns.iter().zip(&back.scan.parsed.fns) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.owner, b.owner);
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.calls.len(), b.calls.len());
+        }
+        assert_eq!(back.fn_effects.len(), art.fn_effects.len());
+        for (a, b) in art.fn_effects.iter().zip(&back.fn_effects) {
+            assert_eq!(a.0, b.0);
+        }
+        assert_eq!(back.norm_lines, art.norm_lines);
+        assert_eq!(back.dataflow_findings.len(), art.dataflow_findings.len());
+        // Cached artifacts drop the token stream by design.
+        assert!(back.scan.code.is_empty());
+    }
+
+    #[test]
+    fn corrupted_record_is_a_miss() {
+        let art = sample();
+        let mut lines = encode(&art);
+        let last = lines.len() - 1;
+        lines[last] = "Z\tgarbage".to_string();
+        assert!(decode(&art.scan.path, &lines).is_none());
+        // A bad number fails closed too.
+        let mut lines = encode(&art);
+        lines[0] = "ok\t1".to_string();
+        lines.push("N\tnot-a-number\ttext".to_string());
+        assert!(decode(&art.scan.path, &lines).is_none());
+    }
+
+    #[test]
+    fn store_hit_requires_matching_hash() {
+        let art = sample();
+        let mut store = Store::empty(7);
+        store.record(&art.scan.path, 42, &art);
+        // Simulate a reload: move next → prev.
+        let mut reloaded = Store::empty(7);
+        reloaded.prev = store.next.clone();
+        assert!(reloaded.take_hit(&art.scan.path, 41).is_none());
+        assert!(reloaded.take_hit(&art.scan.path, 42).is_some());
+        assert!(reloaded
+            .take_hit("crates/analysis/src/other.rs", 42)
+            .is_none());
+    }
+
+    #[test]
+    fn load_fails_closed_on_header_damage() {
+        let dir = std::env::temp_dir().join("tamperlint-cache-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache-header");
+        let art = sample();
+        let mut store = Store::empty(9);
+        store.record(&art.scan.path, 42, &art);
+        store.save(&path);
+        // Pristine reload sees the entry.
+        let mut ok = Store::load(&path, 9);
+        assert!(ok.take_hit(&art.scan.path, 42).is_some());
+        // Salt mismatch (registry or version drift) empties the store.
+        let mut bad_salt = Store::load(&path, 10);
+        assert!(bad_salt.take_hit(&art.scan.path, 42).is_none());
+        // A truncated file empties the store.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, truncated).unwrap();
+        let mut bad = Store::load(&path, 9);
+        assert!(bad.take_hit(&art.scan.path, 42).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in [
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "back\\slash",
+            "mix\t\\\n\r",
+        ] {
+            assert_eq!(unesc(&esc(s)).as_deref(), Some(s));
+        }
+        assert!(unesc("dangling\\").is_none());
+        assert!(unesc("bad\\q").is_none());
+    }
+}

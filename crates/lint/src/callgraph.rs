@@ -136,6 +136,15 @@ pub struct CallGraph {
     pub out: Vec<Vec<Edge>>,
     /// Incoming callers per function id, sorted.
     pub rin: Vec<Vec<usize>>,
+    /// Dropped workspace calls per function id: `(line, rendered call)`
+    /// for every call whose qualifier names a workspace type, module, or
+    /// crate and whose bare name exists in the symbol table, yet the
+    /// resolver produced no target. The effect engine treats these as
+    /// `Unknown` on the caller — a call that *looks* intra-workspace but
+    /// resolves to nothing could do anything, so it fails closed. Foreign
+    /// calls (`Vec::with_capacity`, `mem::take`) never land here: their
+    /// qualifiers match no workspace owner, stem, or crate.
+    pub dropped: Vec<Vec<(u32, String)>>,
 }
 
 impl CallGraph {
@@ -144,6 +153,22 @@ impl CallGraph {
         let n = sym.fns.len();
         let mut out: Vec<Vec<Edge>> = vec![Vec::new(); n];
         let mut rin: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dropped: Vec<Vec<(u32, String)>> = vec![Vec::new(); n];
+        // Qualifiers that denote something *inside* the workspace: impl
+        // owners, trait names, file stems, crate names (plus their
+        // `tamper_`-prefixed package forms).
+        let mut workspace_quals: BTreeSet<String> = BTreeSet::new();
+        for f in &sym.fns {
+            workspace_quals.insert(f.stem.clone());
+            workspace_quals.insert(f.krate.clone());
+            workspace_quals.insert(format!("tamper_{}", f.krate));
+            if let Some(o) = &f.def.owner {
+                workspace_quals.insert(o.clone());
+            }
+            if let Some(t) = &f.def.trait_of {
+                workspace_quals.insert(t.clone());
+            }
+        }
         for (i, f) in sym.fns.iter().enumerate() {
             for call in &f.def.calls {
                 let cands = sym.named(&call.name);
@@ -222,6 +247,21 @@ impl CallGraph {
                         }),
                     );
                 }
+                if targets.is_empty() && !cands.is_empty() {
+                    // The bare name exists in the workspace. If the call
+                    // was qualified into workspace territory and still
+                    // resolved to nothing, the resolver lost the edge —
+                    // record it so effect summaries can fail closed.
+                    let workspace_qualified = match &call.qualifier {
+                        Some(q) if q == "Self" => f.def.owner.is_some(),
+                        Some(q) => workspace_quals.contains(q.as_str()),
+                        None => false,
+                    };
+                    if workspace_qualified && !call.method {
+                        let q = call.qualifier.as_deref().unwrap_or("");
+                        dropped[i].push((call.line, format!("{q}::{}", call.name)));
+                    }
+                }
                 for t in targets {
                     if t != i {
                         out[i].push(Edge {
@@ -241,7 +281,7 @@ impl CallGraph {
             callers.sort_unstable();
             callers.dedup();
         }
-        CallGraph { out, rin }
+        CallGraph { out, rin, dropped }
     }
 
     /// Forward closure of `roots`, restricted to the `allowed` subgraph —

@@ -703,7 +703,7 @@ fn match_open(code: &[Tok], floor: usize, close: usize) -> usize {
 }
 
 /// One fresh-allocation site.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AllocSite {
     /// 1-based source line.
     pub line: u32,

@@ -8,15 +8,17 @@
 //! capture bytes into a crashed pipeline. tamperlint enforces these
 //! properties at the source level with its own lexer ([`lexer`]), a
 //! lightweight recursive-descent parser ([`ast`]), a workspace symbol
-//! table ([`symbols`]) and an intra-workspace call graph ([`callgraph`]):
-//! no rustc plugin, no network, no nightly.
+//! table ([`symbols`]), an intra-workspace call graph ([`callgraph`]) and
+//! a bottom-up interprocedural effect fixpoint ([`effects`]): no rustc
+//! plugin, no network, no nightly.
 //!
-//! Rule families (see [`rules`]):
+//! Rule families (see [`rules`]; `cargo xtask analyze --explain <rule>`
+//! prints the full paragraph for any of them):
 //!
 //! | rule           | scope                               | forbids |
 //! |----------------|-------------------------------------|---------|
 //! | `map-iter`     | `crates/analysis`, `crates/core`, `crates/lint` | `HashMap`/`HashSet` |
-//! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` — textual *or reached transitively through the call graph* |
+//! | `ambient-clock`| all pipeline crates                 | `SystemTime::now`, `Instant::now` — textual *or reached transitively through the effect summaries* |
 //! | `clock-containment` | all pipeline crates (obs exempt) | any other `Instant`/`SystemTime` mention; clocks only via `tamper-obs` |
 //! | `ambient-rng`  | all pipeline crates                 | `thread_rng`, `from_entropy`, `OsRng`, `rand::random` — textual or transitive |
 //! | `thread-containment` | all pipeline crates (engine exempt) | `crossbeam`, `thread::spawn`, `thread::scope` — textual or transitive |
@@ -28,24 +30,23 @@
 //! | `hot-path-alloc` | all pipeline crates             | fresh allocations ([`dataflow::alloc_sites`]) on functions call-graph-reachable from the [`HOT_ROOTS`] registry |
 //! | `untrusted-len-alloc` | untrusted-reachable parse surface | wire-derived lengths flowing into `with_capacity`/`vec![_; n]`/index sinks unclamped |
 //! | `cast-truncation` | `wire/*`, `core/*`             | raw `as` narrowing of seq/ack/len/off-named values |
+//! | `purity-audit` | all pipeline crates                 | any non-empty determinism-relevant effect set on a [`PURE_ROOTS`] entry |
+//! | `unbounded-growth` | all pipeline crates             | insertions into long-lived collection fields with no eviction/clear/cap on the same field |
+//! | `root-registry` | registries in this crate            | `HOT_ROOTS`/`PURE_ROOTS` entries that resolve to no function |
 //! | `taxonomy`     | signature.rs / golden / DESIGN.md   | drift between the three |
 //!
-//! The pipeline runs in two phases. Phase 1 scans each file alone
-//! (waivers, token-window rules, AST rules). Phase 2 builds the symbol
-//! table and call graph, then (a) adds *transitive* containment findings —
-//! a pipeline function whose call chain reaches `Instant::now` two crates
-//! away is flagged at its call site, with the chain in the message; (b)
-//! runs the discarded-wire-error rule against the workspace-wide
-//! return-type table; (c) builds per-function use-def chains ([`dataflow`])
-//! and runs the three dataflow rule families — `untrusted-len-alloc` and
-//! `cast-truncation` per file, `hot-path-alloc` over the forward closure
-//! of the [`HOT_ROOTS`] registry with the discovery chain in the message;
-//! (d) restricts `panic`/`index` findings to functions
-//! reachable from untrusted-input roots (parse/read/run/…-named functions
-//! or those taking `&[u8]`/`Reader` parameters), so emit-side code on the
-//! parse surface no longer needs waivers. Files the parser loses sync on
-//! fail closed: every finding in them is kept, and the dataflow rules
-//! treat every site as live and every value as unsanitized.
+//! The pipeline runs in five stages: lex, AST + symbols, call graph,
+//! per-function dataflow, and the interprocedural effect fixpoint. The
+//! first four are *per-file* and their artifacts are cached
+//! content-hash-keyed ([`cache`]) so a warm `cargo xtask analyze` touches
+//! only changed files; the fifpoint and the cross-file rules re-run every
+//! time (they are cheap: one SCC condensation and one pass in
+//! reverse-topological order). Per-function effect summaries power the
+//! containment rules (membership is a bitset test; witness chains are
+//! materialized on demand), the purity audit over [`PURE_ROOTS`], and the
+//! unbounded-growth rule. Files the parser loses sync on fail closed:
+//! every finding in them is kept, their functions carry the `Unknown`
+//! effect, and the dataflow rules treat every site as live.
 //!
 //! A finding is waived in source with
 //! `// tamperlint: allow(<rule>) — <reason>`; unused or malformed waivers
@@ -56,8 +57,10 @@
 
 pub mod ast;
 pub mod baseline;
+pub mod cache;
 pub mod callgraph;
 pub mod dataflow;
+pub mod effects;
 pub mod fingerprint;
 pub mod lexer;
 pub mod rules;
@@ -68,6 +71,7 @@ pub use rules::{parse_waiver, scope_for, FileLint, Finding, Scope, RULES};
 
 use crate::ast::ParsedFile;
 use crate::callgraph::{CallGraph, SinkKind};
+use crate::effects::{Effect, EffectSet, EffectSite};
 use crate::rules::{FileScan, ScanCtx};
 use crate::symbols::SymbolTable;
 use std::collections::{BTreeMap, BTreeSet};
@@ -79,14 +83,30 @@ use std::time::Instant;
 /// `impl Trait for Type` block implements. Everything the call graph can
 /// reach from these runs once per packet or per flow at line rate, so
 /// `hot-path-alloc` bans fresh allocations on the whole closure.
-pub const HOT_ROOTS: [(&str, &str); 7] = [
+pub const HOT_ROOTS: [(&str, &str); 6] = [
     ("FlowMachine", "process"),
     ("FlowMachine", "analyze"),
     ("FlowSource", "fill"),
-    ("SourceShard", "fill"),
     ("SourceShard", "absorb"),
     ("EndpointMachine", "process"),
     ("BatchClassifier", "classify_batch"),
+];
+
+/// The declared pure roots of the classify→aggregate→report path:
+/// `(owner, fn)` pairs (free functions match by file stem) whose
+/// *transitive* effect set must be empty under
+/// [`EffectSet::purity_mask`] — no clock, rng, thread, unordered-map
+/// iteration, IO, global mutation, or `Unknown` anywhere in the closure.
+/// This is the static proof behind the engine-determinism byte-identity
+/// tests: the same inputs must produce the same bytes because nothing on
+/// the path can observe anything else.
+pub const PURE_ROOTS: [(&str, &str); 6] = [
+    ("FlowMachine", "analyze"),
+    ("PartialAggregate", "record"),
+    ("PartialAggregate", "merge"),
+    ("Collector", "observe"),
+    ("Collector", "merge"),
+    ("report", "full_report"),
 ];
 
 /// The outcome of a whole-repo analysis.
@@ -100,9 +120,13 @@ pub struct Analysis {
     pub files_scanned: usize,
     /// Wall-clock runtime of the analysis.
     pub runtime_ms: u64,
-    /// Per-stage dataflow timings, microseconds (build + one entry per
-    /// dataflow rule family).
+    /// Per-stage timings, microseconds (dataflow stages plus the effect
+    /// fixpoint).
     pub rule_timings: Vec<(&'static str, u64)>,
+    /// Files whose per-file artifacts came from the incremental cache.
+    pub cache_hits: usize,
+    /// Files whose artifacts were (re)computed this run.
+    pub cache_misses: usize,
 }
 
 impl Analysis {
@@ -152,6 +176,12 @@ impl Analysis {
             self.waived.len(),
             self.runtime_ms
         ));
+        if self.cache_hits + self.cache_misses > 0 {
+            out.push_str(&format!(
+                "  cache: {} hit(s), {} miss(es)\n",
+                self.cache_hits, self.cache_misses
+            ));
+        }
         for (rule, fired, waived) in self.rule_counts() {
             if fired > 0 || waived > 0 {
                 out.push_str(&format!("  {rule}: {fired} finding(s), {waived} waived\n"));
@@ -163,7 +193,7 @@ impl Analysis {
                 .iter()
                 .map(|(stage, us)| format!("{stage} {us}µs"))
                 .collect();
-            out.push_str(&format!("  dataflow: {}\n", parts.join(", ")));
+            out.push_str(&format!("  stages: {}\n", parts.join(", ")));
         }
         out.push_str(if self.ok() {
             "tamperlint: PASS\n"
@@ -176,7 +206,9 @@ impl Analysis {
     /// SARIF-shaped machine-readable report (hand-rolled JSON; the
     /// workspace is offline and vendors no JSON crate). One run, one
     /// result per finding, fingerprints under `tamperlint/v1`, and the
-    /// gate counters in the run's `properties` bag.
+    /// gate counters — including per-stage timings (`effect-fixpoint`
+    /// alongside the dataflow stages) and the incremental-cache hit/miss
+    /// counters — in the run's `properties` bag.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"version\":\"2.1.0\",");
         out.push_str("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
@@ -210,6 +242,10 @@ impl Analysis {
         out.push_str(&format!("\"runtime_ms\":{},", self.runtime_ms));
         out.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
         out.push_str(&format!("\"waived\":{},", self.waived.len()));
+        out.push_str(&format!(
+            "\"cache\":{{\"hits\":{},\"misses\":{}}},",
+            self.cache_hits, self.cache_misses
+        ));
         out.push_str("\"dataflow_timing_us\":{");
         let timings: Vec<String> = self
             .rule_timings
@@ -283,75 +319,387 @@ fn scan_ctx(files: &[(&str, &str)]) -> ScanCtx {
     ctx
 }
 
-/// Phase 2: the cross-file analyses over per-file scans, then waiver
-/// application. Returns one [`FileLint`] per scan, in order, plus the
-/// per-stage dataflow timings (microseconds).
-fn run_pipeline(scans: &mut [FileScan]) -> (Vec<FileLint>, Vec<(&'static str, u64)>) {
+/// Is a sink at this path effect-transparent? tamper-obs owns the
+/// clock/rng reads, `capture::engine` owns the thread topology; sinks in
+/// the sanctioned home neither seed containment taint nor count as
+/// direct effects.
+fn sanctioned_sink(path: &str, kind: SinkKind) -> bool {
+    match kind {
+        SinkKind::Clock | SinkKind::Rng => path.starts_with("crates/obs/"),
+        SinkKind::Thread => path == "crates/capture/src/engine.rs",
+    }
+}
+
+/// Accumulated per-stage build time, microseconds. Cached files
+/// contribute nothing (their stages never run), so a warm run's stage
+/// timings reflect only the changed files.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageAcc {
+    /// Use-def chain construction.
+    pub dataflow_build: u64,
+    /// untrusted-len-alloc extraction.
+    pub untrusted_len: u64,
+    /// cast-truncation extraction.
+    pub cast: u64,
+    /// Allocation-site extraction (the graph walk is timed separately
+    /// and added in the pipeline).
+    pub alloc: u64,
+    /// Direct-effect and growth-site extraction (the fixpoint itself is
+    /// timed in the pipeline).
+    pub effect: u64,
+}
+
+/// Everything derived from one file in isolation — the unit the
+/// incremental cache stores. Phase 2 (symbols, call graph, effect
+/// fixpoint, cross-file rules) consumes artifacts only, never the source
+/// text, so a cache hit skips lexing, parsing, and every per-file rule.
+/// `scan.code` is empty for artifacts restored from the cache; the
+/// pre-normalized `norm_lines` map stands in for it at fingerprint time.
+pub struct FileArtifacts {
+    /// The per-file scan: raw findings, waivers, tokens, parsed items.
+    pub scan: FileScan,
+    /// Ambient sinks per function (aligned with `scan.parsed.fns`).
+    pub fn_sinks: Vec<Vec<callgraph::Sink>>,
+    /// Direct effect set per function.
+    pub fn_effects: Vec<EffectSet>,
+    /// Direct effect sites per function, for witness messages.
+    pub fn_sites: Vec<Vec<EffectSite>>,
+    /// Allocation sites per function (hot-path scope only).
+    pub fn_allocs: Vec<Vec<dataflow::AllocSite>>,
+    /// Long-lived-collection operations per function.
+    pub fn_growth: Vec<Vec<effects::GrowthSite>>,
+    /// Whole-file allocation sites for unparsed hot-scope files (fail
+    /// closed).
+    pub fail_closed_allocs: Vec<dataflow::AllocSite>,
+    /// Per-file dataflow findings (untrusted-len-alloc, cast-truncation).
+    pub dataflow_findings: Vec<Finding>,
+    /// Discarded-result candidates, filtered against the workspace
+    /// wire-error set in phase 2.
+    pub discard_cands: Vec<rules::DiscardCand>,
+    /// Normalized text for every line a finding could land on, so cached
+    /// (token-free) artifacts still fingerprint identically.
+    pub norm_lines: BTreeMap<u32, String>,
+}
+
+/// Run every per-file stage over one source file.
+pub fn build_artifacts(
+    path: &str,
+    src: &str,
+    scope: Scope,
+    ctx: &ScanCtx,
+    acc: &mut StageAcc,
+) -> FileArtifacts {
+    let scan = rules::scan_file(path, src, scope, ctx);
+    let nfns = scan.parsed.fns.len();
+
+    // --- Dataflow: per-function use-def chains. ---
+    let t = Instant::now();
+    let wanted = scope.hot_alloc || scope.taint_len || scope.cast_trunc;
+    let flows: Vec<dataflow::FnFlow> = if wanted && scan.parsed.parsed_ok {
+        scan.parsed
+            .fns
+            .iter()
+            .map(|f| dataflow::flow_of(&scan.code, f))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    acc.dataflow_build += t.elapsed().as_micros() as u64;
+
+    let mut dataflow_findings: Vec<Finding> = Vec::new();
+
+    // untrusted-len-alloc: wire-derived lengths must be clamped before
+    // sizing an allocation or indexing. Unparsed files fail closed.
+    let t = Instant::now();
+    if scope.taint_len {
+        if scan.parsed.parsed_ok {
+            for (local, f) in scan.parsed.fns.iter().enumerate() {
+                for ff in dataflow::untrusted_len_findings(&scan.code, f, &flows[local]) {
+                    dataflow_findings.push(Finding::new(
+                        path,
+                        ff.line,
+                        "untrusted-len-alloc",
+                        ff.message,
+                    ));
+                }
+            }
+        } else {
+            for ff in dataflow::untrusted_len_fail_closed(&scan.code) {
+                dataflow_findings.push(Finding::new(
+                    path,
+                    ff.line,
+                    "untrusted-len-alloc",
+                    ff.message,
+                ));
+            }
+        }
+    }
+    acc.untrusted_len += t.elapsed().as_micros() as u64;
+
+    // cast-truncation: raw `as` narrowing on seq/ack/len-named values.
+    let t = Instant::now();
+    if scope.cast_trunc {
+        if scan.parsed.parsed_ok {
+            for (local, f) in scan.parsed.fns.iter().enumerate() {
+                let (b0, b1) = f.body;
+                for ff in dataflow::cast_findings(&scan.code, b0, b1, Some(&flows[local])) {
+                    dataflow_findings.push(Finding::new(
+                        path,
+                        ff.line,
+                        "cast-truncation",
+                        ff.message,
+                    ));
+                }
+            }
+        } else {
+            for ff in dataflow::cast_findings(&scan.code, 0, scan.code.len(), None) {
+                dataflow_findings.push(Finding::new(path, ff.line, "cast-truncation", ff.message));
+            }
+        }
+    }
+    acc.cast += t.elapsed().as_micros() as u64;
+
+    // Allocation sites, for hot-path-alloc and the Allocates effect.
+    let t = Instant::now();
+    let (fn_allocs, fail_closed_allocs) = if scope.hot_alloc {
+        if scan.parsed.parsed_ok {
+            (
+                scan.parsed
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .map(|(local, f)| {
+                        let (b0, b1) = f.body;
+                        dataflow::alloc_sites(&scan.code, b0, b1, flows.get(local))
+                    })
+                    .collect(),
+                Vec::new(),
+            )
+        } else {
+            (
+                vec![Vec::new(); nfns],
+                dataflow::alloc_sites(&scan.code, 0, scan.code.len(), None),
+            )
+        }
+    } else {
+        (vec![Vec::new(); nfns], Vec::new())
+    };
+    acc.alloc += t.elapsed().as_micros() as u64;
+
+    // Direct effects (sinks + panics/IO/global/map idents + allocations)
+    // and growth sites, per function.
+    let t = Instant::now();
+    let mut fn_sinks: Vec<Vec<callgraph::Sink>> = Vec::with_capacity(nfns);
+    let mut fn_effects: Vec<EffectSet> = Vec::with_capacity(nfns);
+    let mut fn_sites: Vec<Vec<EffectSite>> = Vec::with_capacity(nfns);
+    let mut fn_growth: Vec<Vec<effects::GrowthSite>> = Vec::with_capacity(nfns);
+    for (local, f) in scan.parsed.fns.iter().enumerate() {
+        let (b0, b1) = f.body;
+        let sinks = callgraph::find_sinks(&scan.code, b0, b1);
+        let mut eff = EffectSet::EMPTY;
+        let mut sites: Vec<EffectSite> = Vec::new();
+        for s in &sinks {
+            if !sanctioned_sink(path, s.kind) {
+                let e = match s.kind {
+                    SinkKind::Clock => Effect::ReadsClock,
+                    SinkKind::Rng => Effect::ReadsRng,
+                    SinkKind::Thread => Effect::SpawnsThread,
+                };
+                eff.insert(e);
+                sites.push(EffectSite {
+                    effect: e,
+                    line: s.line,
+                    what: s.what.clone(),
+                });
+            }
+        }
+        if let Some(site) = fn_allocs[local].first() {
+            eff.insert(Effect::Allocates);
+            sites.push(EffectSite {
+                effect: Effect::Allocates,
+                line: site.line,
+                what: site.what.clone(),
+            });
+        }
+        for s in effects::direct_effect_sites(&scan.code, b0, b1) {
+            eff.insert(s.effect);
+            sites.push(s);
+        }
+        fn_growth.push(effects::growth_sites(&scan.code, b0, b1));
+        fn_sinks.push(sinks);
+        fn_effects.push(eff);
+        fn_sites.push(sites);
+    }
+    acc.effect += t.elapsed().as_micros() as u64;
+
+    let discard_cands = if scope.discard {
+        rules::discard_candidates(&scan.code)
+    } else {
+        Vec::new()
+    };
+
+    // Pre-normalize every line a finding could anchor to, so a cached
+    // artifact (tokens dropped) fingerprints byte-identically.
+    let mut lines: BTreeSet<u32> = BTreeSet::new();
+    lines.extend(scan.raw.iter().map(|f| f.line));
+    lines.extend(dataflow_findings.iter().map(|f| f.line));
+    lines.extend(scan.waivers.iter().map(|(w, _)| w.line));
+    for f in &scan.parsed.fns {
+        lines.insert(f.start_line);
+        lines.extend(f.calls.iter().map(|c| c.line));
+    }
+    for v in &fn_sinks {
+        lines.extend(v.iter().map(|s| s.line));
+    }
+    for v in &fn_sites {
+        lines.extend(v.iter().map(|s| s.line));
+    }
+    for v in &fn_allocs {
+        lines.extend(v.iter().map(|s| s.line));
+    }
+    for v in &fn_growth {
+        lines.extend(v.iter().map(|s| s.line));
+    }
+    lines.extend(fail_closed_allocs.iter().map(|s| s.line));
+    lines.extend(discard_cands.iter().map(|c| c.line));
+    let norm_lines: BTreeMap<u32, String> = lines
+        .into_iter()
+        .filter_map(|l| fingerprint::normalize_line(&scan.code, l).map(|t| (l, t)))
+        .collect();
+
+    FileArtifacts {
+        scan,
+        fn_sinks,
+        fn_effects,
+        fn_sites,
+        fn_allocs,
+        fn_growth,
+        fail_closed_allocs,
+        dataflow_findings,
+        discard_cands,
+        norm_lines,
+    }
+}
+
+/// Phase 2: the cross-file analyses over per-file artifacts, then waiver
+/// application. Returns one [`FileLint`] per artifact in order, the
+/// per-stage timings (microseconds), and — when `check_registry` is set
+/// (the whole-repo entry point) — any root-registry drift findings.
+fn run_pipeline(
+    arts: &mut [FileArtifacts],
+    acc: StageAcc,
+    check_registry: bool,
+) -> (Vec<FileLint>, Vec<(&'static str, u64)>, Vec<Finding>) {
     // The linter's own sources are scanned (map-iter self-lint) but stay
     // out of the graph: the lint crate measures wall-clock by design and
     // must not become a phantom ambient sink for its callers.
-    let graph_files: Vec<(String, ParsedFile)> = scans
+    let graph_files: Vec<(String, ParsedFile)> = arts
         .iter()
-        .filter(|s| !s.path.starts_with("crates/lint/"))
-        .map(|s| (s.path.clone(), s.parsed.clone()))
+        .filter(|a| !a.scan.path.starts_with("crates/lint/"))
+        .map(|a| (a.scan.path.clone(), a.scan.parsed.clone()))
         .collect();
     let sym = SymbolTable::build(&graph_files);
     let graph = CallGraph::build(&sym);
-    let scan_idx: BTreeMap<String, usize> = scans
+    let scan_idx: BTreeMap<String, usize> = arts
         .iter()
         .enumerate()
-        .map(|(i, s)| (s.path.clone(), i))
+        .map(|(i, a)| (a.scan.path.clone(), i))
         .collect();
 
-    // --- Ambient sinks per function. ---
-    let mut fn_sinks: Vec<Vec<callgraph::Sink>> = vec![Vec::new(); sym.fns.len()];
-    let mut seeds: BTreeMap<SinkKind, BTreeSet<usize>> = BTreeMap::new();
+    // --- Gather per-function facts into symbol-table order. ---
+    let n = sym.fns.len();
+    let mut direct: Vec<EffectSet> = vec![EffectSet::EMPTY; n];
+    let mut sites: Vec<Vec<EffectSite>> = vec![Vec::new(); n];
+    let mut fn_sinks: Vec<Vec<callgraph::Sink>> = vec![Vec::new(); n];
+    let mut fn_growth: Vec<Vec<effects::GrowthSite>> = vec![Vec::new(); n];
+    let mut fn_home: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
     for (path, _) in &graph_files {
-        let scan = &scans[scan_idx[path.as_str()]];
+        let si = scan_idx[path.as_str()];
+        let a = &arts[si];
         for (local, id) in sym.file_fns(path).iter().enumerate() {
-            let (b0, b1) = scan.parsed.fns[local].body;
-            let sinks = callgraph::find_sinks(&scan.code, b0, b1);
-            for s in &sinks {
-                // Sanctioned homes do not taint: tamper-obs owns the
-                // clock/rng reads, capture::engine owns the thread
-                // topology.
-                let sanctioned = match s.kind {
-                    SinkKind::Clock | SinkKind::Rng => path.starts_with("crates/obs/"),
-                    SinkKind::Thread => path == "crates/capture/src/engine.rs",
-                };
-                if !sanctioned {
-                    seeds.entry(s.kind).or_default().insert(*id);
-                }
+            fn_home.insert(*id, (si, local));
+            direct[*id] = a.fn_effects[local];
+            sites[*id] = a.fn_sites[local].clone();
+            fn_sinks[*id] = a.fn_sinks[local].clone();
+            fn_growth[*id] = a.fn_growth[local].clone();
+            if !a.scan.parsed.parsed_ok {
+                // Fail closed: a body in a lost-sync file could do
+                // anything.
+                direct[*id].insert(Effect::Unknown);
+                sites[*id].push(EffectSite {
+                    effect: Effect::Unknown,
+                    line: a.scan.parsed.fns[local].start_line,
+                    what: "body in a file the parser lost sync on".to_string(),
+                });
             }
-            fn_sinks[*id] = sinks;
         }
     }
 
-    // --- Transitive containment findings. ---
+    // --- The interprocedural effect fixpoint. ---
+    let t = Instant::now();
+    for (fid, dropped) in graph.dropped.iter().enumerate() {
+        for (line, call) in dropped {
+            // Fail closed: a workspace-qualified call the resolver lost
+            // could reach anything.
+            direct[fid].insert(Effect::Unknown);
+            sites[fid].push(EffectSite {
+                effect: Effect::Unknown,
+                line: *line,
+                what: format!("unresolved workspace call `{call}`"),
+            });
+        }
+    }
+    let sums = effects::Summaries::compute(&graph, direct, sites);
+    let fixpoint_us = acc.effect + t.elapsed().as_micros() as u64;
+
+    // --- Transitive containment findings, as summary queries. ---
+    // Membership (does this fn reach an unsanctioned sink?) is a bitset
+    // test on the totals; the caller-ward next-hop map is materialized
+    // only for kinds that actually have hits, purely to render the chain.
     let mut extra: Vec<(usize, Finding)> = Vec::new();
-    for (&kind, kind_seeds) in &seeds {
-        let taint = graph.taint(kind_seeds);
-        for (&fid, hop) in &taint {
+    for (kind, effect) in [
+        (SinkKind::Clock, Effect::ReadsClock),
+        (SinkKind::Rng, Effect::ReadsRng),
+        (SinkKind::Thread, Effect::SpawnsThread),
+    ] {
+        let hits: Vec<usize> = (0..n)
+            .filter(|&fid| {
+                if !sums.total[fid].contains(effect) || sums.direct[fid].contains(effect) {
+                    return false;
+                }
+                let fsym = &sym.fns[fid];
+                let Some(&si) = scan_idx.get(fsym.file.as_str()) else {
+                    return false;
+                };
+                let scope = arts[si].scan.scope;
+                let applies = match kind {
+                    SinkKind::Clock | SinkKind::Rng => scope.ambient,
+                    SinkKind::Thread => scope.thread_containment,
+                };
+                // A function with its own direct sink already carries the
+                // textual finding; don't double-report it transitively.
+                applies && !fn_sinks[fid].iter().any(|s| s.kind == kind)
+            })
+            .collect();
+        if hits.is_empty() {
+            continue;
+        }
+        let seeds: BTreeSet<usize> = (0..n)
+            .filter(|&fid| sums.direct[fid].contains(effect))
+            .collect();
+        let taint = graph.taint(&seeds);
+        for fid in hits {
             let fsym = &sym.fns[fid];
-            let Some(&si) = scan_idx.get(fsym.file.as_str()) else {
+            let si = scan_idx[fsym.file.as_str()];
+            let Some(hop) = taint.get(&fid) else {
                 continue;
             };
-            let scope = scans[si].scope;
-            let applies = match kind {
-                SinkKind::Clock | SinkKind::Rng => scope.ambient,
-                SinkKind::Thread => scope.thread_containment,
-            };
-            // A function with its own direct sink already carries the
-            // textual finding; don't double-report it transitively.
-            if !applies || fn_sinks[fid].iter().any(|s| s.kind == kind) {
-                continue;
-            }
             // Follow the hop chain down to the sink for the message.
             let mut chain: Vec<String> = Vec::new();
             let mut cur = hop.callee;
             loop {
                 chain.push(sym.fns[cur].def.name.clone());
-                if kind_seeds.contains(&cur) {
+                if seeds.contains(&cur) {
                     break;
                 }
                 match taint.get(&cur) {
@@ -381,177 +729,99 @@ fn run_pipeline(scans: &mut [FileScan]) -> (Vec<FileLint>, Vec<(&'static str, u6
         }
     }
     for (si, f) in extra {
-        scans[si].raw.push(f);
+        arts[si].scan.raw.push(f);
     }
 
     // --- Discarded-wire-error over the workspace return-type table. ---
     let wire_fns = sym.wire_error_fns();
-    for scan in scans.iter_mut() {
-        if scan.scope.discard {
-            scan.raw
-                .extend(rules::discard_findings(&scan.path, &scan.code, &wire_fns));
+    for a in arts.iter_mut() {
+        if a.scan.scope.discard {
+            let extra = rules::discard_filter(&a.scan.path, &a.discard_cands, &wire_fns);
+            a.scan.raw.extend(extra);
         }
     }
 
-    // --- Dataflow: per-function use-def chains, then the three rule
-    // families built on them. Unparsed files fail closed inside each
-    // rule's whole-file variant.
-    let mut timings: Vec<(&'static str, u64)> = Vec::new();
-    let t = Instant::now();
-    let flows: Vec<Vec<dataflow::FnFlow>> = scans
-        .iter()
-        .map(|s| {
-            let wanted = s.scope.hot_alloc || s.scope.taint_len || s.scope.cast_trunc;
-            if wanted && s.parsed.parsed_ok {
-                s.parsed
-                    .fns
-                    .iter()
-                    .map(|f| dataflow::flow_of(&s.code, f))
-                    .collect()
-            } else {
-                Vec::new()
-            }
-        })
-        .collect();
-    timings.push(("dataflow-build", t.elapsed().as_micros() as u64));
-
-    // untrusted-len-alloc: wire-derived lengths must be clamped before
-    // sizing an allocation or indexing.
-    let t = Instant::now();
-    let mut extra: Vec<(usize, Finding)> = Vec::new();
-    for (si, scan) in scans.iter().enumerate() {
-        if !scan.scope.taint_len {
-            continue;
-        }
-        if scan.parsed.parsed_ok {
-            for (local, f) in scan.parsed.fns.iter().enumerate() {
-                for ff in dataflow::untrusted_len_findings(&scan.code, f, &flows[si][local]) {
-                    extra.push((
-                        si,
-                        Finding::new(&scan.path, ff.line, "untrusted-len-alloc", ff.message),
-                    ));
-                }
-            }
-        } else {
-            for ff in dataflow::untrusted_len_fail_closed(&scan.code) {
-                extra.push((
-                    si,
-                    Finding::new(&scan.path, ff.line, "untrusted-len-alloc", ff.message),
-                ));
-            }
-        }
+    // --- Per-file dataflow findings (computed at artifact build). ---
+    for a in arts.iter_mut() {
+        let extra = a.dataflow_findings.clone();
+        a.scan.raw.extend(extra);
     }
-    for (si, f) in extra {
-        scans[si].raw.push(f);
-    }
-    timings.push(("untrusted-len-alloc", t.elapsed().as_micros() as u64));
-
-    // cast-truncation: raw `as` narrowing on seq/ack/len-named values.
-    let t = Instant::now();
-    let mut extra: Vec<(usize, Finding)> = Vec::new();
-    for (si, scan) in scans.iter().enumerate() {
-        if !scan.scope.cast_trunc {
-            continue;
-        }
-        if scan.parsed.parsed_ok {
-            for (local, f) in scan.parsed.fns.iter().enumerate() {
-                let (b0, b1) = f.body;
-                for ff in dataflow::cast_findings(&scan.code, b0, b1, Some(&flows[si][local])) {
-                    extra.push((
-                        si,
-                        Finding::new(&scan.path, ff.line, "cast-truncation", ff.message),
-                    ));
-                }
-            }
-        } else {
-            for ff in dataflow::cast_findings(&scan.code, 0, scan.code.len(), None) {
-                extra.push((
-                    si,
-                    Finding::new(&scan.path, ff.line, "cast-truncation", ff.message),
-                ));
-            }
-        }
-    }
-    for (si, f) in extra {
-        scans[si].raw.push(f);
-    }
-    timings.push(("cast-truncation", t.elapsed().as_micros() as u64));
 
     // hot-path-alloc: fresh allocations on the forward closure of the
     // HOT_ROOTS registry, with the BFS discovery chain in the message.
+    // The summaries gate the walk: if no hot root's total carries
+    // Allocates, no reachable function has a site and the walk is skipped.
     let t = Instant::now();
-    let mut fn_home: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
     let mut hot_fns: BTreeSet<usize> = BTreeSet::new();
-    let mut roots: Vec<usize> = Vec::new();
-    for (path, _) in &graph_files {
-        let si = scan_idx[path.as_str()];
-        for (local, id) in sym.file_fns(path).iter().enumerate() {
-            fn_home.insert(*id, (si, local));
-            if scans[si].scope.hot_alloc {
-                hot_fns.insert(*id);
-            }
+    for (&id, &(si, _)) in &fn_home {
+        if arts[si].scan.scope.hot_alloc {
+            hot_fns.insert(id);
         }
     }
-    for &id in &hot_fns {
-        let d = &sym.fns[id].def;
-        let is_root = HOT_ROOTS.iter().any(|(owner, name)| {
-            d.name == *name
-                && (d.owner.as_deref() == Some(*owner) || d.trait_of.as_deref() == Some(*owner))
-        });
-        if is_root {
-            roots.push(id);
-        }
-    }
-    let tree = graph.reachable_with_parents(roots.iter().copied(), &hot_fns);
-    let label = |id: usize| {
-        let d = &sym.fns[id].def;
-        match &d.owner {
-            Some(o) => format!("{o}::{}", d.name),
-            None => format!("{}()", d.name),
-        }
-    };
+    let hot_roots: Vec<usize> = hot_fns
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let d = &sym.fns[id].def;
+            HOT_ROOTS.iter().any(|(owner, name)| {
+                d.name == *name
+                    && (d.owner.as_deref() == Some(*owner) || d.trait_of.as_deref() == Some(*owner))
+            })
+        })
+        .collect();
     let mut extra: Vec<(usize, Finding)> = Vec::new();
-    for &fid in tree.keys() {
-        let (si, local) = fn_home[&fid];
-        let scan = &scans[si];
-        if !scan.parsed.parsed_ok {
-            continue; // handled by the whole-file fail-closed pass below
-        }
-        let (b0, b1) = scan.parsed.fns[local].body;
-        let flow = flows[si].get(local);
-        for site in dataflow::alloc_sites(&scan.code, b0, b1, flow) {
-            let mut chain = vec![label(fid)];
-            let mut cur = fid;
-            while let Some(Some(parent)) = tree.get(&cur) {
-                cur = *parent;
-                chain.push(label(cur));
+    if hot_roots
+        .iter()
+        .any(|&r| sums.total[r].contains(Effect::Allocates))
+    {
+        let tree = graph.reachable_with_parents(hot_roots.iter().copied(), &hot_fns);
+        let label = |id: usize| {
+            let d = &sym.fns[id].def;
+            match &d.owner {
+                Some(o) => format!("{o}::{}", d.name),
+                None => format!("{}()", d.name),
             }
-            chain.reverse();
-            let message = if chain.len() == 1 {
-                format!("fresh allocation {} in hot root {}", site.what, chain[0])
-            } else {
-                format!(
-                    "fresh allocation {} on a hot path: reached from {} via {}",
-                    site.what,
-                    chain[0],
-                    chain[1..].join(" → ")
-                )
-            };
-            extra.push((
-                si,
-                Finding::new(&scan.path, site.line, "hot-path-alloc", message),
-            ));
+        };
+        for &fid in tree.keys() {
+            let (si, local) = fn_home[&fid];
+            let a = &arts[si];
+            if !a.scan.parsed.parsed_ok {
+                continue; // handled by the whole-file fail-closed pass below
+            }
+            for site in &a.fn_allocs[local] {
+                let mut chain = vec![label(fid)];
+                let mut cur = fid;
+                while let Some(Some(parent)) = tree.get(&cur) {
+                    cur = *parent;
+                    chain.push(label(cur));
+                }
+                chain.reverse();
+                let message = if chain.len() == 1 {
+                    format!("fresh allocation {} in hot root {}", site.what, chain[0])
+                } else {
+                    format!(
+                        "fresh allocation {} on a hot path: reached from {} via {}",
+                        site.what,
+                        chain[0],
+                        chain[1..].join(" → ")
+                    )
+                };
+                extra.push((
+                    si,
+                    Finding::new(&a.scan.path, site.line, "hot-path-alloc", message),
+                ));
+            }
         }
     }
     // Fail closed: a hot-scope file the parser lost sync on could hide
     // hot-reachable functions, so every allocation site in it is flagged.
-    for (si, scan) in scans.iter().enumerate() {
-        if scan.scope.hot_alloc && !scan.parsed.parsed_ok {
-            for site in dataflow::alloc_sites(&scan.code, 0, scan.code.len(), None) {
+    for (si, a) in arts.iter().enumerate() {
+        if a.scan.scope.hot_alloc && !a.scan.parsed.parsed_ok {
+            for site in &a.fail_closed_allocs {
                 extra.push((
                     si,
                     Finding::new(
-                        &scan.path,
+                        &a.scan.path,
                         site.line,
                         "hot-path-alloc",
                         format!(
@@ -564,14 +834,54 @@ fn run_pipeline(scans: &mut [FileScan]) -> (Vec<FileLint>, Vec<(&'static str, u6
         }
     }
     for (si, f) in extra {
-        scans[si].raw.push(f);
+        arts[si].scan.raw.push(f);
     }
-    timings.push(("hot-path-alloc", t.elapsed().as_micros() as u64));
+    let hot_us = acc.alloc + t.elapsed().as_micros() as u64;
+
+    // --- purity-audit: PURE_ROOTS must have empty effect sets. ---
+    let purity = {
+        let in_scope = |file: &str| {
+            scan_idx
+                .get(file)
+                .is_some_and(|&si| arts[si].scan.scope.purity)
+        };
+        effects::purity_findings(&sym, &graph, &sums, &PURE_ROOTS, &in_scope)
+    };
+    for f in purity {
+        if let Some(&si) = scan_idx.get(f.file.as_str()) {
+            arts[si].scan.raw.push(f);
+        }
+    }
+
+    // --- unbounded-growth: long-lived fields need eviction evidence. ---
+    let growth = {
+        let in_scope = |file: &str| {
+            scan_idx
+                .get(file)
+                .is_some_and(|&si| arts[si].scan.scope.growth)
+        };
+        effects::growth_findings(&sym, &fn_growth, &in_scope)
+    };
+    for f in growth {
+        if let Some(&si) = scan_idx.get(f.file.as_str()) {
+            arts[si].scan.raw.push(f);
+        }
+    }
+
+    // --- root-registry drift (whole-repo runs only). ---
+    let registry = if check_registry {
+        effects::registry_findings(
+            &sym,
+            &[("HOT_ROOTS", &HOT_ROOTS), ("PURE_ROOTS", &PURE_ROOTS)],
+        )
+    } else {
+        Vec::new()
+    };
 
     // --- Untrusted-reachability scoping for panic/index. ---
     let mut surface: BTreeSet<usize> = BTreeSet::new();
     for (path, _) in &graph_files {
-        if scans[scan_idx[path.as_str()]].scope.panic_index {
+        if arts[scan_idx[path.as_str()]].scan.scope.panic_index {
             surface.extend(sym.file_fns(path).iter().copied());
         }
     }
@@ -588,14 +898,14 @@ fn run_pipeline(scans: &mut [FileScan]) -> (Vec<FileLint>, Vec<(&'static str, u6
         })
         .collect();
     let reachable = graph.reachable(roots, &surface);
-    for scan in scans.iter_mut() {
+    for a in arts.iter_mut() {
         // Fail closed: if the parser lost sync, keep every finding.
-        if !scan.scope.panic_index || !scan.parsed.parsed_ok {
+        if !a.scan.scope.panic_index || !a.scan.parsed.parsed_ok {
             continue;
         }
-        let ids = sym.file_fns(&scan.path);
-        let parsed = &scan.parsed;
-        scan.raw.retain(|f| {
+        let ids = sym.file_fns(&a.scan.path);
+        let parsed = &a.scan.parsed;
+        a.scan.raw.retain(|f| {
             if f.rule != "panic" && f.rule != "index" {
                 return true;
             }
@@ -608,26 +918,41 @@ fn run_pipeline(scans: &mut [FileScan]) -> (Vec<FileLint>, Vec<(&'static str, u6
     }
 
     // --- Waivers last, so retired findings surface stale waivers. ---
-    let lints = scans
+    let lints = arts
         .iter_mut()
-        .map(|scan| rules::apply_waivers(&scan.path, std::mem::take(&mut scan.raw), &scan.waivers))
+        .map(|a| {
+            rules::apply_waivers(
+                &a.scan.path,
+                std::mem::take(&mut a.scan.raw),
+                &a.scan.waivers,
+            )
+        })
         .collect();
-    (lints, timings)
+    let timings = vec![
+        ("dataflow-build", acc.dataflow_build),
+        ("untrusted-len-alloc", acc.untrusted_len),
+        ("cast-truncation", acc.cast),
+        ("hot-path-alloc", hot_us),
+        ("effect-fixpoint", fixpoint_us),
+    ];
+    (lints, timings, registry)
 }
 
 /// Analyze a set of in-memory sources as one workspace: the full
-/// two-phase pipeline (call graph included), no filesystem, no taxonomy
-/// cross-check. This is the entry point for multi-file fixture tests.
+/// two-phase pipeline (call graph and effect fixpoint included), no
+/// filesystem, no cache, no taxonomy or registry cross-checks. This is
+/// the entry point for multi-file fixture tests.
 pub fn analyze_sources(files: &[(&str, &str)]) -> Analysis {
     let t0 = Instant::now();
     let ctx = scan_ctx(files);
-    let mut scans: Vec<FileScan> = files
+    let mut acc = StageAcc::default();
+    let mut arts: Vec<FileArtifacts> = files
         .iter()
-        .map(|(path, src)| rules::scan_file(path, src, rules::scope_for(path), &ctx))
+        .map(|(path, src)| build_artifacts(path, src, rules::scope_for(path), &ctx, &mut acc))
         .collect();
-    let (lints, timings) = run_pipeline(&mut scans);
+    let (lints, timings, _) = run_pipeline(&mut arts, acc, false);
     let mut analysis = Analysis {
-        files_scanned: scans.len(),
+        files_scanned: arts.len(),
         rule_timings: timings,
         ..Analysis::default()
     };
@@ -635,7 +960,7 @@ pub fn analyze_sources(files: &[(&str, &str)]) -> Analysis {
         analysis.findings.extend(lint.findings);
         analysis.waived.extend(lint.waived);
     }
-    finish(&mut analysis, &scans, t0);
+    finish(&mut analysis, &arts, t0);
     analysis
 }
 
@@ -643,8 +968,12 @@ pub fn analyze_sources(files: &[(&str, &str)]) -> Analysis {
 /// the call graph sees only this file.
 pub fn lint_file(path: &str, src: &str, scope: Scope) -> FileLint {
     let ctx = scan_ctx(&[(path, src)]);
-    let mut scans = vec![rules::scan_file(path, src, scope, &ctx)];
-    run_pipeline(&mut scans).0.pop().unwrap_or_default()
+    let mut acc = StageAcc::default();
+    let mut arts = vec![build_artifacts(path, src, scope, &ctx, &mut acc)];
+    run_pipeline(&mut arts, acc, false)
+        .0
+        .pop()
+        .unwrap_or_default()
 }
 
 /// Lint one source string under the scope its path would get in the repo.
@@ -653,8 +982,18 @@ pub fn lint_source(repo_rel_path: &str, src: &str) -> FileLint {
     lint_file(repo_rel_path, src, rules::scope_for(repo_rel_path))
 }
 
-/// Run the full gate against a repo checkout.
+/// Run the full gate against a repo checkout, without the incremental
+/// cache.
 pub fn analyze(root: &Path) -> Analysis {
+    analyze_with(root, None)
+}
+
+/// Run the full gate against a repo checkout. With `cache_path` set, the
+/// per-file artifacts are restored from / persisted to that file, keyed
+/// by content hash under a version+registry salt ([`cache`]); a stale,
+/// corrupt, or version-mismatched entry is a miss (fail closed), never a
+/// wrong answer.
+pub fn analyze_with(root: &Path, cache_path: Option<&Path>) -> Analysis {
     let t0 = Instant::now();
     let mut inputs: Vec<(String, String)> = Vec::new();
     for rel in source_files(root) {
@@ -671,34 +1010,68 @@ pub fn analyze(root: &Path) -> Analysis {
         .map(|(p, s)| (p.as_str(), s.as_str()))
         .collect();
     let ctx = scan_ctx(&borrowed);
-    let mut scans: Vec<FileScan> = borrowed
-        .iter()
-        .map(|(path, src)| rules::scan_file(path, src, rules::scope_for(path), &ctx))
-        .collect();
-    let (lints, timings) = run_pipeline(&mut scans);
+    let salt = cache::salt(&ctx);
+    let mut store = match cache_path {
+        Some(p) => cache::Store::load(p, salt),
+        None => cache::Store::empty(salt),
+    };
+    let mut acc = StageAcc::default();
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut arts: Vec<FileArtifacts> = Vec::with_capacity(borrowed.len());
+    for (path, src) in &borrowed {
+        let hash = fingerprint::fnv1a64(src.as_bytes());
+        if cache_path.is_some() {
+            if let Some(art) = store.take_hit(path, hash) {
+                hits += 1;
+                arts.push(art);
+                continue;
+            }
+        }
+        let art = build_artifacts(path, src, rules::scope_for(path), &ctx, &mut acc);
+        if cache_path.is_some() {
+            store.record(path, hash, &art);
+        }
+        misses += 1;
+        arts.push(art);
+    }
+    let (lints, timings, registry) = run_pipeline(&mut arts, acc, true);
     let mut analysis = Analysis {
-        files_scanned: scans.len(),
+        files_scanned: arts.len(),
         rule_timings: timings,
+        cache_hits: hits,
+        cache_misses: misses,
         ..Analysis::default()
     };
     for lint in lints {
         analysis.findings.extend(lint.findings);
         analysis.waived.extend(lint.waived);
     }
+    analysis.findings.extend(registry);
     analysis.findings.extend(taxonomy::check(root));
-    finish(&mut analysis, &scans, t0);
+    finish(&mut analysis, &arts, t0);
+    if let Some(p) = cache_path {
+        store.save(p);
+    }
     analysis
 }
 
-/// Sort, fingerprint, and stamp the runtime.
-fn finish(analysis: &mut Analysis, scans: &[FileScan], t0: Instant) {
+/// Sort, fingerprint, and stamp the runtime. Fingerprint line text comes
+/// from the tokens when present (cold path) and from the pre-normalized
+/// `norm_lines` map for cached artifacts.
+fn finish(analysis: &mut Analysis, arts: &[FileArtifacts], t0: Instant) {
     analysis.findings.sort();
     analysis.waived.sort();
-    let by_path: BTreeMap<&str, &FileScan> = scans.iter().map(|s| (s.path.as_str(), s)).collect();
+    let by_path: BTreeMap<&str, &FileArtifacts> =
+        arts.iter().map(|a| (a.scan.path.as_str(), a)).collect();
     let line_text = |file: &str, line: u32| {
-        by_path
-            .get(file)
-            .and_then(|s| fingerprint::normalize_line(&s.code, line))
+        by_path.get(file).and_then(|a| {
+            if a.scan.code.is_empty() {
+                a.norm_lines.get(&line).cloned()
+            } else {
+                fingerprint::normalize_line(&a.scan.code, line)
+            }
+        })
     };
     fingerprint::assign(&mut analysis.findings, &line_text);
     analysis.runtime_ms = t0.elapsed().as_millis() as u64;
@@ -753,6 +1126,8 @@ mod tests {
             fingerprint: "00aa11bb22cc33dd".into(),
         });
         a.files_scanned = 1;
+        a.cache_hits = 2;
+        a.cache_misses = 1;
         let json = a.render_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"version\":\"2.1.0\""));
@@ -762,6 +1137,7 @@ mod tests {
         assert!(json.contains("\"startLine\":3"));
         assert!(json.contains("\"tamperlint/v1\":\"00aa11bb22cc33dd\""));
         assert!(json.contains("\"ok\":false"));
+        assert!(json.contains("\"cache\":{\"hits\":2,\"misses\":1}"));
         assert!(json.contains("\"index\":{\"findings\":1,\"waived\":0}"));
         assert!(json.contains("\\\"quoted\\\""));
         // Every rule is declared in the driver block.

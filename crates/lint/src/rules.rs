@@ -26,7 +26,7 @@ use crate::lexer::{lex, strip_test_modules, Tok, TokKind};
 use std::collections::BTreeSet;
 
 /// All lint rules, in reporting order.
-pub const RULES: [&str; 15] = [
+pub const RULES: [&str; 18] = [
     "map-iter",
     "ambient-clock",
     "clock-containment",
@@ -40,9 +40,166 @@ pub const RULES: [&str; 15] = [
     "hot-path-alloc",
     "untrusted-len-alloc",
     "cast-truncation",
+    "purity-audit",
+    "unbounded-growth",
+    "root-registry",
     "taxonomy",
     "waiver",
 ];
+
+/// One paragraph of documentation per rule, for `cargo xtask analyze
+/// --explain <rule>`. Every entry of [`RULES`] must have one (enforced by
+/// a test), so a rule can never ship undocumented.
+pub const EXPLANATIONS: [(&str, &str); 18] = [
+    (
+        "map-iter",
+        "HashMap/HashSet iteration order varies per process (SipHash keys are \
+         randomized), so any output derived from iterating one is \
+         nondeterministic. The paper's pipeline promises byte-identical reports \
+         for identical captures; output-producing crates (analysis, core) and \
+         the linter itself must use BTreeMap/BTreeSet instead.",
+    ),
+    (
+        "ambient-clock",
+        "Instant::now()/SystemTime::now() read the wall clock, so classification \
+         that touches them depends on when the pipeline ran, not just on the \
+         packets. Fires textually at the call site and transitively — via the \
+         effect summaries — at every pipeline function whose call chain reaches \
+         one, with the chain in the message. tamper-obs is the sole sanctioned \
+         home for clock reads.",
+    ),
+    (
+        "clock-containment",
+        "Any other mention of Instant/SystemTime in a pipeline crate (use \
+         statements, struct fields, signatures) smuggles a clock handle toward \
+         the deterministic core. Timing belongs in tamper-obs (Stopwatch, \
+         ScopeMetrics), which is guaranteed never to perturb verdict bytes.",
+    ),
+    (
+        "ambient-rng",
+        "thread_rng/from_entropy/OsRng/getrandom/rand::random draw operating- \
+         system entropy, making runs irreproducible. Simulation and sampling \
+         must use seeded generators so a reported number can be regenerated \
+         bit-for-bit. Fires textually and transitively like ambient-clock.",
+    ),
+    (
+        "thread-containment",
+        "capture::engine owns the one reader/shard/merge thread topology, and \
+         engine_determinism proves it merges deterministically at any thread \
+         count. A bespoke thread::spawn/crossbeam pool elsewhere would be a \
+         second interleaving source with no such proof; plug in through a \
+         FlowSource instead.",
+    ),
+    (
+        "panic",
+        ".unwrap()/.expect()/panic! on the untrusted-input parse surface turns \
+         malformed capture bytes into a crashed pipeline — the opposite of the \
+         paper's fail-open measurement posture. Scoped to functions the call \
+         graph proves reachable from untrusted-input roots; return a typed \
+         WireError instead.",
+    ),
+    (
+        "index",
+        "Direct slice indexing panics on short input, and tampered traffic is \
+         precisely where truncated packets live. On the untrusted-reachable \
+         parse surface, use .get(…) or the bounds-checked wire::Reader.",
+    ),
+    (
+        "wraparound-arithmetic",
+        "TCP sequence space is mod 2^32: raw +/-/* on seq/ack/isn/offset-named \
+         u32 values silently corrupts relative positions when a flow straddles \
+         the wrap. Use wrapping_*/checked_* so the intent (and the gate) is \
+         explicit. PR 3 fixed a real wrap bug in core::reorder; this keeps the \
+         next one out.",
+    ),
+    (
+        "exhaustive-signature-match",
+        "A `_` wildcard or catch-all binding in a match over the paper's \
+         Signature taxonomy means adding a 20th signature silently misroutes \
+         flows instead of failing the build. Enumerate every variant; \
+         `name @ (V1 | V2 | …)` keeps a binding while staying exhaustive.",
+    ),
+    (
+        "discarded-wire-error",
+        "`let _ = …` or `.ok()` on a Result<_, WireError> silently swallows a \
+         parse failure, deflating the tamper counts the paper reports. Handle \
+         the error, thread it into the evidence stream, or waive with a reason \
+         stating why dropping it is sound.",
+    ),
+    (
+        "hot-path-alloc",
+        "Functions call-graph-reachable from the HOT_ROOTS registry \
+         (FlowMachine::process, SourceShard::absorb, …) run once per packet or \
+         per flow at line rate; a fresh Vec/format!/clone there is the \
+         difference between 535k and 2M flows/s. Reuse caller-owned scratch \
+         buffers instead. The discovery chain from the root is in the message.",
+    ),
+    (
+        "untrusted-len-alloc",
+        "A length read off the wire that flows unclamped into with_capacity / \
+         vec![_; n] / an index lets one crafted packet allocate gigabytes or \
+         panic. Clamp (.min), bounds-check, or validate against the remaining \
+         buffer before sizing anything with it.",
+    ),
+    (
+        "cast-truncation",
+        "`seq as u16` silently drops the high bits of sequence-space and length \
+         values, corrupting relative math exactly like wraparound does. Use \
+         try_from or clamp first so narrowing is explicit and checked.",
+    ),
+    (
+        "purity-audit",
+        "Every entry in the PURE_ROOTS registry — the classify→aggregate→report \
+         path (FlowMachine::analyze, PartialAggregate::record/merge, \
+         Collector::observe/merge, report::full_report) — must have an empty \
+         transitive effect set: no clock, no rng, no thread, no unordered-map \
+         iteration, no IO, no global mutation, and no Unknown (unparsed body or \
+         unresolved workspace call) anywhere in its call closure. This turns \
+         the runtime byte-identity tests into a static proof; the witness call \
+         chain to the offending effect is in the message.",
+    ),
+    (
+        "unbounded-growth",
+        "An insertion (push/insert/entry/extend/…) into a collection field of a \
+         long-lived type — one with process/absorb/observe/record/merge-style \
+         methods, i.e. state that survives across per-packet calls — with no \
+         eviction, clear, reassignment, or len-cap on the same field anywhere \
+         in the workspace. A long-running ingest daemon accumulates such a \
+         field forever; bound it (cap, sweep, ring buffer) or waive with the \
+         reason the key space is finite.",
+    ),
+    (
+        "root-registry",
+        "HOT_ROOTS and PURE_ROOTS entries are matched against the symbol table \
+         by (owner, name). An entry that resolves to no function is rename rot: \
+         the gate it anchors has silently stopped firing. Update the registry \
+         entry or restore the function it names.",
+    ),
+    (
+        "taxonomy",
+        "The 19-signature taxonomy must agree across its three homes: the \
+         Signature enum in core, the golden corpus labels, and the DESIGN.md \
+         table. Drift between them means the code classifies a signature the \
+         docs don't define (or vice versa); this cross-check fails on any \
+         mismatch in either direction.",
+    ),
+    (
+        "waiver",
+        "Waivers are `// tamperlint: allow(<rule>) — <reason>` and cover their \
+         own line plus the next code line. A malformed waiver (bad grammar, \
+         unknown rule, missing reason) or an unused one (no matching finding \
+         left) is itself a finding: a waiver must never outlive the code it \
+         excuses, and a typo must never silently disable a gate.",
+    ),
+];
+
+/// The `--explain` text for one rule, if it is registered.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    EXPLANATIONS
+        .iter()
+        .find(|(r, _)| *r == rule)
+        .map(|(_, text)| *text)
+}
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -160,6 +317,12 @@ pub struct Scope {
     /// `cast-truncation`: raw `as` narrowing of seq/ack/len/off-named
     /// values in sequence-space code.
     pub cast_trunc: bool,
+    /// `purity-audit`: the PURE_ROOTS registry's transitive effect sets
+    /// must be empty (see `effects` in the crate root).
+    pub purity: bool,
+    /// `unbounded-growth`: long-lived collection fields must have
+    /// reachable eviction/clear/cap evidence.
+    pub growth: bool,
 }
 
 impl Scope {
@@ -174,7 +337,9 @@ impl Scope {
             || self.discard
             || self.hot_alloc
             || self.taint_len
-            || self.cast_trunc)
+            || self.cast_trunc
+            || self.purity
+            || self.growth)
     }
 }
 
@@ -238,6 +403,10 @@ pub fn scope_for(path: &str) -> Scope {
         // Narrowing casts on sequence-space values: same home as the
         // wraparound rule.
         cast_trunc: path.starts_with("crates/wire/src/") || path.starts_with("crates/core/src/"),
+        // The pure classify→aggregate→report roots and the long-lived
+        // state the serve daemon will keep both live in pipeline crates.
+        purity: pipeline,
+        growth: pipeline,
     }
 }
 
@@ -626,11 +795,28 @@ const STD_AMBIGUOUS_METHODS: [&str; 9] = [
     "position",
 ];
 
-/// The discarded-wire-error rule for one file: `let _ = …;` statements and
-/// `.ok()` chains that swallow a `Result<_, WireError>` returned by a
-/// workspace function (`wire_fns`, from the symbol table). Runs in the
-/// cross-file phase because the return-type set spans the workspace.
-pub fn discard_findings(path: &str, code: &[Tok], wire_fns: &BTreeSet<String>) -> Vec<Finding> {
+/// One discarded-result candidate site, extracted per file (cacheable)
+/// and filtered against the workspace-wide wire-error function set in
+/// phase 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscardCand {
+    /// Line the finding would report on (the `let` or the `.ok()`).
+    pub line: u32,
+    /// True for the `let _ = …;` form, false for the `.ok()` chain.
+    pub let_form: bool,
+    /// Eligible callee names at the site, in source order. The let form
+    /// fires on the *first* name that is a wire-error function; the
+    /// `.ok()` form carries exactly one name (the receiver's callee).
+    pub names: Vec<String>,
+}
+
+/// Extract the discarded-result candidates from one file's tokens:
+/// `let _ = …;` statements and `.ok()` chains, with every eligible callee
+/// name recorded. Method-form matches on std-ambiguous names are skipped
+/// at extraction time (a name-based symbol table cannot tell `str::parse`
+/// from `Packet::parse`); the wire-error filter happens in
+/// [`discard_filter`], which has the workspace return-type table.
+pub fn discard_candidates(code: &[Tok]) -> Vec<DiscardCand> {
     let ident = |i: usize| match code.get(i).map(|t| &t.kind) {
         Some(TokKind::Ident(s)) => Some(s.as_str()),
         _ => None,
@@ -647,7 +833,7 @@ pub fn discard_findings(path: &str, code: &[Tok], wire_fns: &BTreeSet<String>) -
     };
     let mut out = Vec::new();
     for i in 0..code.len() {
-        // `let _ = <expr containing a wire-error call>;`
+        // `let _ = <expr>;` — record every eligible call name in order.
         if ident(i) == Some("let") && ident(i + 1) == Some("_") && punct(i + 2) == Some('=') {
             let mut depth = 0i32;
             let mut end = i + 3;
@@ -660,23 +846,22 @@ pub fn discard_findings(path: &str, code: &[Tok], wire_fns: &BTreeSet<String>) -
                 }
                 end += 1;
             }
+            let mut names = Vec::new();
             for k in i + 3..end {
                 let Some(name) = ident(k) else { continue };
-                if punct(k + 1) == Some('(') && wire_fns.contains(name) && eligible(k, name) {
-                    out.push(Finding::new(
-                        path,
-                        code[i].line,
-                        "discarded-wire-error",
-                        format!(
-                            "`let _ =` discards the Result<_, WireError> from `{name}`; \
-                             handle the error or waive with a reason"
-                        ),
-                    ));
-                    break;
+                if punct(k + 1) == Some('(') && eligible(k, name) {
+                    names.push(name.to_string());
                 }
             }
+            if !names.is_empty() {
+                out.push(DiscardCand {
+                    line: code[i].line,
+                    let_form: true,
+                    names,
+                });
+            }
         }
-        // `<wire-error call>(…).ok()`
+        // `<call>(…).ok()` — record the receiver's callee.
         if punct(i) == Some('.')
             && ident(i + 1) == Some("ok")
             && punct(i + 2) == Some('(')
@@ -705,22 +890,61 @@ pub fn discard_findings(path: &str, code: &[Tok], wire_fns: &BTreeSet<String>) -
             }
             if j >= 1 {
                 if let Some(name) = ident(j - 1) {
-                    if wire_fns.contains(name) && eligible(j - 1, name) {
-                        out.push(Finding::new(
-                            path,
-                            code[i + 1].line,
-                            "discarded-wire-error",
-                            format!(
-                                ".ok() swallows the WireError from `{name}`; propagate \
-                                 it or waive with a reason"
-                            ),
-                        ));
+                    if eligible(j - 1, name) {
+                        out.push(DiscardCand {
+                            line: code[i + 1].line,
+                            let_form: false,
+                            names: vec![name.to_string()],
+                        });
                     }
                 }
             }
         }
     }
     out
+}
+
+/// Filter discard candidates against the workspace wire-error function
+/// set, producing the discarded-wire-error findings.
+pub fn discard_filter(
+    path: &str,
+    cands: &[DiscardCand],
+    wire_fns: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in cands {
+        if c.let_form {
+            if let Some(name) = c.names.iter().find(|n| wire_fns.contains(n.as_str())) {
+                out.push(Finding::new(
+                    path,
+                    c.line,
+                    "discarded-wire-error",
+                    format!(
+                        "`let _ =` discards the Result<_, WireError> from `{name}`; \
+                         handle the error or waive with a reason"
+                    ),
+                ));
+            }
+        } else if let Some(name) = c.names.first().filter(|n| wire_fns.contains(n.as_str())) {
+            out.push(Finding::new(
+                path,
+                c.line,
+                "discarded-wire-error",
+                format!(
+                    ".ok() swallows the WireError from `{name}`; propagate \
+                     it or waive with a reason"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The discarded-wire-error rule for one file, in one step (extraction +
+/// filter). Kept for single-shot callers; the pipeline caches
+/// [`discard_candidates`] per file and runs [`discard_filter`] per run.
+pub fn discard_findings(path: &str, code: &[Tok], wire_fns: &BTreeSet<String>) -> Vec<Finding> {
+    discard_filter(path, &discard_candidates(code), wire_fns)
 }
 
 /// Apply a file's waivers to its surviving raw findings. Called by the

@@ -1,0 +1,19 @@
+// Fixture: long-lived state where one collection only ever grows and a
+// second one has eviction evidence (not compiled).
+use std::collections::BTreeMap;
+
+pub struct SeenLog {
+    seen: Vec<u64>,
+    counts: BTreeMap<u64, u64>,
+}
+
+impl SeenLog {
+    pub fn process(&mut self, v: u64) {
+        self.seen.push(v);
+        *self.counts.entry(v).or_insert(0) += 1;
+    }
+
+    pub fn reset(&mut self) {
+        self.counts.clear();
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: a PURE_ROOTS report root that transitively performs I/O
+// through a helper (not compiled).
+
+pub fn full_report(rows: &[u64]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&render_row(*r));
+    }
+    out
+}
+
+fn render_row(r: u64) -> String {
+    println!("row {r}");
+    format!("{r}")
+}

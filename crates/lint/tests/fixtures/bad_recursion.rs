@@ -1,0 +1,22 @@
+// Fixture: a mutually recursive SCC (`tick` ↔ `tock`) that reaches an
+// ambient clock; exercises fixpoint convergence on cycles (not compiled).
+use std::time::Instant;
+
+pub fn poll_loop() {
+    tick(3);
+}
+
+fn tick(n: u32) {
+    if n > 0 {
+        tock(n - 1);
+    }
+}
+
+fn tock(n: u32) {
+    tick(n);
+    let _ = stamp();
+}
+
+fn stamp() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

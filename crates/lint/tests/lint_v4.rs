@@ -1,0 +1,571 @@
+//! tamperlint v4 suite: the effect-summary engine and everything built on
+//! it — purity-audit and unbounded-growth fire-and-waiver behavior, SCC
+//! fixpoint convergence, a differential check that the summary-based
+//! containment rules reproduce the pre-summary BFS implementation exactly,
+//! the root-registry drift check, rule explanations, and the incremental
+//! cache (hit, invalidation on edit, fail-closed corruption handling).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::PathBuf;
+
+use tamper_lint::callgraph::{self, CallGraph, SinkKind};
+use tamper_lint::rules::{self, ScanCtx};
+use tamper_lint::symbols::SymbolTable;
+use tamper_lint::{analyze_sources, analyze_with, ast, effects, fingerprint, Analysis, Finding};
+
+const CORE: &str = "crates/core/src/fixture.rs";
+const REPORT: &str = "crates/analysis/src/report.rs";
+
+// ---------------------------------------------------------------------------
+// purity-audit
+// ---------------------------------------------------------------------------
+
+#[test]
+fn purity_audit_fires_on_impure_report_root() {
+    let files = [(REPORT, include_str!("fixtures/bad_impure.rs"))];
+    let analysis = analyze_sources(&files);
+    let hits: Vec<&Finding> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "purity-audit")
+        .collect();
+    assert_eq!(hits.len(), 1, "findings: {:?}", analysis.findings);
+    let f = hits[0];
+    assert_eq!(f.file, REPORT);
+    assert_eq!(f.line, 4, "anchors on the root's definition line");
+    assert!(f.message.contains("PerformsIo"), "{}", f.message);
+    assert!(f.message.contains("render_row"), "{}", f.message);
+    assert!(f.message.contains("full_report"), "{}", f.message);
+}
+
+#[test]
+fn purity_audit_respects_a_waiver() {
+    let src = include_str!("fixtures/bad_impure.rs").replace(
+        "pub fn full_report",
+        "// tamperlint: allow(purity-audit) — fixture exercises the waiver path\npub fn full_report",
+    );
+    let analysis = analyze_sources(&[(REPORT, &src)]);
+    assert!(
+        analysis.findings.iter().all(|f| f.rule != "purity-audit"),
+        "findings: {:?}",
+        analysis.findings
+    );
+    assert!(analysis.waived.iter().any(|f| f.rule == "purity-audit"));
+}
+
+#[test]
+fn purity_audit_is_silent_on_a_pure_root() {
+    // Same shape, no I/O: the root and its helper stay effect-free.
+    let src = "pub fn full_report(rows: &[u64]) -> u64 {\n    rows.iter().map(|r| render_row(*r)).sum()\n}\n\nfn render_row(r: u64) -> u64 {\n    r + 1\n}\n";
+    let analysis = analyze_sources(&[(REPORT, src)]);
+    assert!(
+        analysis.findings.iter().all(|f| f.rule != "purity-audit"),
+        "findings: {:?}",
+        analysis.findings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-growth
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unbounded_growth_fires_without_eviction_evidence() {
+    let files = [(CORE, include_str!("fixtures/bad_growth.rs"))];
+    let analysis = analyze_sources(&files);
+    let hits: Vec<&Finding> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == "unbounded-growth")
+        .collect();
+    assert_eq!(hits.len(), 1, "findings: {:?}", analysis.findings);
+    assert_eq!(hits[0].line, 12, "anchors on the insertion site");
+    assert!(hits[0].message.contains("seen"), "{}", hits[0].message);
+    // `counts` has `clear()` evidence in `reset` — it must stay silent.
+    assert!(
+        !analysis
+            .findings
+            .iter()
+            .any(|f| f.rule == "unbounded-growth" && f.message.contains("counts")),
+        "findings: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn unbounded_growth_respects_a_waiver() {
+    let src = include_str!("fixtures/bad_growth.rs").replace(
+        "        self.seen.push(v);",
+        "        // tamperlint: allow(unbounded-growth) — fixture waiver\n        self.seen.push(v);",
+    );
+    let analysis = analyze_sources(&[(CORE, &src)]);
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .all(|f| f.rule != "unbounded-growth"),
+        "findings: {:?}",
+        analysis.findings
+    );
+    assert!(analysis.waived.iter().any(|f| f.rule == "unbounded-growth"));
+}
+
+// ---------------------------------------------------------------------------
+// SCC fixpoint convergence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fixpoint_converges_on_a_recursive_cycle_and_propagates_effects() {
+    let files = [(CORE, include_str!("fixtures/bad_recursion.rs"))];
+    let clock: Vec<(u32, String)> = analyze_sources(&files)
+        .findings
+        .iter()
+        .filter(|f| f.rule == "ambient-clock")
+        .map(|f| (f.line, f.message.clone()))
+        .collect();
+    // Textual finding at the sink itself.
+    assert!(clock.iter().any(|(l, _)| *l == 21), "{clock:?}");
+    // Transitive findings climb through the tick ↔ tock cycle all the way
+    // to poll_loop: the fixpoint must converge on the SCC, not loop.
+    for line in [6, 11, 17] {
+        assert!(
+            clock
+                .iter()
+                .any(|(l, m)| *l == line && m.contains("transitively reaches")),
+            "no transitive finding at line {line}: {clock:?}"
+        );
+    }
+    assert!(
+        clock
+            .iter()
+            .any(|(l, m)| *l == 6 && m.contains("poll_loop()") && m.contains("stamp")),
+        "{clock:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Differential parity: summary-based containment vs the pre-summary BFS
+// ---------------------------------------------------------------------------
+
+const CONTAINMENT_RULES: [&str; 3] = ["ambient-clock", "ambient-rng", "thread-containment"];
+
+/// The pre-v4 BFS containment implementation, reconstructed verbatim from
+/// the public pieces it was built on: per-kind seed sets from textual
+/// sinks, one `CallGraph::taint` flood per kind, and the same hop-chain
+/// message rendering. Returns (rule, file, fingerprint) triples after
+/// waiver application.
+fn reference_containment(files: &[(&str, &str)]) -> BTreeSet<(String, String, String)> {
+    let ctx = ScanCtx::default();
+    let mut scans: Vec<rules::FileScan> = files
+        .iter()
+        .map(|(p, s)| rules::scan_file(p, s, rules::scope_for(p), &ctx))
+        .collect();
+    let graph_files: Vec<(String, ast::ParsedFile)> = scans
+        .iter()
+        .filter(|s| !s.path.starts_with("crates/lint/"))
+        .map(|s| (s.path.clone(), s.parsed.clone()))
+        .collect();
+    let sym = SymbolTable::build(&graph_files);
+    let graph = CallGraph::build(&sym);
+    let scan_idx: BTreeMap<String, usize> = scans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.path.clone(), i))
+        .collect();
+
+    let mut fn_sinks: Vec<Vec<callgraph::Sink>> = vec![Vec::new(); sym.fns.len()];
+    let mut seeds: BTreeMap<SinkKind, BTreeSet<usize>> = BTreeMap::new();
+    for (path, _) in &graph_files {
+        let scan = &scans[scan_idx[path.as_str()]];
+        for (local, id) in sym.file_fns(path).iter().enumerate() {
+            let (b0, b1) = scan.parsed.fns[local].body;
+            let sinks = callgraph::find_sinks(&scan.code, b0, b1);
+            for s in &sinks {
+                let sanctioned = match s.kind {
+                    SinkKind::Clock | SinkKind::Rng => path.starts_with("crates/obs/"),
+                    SinkKind::Thread => path == "crates/capture/src/engine.rs",
+                };
+                if !sanctioned {
+                    seeds.entry(s.kind).or_default().insert(*id);
+                }
+            }
+            fn_sinks[*id] = sinks;
+        }
+    }
+
+    let mut extra: Vec<(usize, Finding)> = Vec::new();
+    for (&kind, kind_seeds) in &seeds {
+        let taint = graph.taint(kind_seeds);
+        for (&fid, hop) in &taint {
+            let fsym = &sym.fns[fid];
+            let Some(&si) = scan_idx.get(fsym.file.as_str()) else {
+                continue;
+            };
+            let scope = scans[si].scope;
+            let applies = match kind {
+                SinkKind::Clock | SinkKind::Rng => scope.ambient,
+                SinkKind::Thread => scope.thread_containment,
+            };
+            if !applies || fn_sinks[fid].iter().any(|s| s.kind == kind) {
+                continue;
+            }
+            let mut chain: Vec<String> = Vec::new();
+            let mut cur = hop.callee;
+            loop {
+                chain.push(sym.fns[cur].def.name.clone());
+                if kind_seeds.contains(&cur) {
+                    break;
+                }
+                match taint.get(&cur) {
+                    Some(next) => cur = next.callee,
+                    None => break,
+                }
+            }
+            let sink = fn_sinks[cur]
+                .iter()
+                .find(|s| s.kind == kind)
+                .map_or_else(|| "ambient sink".to_string(), |s| s.what.clone());
+            extra.push((
+                si,
+                Finding::new(
+                    &fsym.file,
+                    hop.line,
+                    kind.rule(),
+                    format!(
+                        "{}() transitively reaches {} (in {}) via {}",
+                        fsym.def.name,
+                        sink,
+                        sym.fns[cur].file,
+                        chain.join(" → ")
+                    ),
+                ),
+            ));
+        }
+    }
+    for (si, f) in extra {
+        scans[si].raw.push(f);
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for scan in &scans {
+        let fl = rules::apply_waivers(&scan.path, scan.raw.clone(), &scan.waivers);
+        findings.extend(fl.findings);
+    }
+    findings.retain(|f| CONTAINMENT_RULES.contains(&f.rule));
+    findings.sort();
+    let by_path: BTreeMap<&str, &rules::FileScan> =
+        scans.iter().map(|s| (s.path.as_str(), s)).collect();
+    let line_text = |file: &str, line: u32| {
+        by_path
+            .get(file)
+            .and_then(|s| fingerprint::normalize_line(&s.code, line))
+    };
+    fingerprint::assign(&mut findings, &line_text);
+    findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.file, f.fingerprint))
+        .collect()
+}
+
+fn actual_containment(files: &[(&str, &str)]) -> BTreeSet<(String, String, String)> {
+    analyze_sources(files)
+        .findings
+        .into_iter()
+        .filter(|f| CONTAINMENT_RULES.contains(&f.rule))
+        .map(|f| (f.rule.to_string(), f.file, f.fingerprint))
+        .collect()
+}
+
+#[test]
+fn summary_containment_matches_bfs_on_every_fixture() {
+    let singles: &[(&str, &str)] = &[
+        ("bad_alloc", include_str!("fixtures/bad_alloc.rs")),
+        ("bad_ambient", include_str!("fixtures/bad_ambient.rs")),
+        ("bad_cast", include_str!("fixtures/bad_cast.rs")),
+        ("bad_clock", include_str!("fixtures/bad_clock.rs")),
+        ("bad_discard", include_str!("fixtures/bad_discard.rs")),
+        ("bad_growth", include_str!("fixtures/bad_growth.rs")),
+        ("bad_impure", include_str!("fixtures/bad_impure.rs")),
+        ("bad_index", include_str!("fixtures/bad_index.rs")),
+        ("bad_map_iter", include_str!("fixtures/bad_map_iter.rs")),
+        ("bad_match", include_str!("fixtures/bad_match.rs")),
+        ("bad_panic", include_str!("fixtures/bad_panic.rs")),
+        ("bad_recursion", include_str!("fixtures/bad_recursion.rs")),
+        ("bad_taint_len", include_str!("fixtures/bad_taint_len.rs")),
+        ("bad_thread", include_str!("fixtures/bad_thread.rs")),
+        ("bad_wrap", include_str!("fixtures/bad_wrap.rs")),
+        ("waivers", include_str!("fixtures/waivers.rs")),
+    ];
+    let mut nonempty = 0;
+    for (name, src) in singles {
+        let files = [(CORE, *src)];
+        let reference = reference_containment(&files);
+        let actual = actual_containment(&files);
+        assert_eq!(reference, actual, "fixture {name}");
+        nonempty += usize::from(!actual.is_empty());
+    }
+    // Guard against vacuous equality: the clock/rng/thread fixtures must
+    // actually produce containment findings.
+    assert!(nonempty >= 2, "only {nonempty} fixtures fired");
+
+    let trio = [
+        (
+            "crates/analysis/src/transitive_entry.rs",
+            include_str!("fixtures/transitive_entry.rs"),
+        ),
+        (
+            "crates/analysis/src/transitive_relay.rs",
+            include_str!("fixtures/transitive_relay.rs"),
+        ),
+        (
+            "crates/analysis/src/transitive_sink.rs",
+            include_str!("fixtures/transitive_sink.rs"),
+        ),
+    ];
+    let reference = reference_containment(&trio);
+    let actual = actual_containment(&trio);
+    assert!(!actual.is_empty(), "transitive trio must fire");
+    assert_eq!(reference, actual, "transitive trio");
+
+    let hot = [
+        (
+            "crates/analysis/src/transitive_hot_entry.rs",
+            include_str!("fixtures/transitive_hot_entry.rs"),
+        ),
+        (
+            "crates/analysis/src/transitive_hot_relay.rs",
+            include_str!("fixtures/transitive_hot_relay.rs"),
+        ),
+        (
+            "crates/analysis/src/transitive_hot_sink.rs",
+            include_str!("fixtures/transitive_hot_sink.rs"),
+        ),
+    ];
+    assert_eq!(
+        reference_containment(&hot),
+        actual_containment(&hot),
+        "hot trio"
+    );
+
+    // Everything at once: cross-file name resolution, dropped edges, and
+    // SCCs all in one graph.
+    let mega: Vec<(String, &str)> = singles
+        .iter()
+        .map(|(n, s)| (format!("crates/analysis/src/{n}.rs"), *s))
+        .chain(trio.iter().map(|(p, s)| (p.to_string(), *s)))
+        .collect();
+    let mega_refs: Vec<(&str, &str)> = mega.iter().map(|(p, s)| (p.as_str(), *s)).collect();
+    let reference = reference_containment(&mega_refs);
+    let actual = actual_containment(&mega_refs);
+    assert!(!actual.is_empty());
+    assert_eq!(reference, actual, "combined fixture set");
+}
+
+// ---------------------------------------------------------------------------
+// Root-registry drift check
+// ---------------------------------------------------------------------------
+
+#[test]
+fn root_registry_reports_unresolved_entries() {
+    let src = "pub struct FlowMachine;\n\
+               impl FlowMachine {\n    pub fn process(&mut self) {}\n}\n\
+               pub fn helper() {}\n";
+    let path = "crates/core/src/machine.rs";
+    let scan = rules::scan_file(path, src, rules::scope_for(path), &ScanCtx::default());
+    let sym = SymbolTable::build(&[(path.to_string(), scan.parsed.clone())]);
+
+    // Resolvable entries: an impl method by owner, a free fn by file stem.
+    let entries: &[(&str, &str)] = &[("FlowMachine", "process"), ("machine", "helper")];
+    assert!(effects::registry_findings(&sym, &[("R", entries)]).is_empty());
+
+    // A renamed-away entry is rot and must be reported.
+    let stale: &[(&str, &str)] = &[("FlowMachine", "vanished")];
+    let found = effects::registry_findings(&sym, &[("HOT_ROOTS", stale)]);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, "root-registry");
+    assert!(
+        found[0].message.contains("HOT_ROOTS"),
+        "{}",
+        found[0].message
+    );
+    assert!(
+        found[0].message.contains("vanished"),
+        "{}",
+        found[0].message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Explanations and timings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_rule_has_an_explanation() {
+    for rule in tamper_lint::RULES {
+        let text = rules::explain(rule);
+        assert!(text.is_some(), "rule {rule} has no --explain text");
+        assert!(text.unwrap().len() > 40, "rule {rule} explanation too thin");
+    }
+    assert_eq!(rules::EXPLANATIONS.len(), tamper_lint::RULES.len());
+    for (rule, _) in rules::EXPLANATIONS {
+        assert!(
+            tamper_lint::RULES.contains(&rule),
+            "stale explanation for {rule}"
+        );
+    }
+}
+
+#[test]
+fn effect_fixpoint_stage_is_timed() {
+    let analysis = analyze_sources(&[(CORE, "fn quiet() {}\n")]);
+    assert!(
+        analysis
+            .rule_timings
+            .iter()
+            .any(|(name, _)| *name == "effect-fixpoint"),
+        "{:?}",
+        analysis.rule_timings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache (integration, through analyze_with)
+// ---------------------------------------------------------------------------
+
+fn temp_repo(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("tamperlint-v4-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, src) in files {
+        let p = root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(&p, src).unwrap();
+    }
+    root
+}
+
+/// Everything that must be byte-identical between cold and warm runs.
+fn digest(a: &Analysis) -> Vec<String> {
+    let mut out: Vec<String> = a
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "F\t{}\t{}\t{}\t{}\t{}",
+                f.fingerprint, f.rule, f.file, f.line, f.message
+            )
+        })
+        .collect();
+    out.extend(
+        a.waived
+            .iter()
+            .map(|f| format!("W\t{}\t{}\t{}", f.rule, f.file, f.line)),
+    );
+    out
+}
+
+const REPO_FILES: &[(&str, &str)] = &[
+    (
+        "crates/analysis/src/report.rs",
+        include_str!("fixtures/bad_impure.rs"),
+    ),
+    (
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/bad_growth.rs"),
+    ),
+];
+
+#[test]
+fn cache_warm_run_hits_every_file_and_reproduces_findings() {
+    let root = temp_repo("roundtrip", REPO_FILES);
+    let cache = root.join("target/tamperlint.cache");
+
+    let cold = analyze_with(&root, Some(&cache));
+    assert_eq!(cold.cache_hits, 0);
+    assert_eq!(cold.cache_misses, 2);
+    // The real rules run against the temp repo too: the impure root and
+    // the growing collection are both found, and the resolvable
+    // PURE_ROOTS entry ("report", "full_report") does not count as rot.
+    assert!(cold.findings.iter().any(|f| f.rule == "purity-audit"));
+    assert!(cold.findings.iter().any(|f| f.rule == "unbounded-growth"));
+    assert!(
+        !cold
+            .findings
+            .iter()
+            .any(|f| f.rule == "root-registry" && f.message.contains("full_report")),
+        "resolvable registry entry flagged as rot"
+    );
+
+    let warm = analyze_with(&root, Some(&cache));
+    assert_eq!(warm.cache_hits, 2, "warm run must hit every unchanged file");
+    assert_eq!(warm.cache_misses, 0);
+    assert_eq!(digest(&cold), digest(&warm));
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_invalidates_only_the_edited_file() {
+    let root = temp_repo("edit", REPO_FILES);
+    let cache = root.join("target/tamperlint.cache");
+
+    let cold = analyze_with(&root, Some(&cache));
+    assert_eq!(cold.cache_misses, 2);
+
+    // Appending a trailing comment changes the content hash but not the
+    // findings: exactly one miss, identical report.
+    let edited = root.join("crates/core/src/fixture.rs");
+    let mut src = fs::read_to_string(&edited).unwrap();
+    src.push_str("\n// trailing comment\n");
+    fs::write(&edited, src).unwrap();
+
+    let warm = analyze_with(&root, Some(&cache));
+    assert_eq!(warm.cache_hits, 1);
+    assert_eq!(warm.cache_misses, 1);
+    assert_eq!(digest(&cold), digest(&warm));
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cache_corruption_fails_closed() {
+    let root = temp_repo("corrupt", REPO_FILES);
+    let cache = root.join("target/tamperlint.cache");
+
+    let cold = analyze_with(&root, Some(&cache));
+    assert_eq!(cold.cache_misses, 2);
+
+    // Damage one record inside the first file's block: that file becomes
+    // a miss, the other still hits, findings are unchanged.
+    let text = fs::read_to_string(&cache).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 3, "cache unexpectedly small: {text:?}");
+    lines[2] = "@@@ not a cache record @@@";
+    fs::write(&cache, lines.join("\n")).unwrap();
+
+    let warm = analyze_with(&root, Some(&cache));
+    assert_eq!(warm.cache_hits + warm.cache_misses, 2);
+    assert!(warm.cache_misses >= 1, "corrupted block must not hit");
+    assert_eq!(digest(&cold), digest(&warm));
+
+    // A wrong version/salt header drops the whole store.
+    let text = fs::read_to_string(&cache).unwrap();
+    let rest: Vec<&str> = text.lines().skip(1).collect();
+    fs::write(
+        &cache,
+        format!(
+            "tamperlint-cache v999 0000000000000000\n{}",
+            rest.join("\n")
+        ),
+    )
+    .unwrap();
+    let bumped = analyze_with(&root, Some(&cache));
+    assert_eq!(
+        bumped.cache_hits, 0,
+        "version bump must invalidate everything"
+    );
+    assert_eq!(bumped.cache_misses, 2);
+    assert_eq!(digest(&cold), digest(&bumped));
+
+    let _ = fs::remove_dir_all(&root);
+}

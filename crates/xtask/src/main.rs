@@ -8,9 +8,15 @@
 //! the zero-allocation discipline test and the linter's own fixture
 //! suite, and the tamperlint static-analysis gate in `--deny-new` mode
 //! (fail on any finding whose fingerprint is absent from the checked-in
-//! `tamperlint.baseline`). Every step is timed and the run ends with a
-//! per-step wall-time summary. `cargo xtask analyze [--json] [--deny-new]
-//! [--write-baseline] [--prune-baseline]` runs tamperlint alone.
+//! `tamperlint.baseline`) — run cold (cache deleted) and then warm, with
+//! the warm run required to hit the incremental cache for every
+//! unchanged file and reproduce the cold findings byte-for-byte —
+//! followed by the lint throughput bench, which writes `BENCH_lint.json`
+//! and requires the warm path to be ≥3× faster than cold. Every step is
+//! timed and the run ends with a per-step wall-time summary.
+//! `cargo xtask analyze [--json] [--deny-new] [--write-baseline]
+//! [--prune-baseline] [--no-cache] [--explain <rule>]` runs tamperlint
+//! alone.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -98,15 +104,37 @@ enum AnalyzeMode {
     PruneBaseline,
 }
 
-/// Run the tamperlint gate in-process (xtask links tamper-lint directly).
-fn analyze(json: bool, mode: AnalyzeMode) -> Result<(), String> {
+/// Where the incremental analysis cache lives (inside `target/` so a
+/// `cargo clean` also clears it).
+fn lint_cache_path() -> PathBuf {
+    repo_root().join("target").join("tamperlint.cache")
+}
+
+/// Run the tamperlint analysis in-process, with or without the
+/// incremental cache.
+fn run_analysis(use_cache: bool) -> tamper_lint::Analysis {
     let root = repo_root();
-    let analysis = tamper_lint::analyze(&root);
+    if use_cache {
+        tamper_lint::analyze_with(&root, Some(&lint_cache_path()))
+    } else {
+        tamper_lint::analyze(&root)
+    }
+}
+
+/// Run the tamperlint gate in-process (xtask links tamper-lint directly).
+fn analyze(json: bool, mode: AnalyzeMode, use_cache: bool) -> Result<(), String> {
+    let analysis = run_analysis(use_cache);
     if json {
         println!("{}", analysis.render_json());
     } else {
         print!("{}", analysis.render_human());
     }
+    judge(&analysis, mode)
+}
+
+/// Apply an [`AnalyzeMode`]'s verdict to a finished analysis.
+fn judge(analysis: &tamper_lint::Analysis, mode: AnalyzeMode) -> Result<(), String> {
+    let root = repo_root();
     let baseline_path = root.join(tamper_lint::baseline::BASELINE_FILE);
     match mode {
         AnalyzeMode::WriteBaseline => {
@@ -194,6 +222,100 @@ fn analyze(json: bool, mode: AnalyzeMode) -> Result<(), String> {
             }
         }
     }
+}
+
+/// A byte-stable rendering of an analysis's findings and waivers, for
+/// cold-vs-warm identity checks (timings and counters excluded).
+fn findings_digest(analysis: &tamper_lint::Analysis) -> String {
+    let mut out = String::new();
+    for f in &analysis.findings {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            f.fingerprint, f.rule, f.file, f.line, f.message
+        ));
+    }
+    out.push_str("--waived--\n");
+    for f in &analysis.waived {
+        out.push_str(&format!("{}\t{}\t{}\n", f.rule, f.file, f.line));
+    }
+    out
+}
+
+/// The cold/warm analyze gate: run tamperlint with an empty cache, check
+/// the baseline, then re-run warm and require every unchanged file to hit
+/// the cache with byte-identical findings.
+fn analyze_cold_warm() -> Result<(), String> {
+    let cache = lint_cache_path();
+    let _ = std::fs::remove_file(&cache);
+    eprintln!("==> analyze: tamperlint --deny-new (cold, in-process)");
+    let cold = run_analysis(true);
+    judge(&cold, AnalyzeMode::DenyNew)?;
+    eprintln!("==> analyze: tamperlint warm re-run (cache identity check)");
+    let warm = run_analysis(true);
+    if warm.cache_misses != 0 || warm.cache_hits != warm.files_scanned {
+        return Err(format!(
+            "analyze: warm run expected {} cache hit(s) on an unchanged tree, \
+             got {} hit(s) / {} miss(es)",
+            warm.files_scanned, warm.cache_hits, warm.cache_misses
+        ));
+    }
+    if findings_digest(&cold) != findings_digest(&warm) {
+        return Err("analyze: warm (cached) findings differ from the cold run".into());
+    }
+    eprintln!(
+        "==> analyze: warm run hit the cache for all {} file(s), findings identical \
+         ({} ms cold, {} ms warm)",
+        warm.files_scanned, cold.runtime_ms, warm.runtime_ms
+    );
+    Ok(())
+}
+
+/// Lint throughput bench: time the analysis cold (cache deleted) and warm
+/// (unchanged tree) over a few iterations, write the numbers to
+/// `BENCH_lint.json` at the repo root, and require the warm path to be at
+/// least 3× faster — the margin that keeps the gate cheap enough to never
+/// get skipped.
+fn lint_bench() -> Result<(), String> {
+    let root = repo_root();
+    let cache = lint_cache_path();
+    const ITERS: u32 = 3;
+    let mut cold_best = u128::MAX;
+    let mut warm_best = u128::MAX;
+    let mut files = 0usize;
+    for _ in 0..ITERS {
+        let _ = std::fs::remove_file(&cache);
+        let t = std::time::Instant::now();
+        let cold = run_analysis(true);
+        cold_best = cold_best.min(t.elapsed().as_micros());
+        let t = std::time::Instant::now();
+        let warm = run_analysis(true);
+        warm_best = warm_best.min(t.elapsed().as_micros());
+        if warm.cache_hits != warm.files_scanned {
+            return Err("lint bench: warm run missed the cache on an unchanged tree".into());
+        }
+        files = cold.files_scanned;
+    }
+    let speedup = cold_best as f64 / warm_best.max(1) as f64;
+    let out = format!(
+        "{{\n  \"bench\": \"lint_analyze\",\n  \"files\": {files},\n  \"iters\": {ITERS},\n  \
+         \"runs\": [\n    {{\"mode\": \"cold\", \"us\": {cold_best}}},\n    \
+         {{\"mode\": \"warm\", \"us\": {warm_best}}}\n  ],\n  \
+         \"warm_speedup\": {speedup:.2}\n}}\n"
+    );
+    let path = root.join("BENCH_lint.json");
+    std::fs::write(&path, &out)
+        .map_err(|e| format!("lint bench: cannot write {}: {e}", path.display()))?;
+    eprintln!(
+        "==> lint bench: cold {cold_best}µs, warm {warm_best}µs over {files} file(s) \
+         ({speedup:.1}x)"
+    );
+    if speedup < 3.0 {
+        return Err(format!(
+            "lint bench: warm analyze is only {speedup:.2}x faster than cold \
+             (gate requires ≥3x)"
+        ));
+    }
+    Ok(())
 }
 
 /// Smoke-run `tamperscope classify --metrics-json` on the golden fixture
@@ -616,10 +738,8 @@ fn ci() -> Result<(), String> {
         sw.time("multi-pop smoke", multi_pop_smoke)?;
         sw.time("throughput smoke", throughput_smoke)?;
         sw.time("merge bench", merge_bench_smoke)?;
-        sw.time("analyze", || {
-            eprintln!("==> analyze: tamperlint --deny-new (in-process)");
-            analyze(false, AnalyzeMode::DenyNew)
-        })?;
+        sw.time("analyze", analyze_cold_warm)?;
+        sw.time("lint bench", lint_bench)?;
         Ok(())
     })();
     sw.summarize();
@@ -634,10 +754,33 @@ fn main() -> ExitCode {
     let result = match task {
         "ci" => ci(),
         "analyze" => {
+            if let Some(pos) = args.iter().position(|a| a == "--explain") {
+                let Some(rule) = args.get(pos + 1) else {
+                    eprintln!(
+                        "xtask: --explain needs a rule name; one of:\n  {}",
+                        tamper_lint::RULES.join("\n  ")
+                    );
+                    return ExitCode::FAILURE;
+                };
+                match tamper_lint::rules::explain(rule) {
+                    Some(text) => {
+                        println!("{rule}\n\n{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "xtask: unknown rule {rule:?}; one of:\n  {}",
+                            tamper_lint::RULES.join("\n  ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             let json = args.iter().any(|a| a == "--json");
             let deny_new = args.iter().any(|a| a == "--deny-new");
             let write = args.iter().any(|a| a == "--write-baseline");
             let prune = args.iter().any(|a| a == "--prune-baseline");
+            let use_cache = !args.iter().any(|a| a == "--no-cache");
             let mode = match (write, deny_new, prune) {
                 (false, false, false) => AnalyzeMode::Strict,
                 (true, false, false) => AnalyzeMode::WriteBaseline,
@@ -651,19 +794,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            analyze(json, mode)
+            analyze(json, mode, use_cache)
         }
         _ => Err(format!(
             "unknown task {task:?}\n\nUSAGE: cargo xtask <task>\n\nTASKS:\n  \
              ci                 fmt + clippy + release build + workspace tests + \
              determinism gates + alloc discipline + lint suite + metrics + \
              report + multi-pop + throughput + merge-bench smokes + \
-             tamperlint --deny-new\n  \
-             analyze [--json] [--deny-new] [--write-baseline] [--prune-baseline]\n                     \
-             tamperlint static-analysis gate (determinism, panic-safety, \
-             wraparound, taxonomy, dataflow); --deny-new fails only on \
-             fingerprints absent from tamperlint.baseline, --write-baseline \
-             regenerates it, --prune-baseline drops stale entries"
+             tamperlint cold+warm --deny-new + lint bench\n  \
+             analyze [--json] [--deny-new] [--write-baseline] [--prune-baseline]\n          \
+             [--no-cache] [--explain <rule>]\n                     \
+             tamperlint static-analysis gate (determinism, purity, growth, \
+             panic-safety, wraparound, taxonomy, dataflow); --deny-new fails \
+             only on fingerprints absent from tamperlint.baseline, \
+             --write-baseline regenerates it, --prune-baseline drops stale \
+             entries, --no-cache skips the incremental cache, --explain \
+             prints one rule's rationale"
         )),
     };
     match result {
